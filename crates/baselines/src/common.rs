@@ -1,0 +1,167 @@
+//! Shared plumbing for baseline schedulers: per-transaction bookkeeping
+//! and begin/commit/abort boilerplate over the common substrate.
+
+use mvstore::MvStore;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use txn_model::{
+    ClassId, GranuleId, LogicalClock, Metrics, ScheduleEvent, ScheduleLog, SegmentId, Timestamp,
+    TxnHandle, TxnId, TxnProfile, Value,
+};
+
+/// Live state of one baseline transaction.
+#[derive(Debug, Default, Clone)]
+pub struct TxnInfo {
+    /// Granules with installed pending versions (install-at-write
+    /// schedulers).
+    pub write_set: Vec<GranuleId>,
+    /// Buffered writes (install-at-commit schedulers).
+    pub buffer: HashMap<GranuleId, Value>,
+    /// Buffer insertion order (so installs replay in program order).
+    pub buffer_order: Vec<GranuleId>,
+    /// The transaction's class, if declared.
+    pub class: Option<ClassId>,
+    /// The segment the transaction writes ("home"), if any.
+    pub home: Option<SegmentId>,
+    /// Whether the transaction declared itself read-only.
+    pub read_only: bool,
+    /// Declared read segments (SDD-1 conflict gating).
+    pub read_segments: Vec<SegmentId>,
+    /// Initiation time.
+    pub start: Timestamp,
+}
+
+/// Common fields of every baseline scheduler.
+pub struct Base {
+    /// Shared multi-version store.
+    pub store: Arc<MvStore>,
+    /// Shared logical clock.
+    pub clock: Arc<LogicalClock>,
+    /// Schedule log.
+    pub log: ScheduleLog,
+    /// Cost counters.
+    pub metrics: Metrics,
+    /// Transaction table.
+    pub txns: Mutex<HashMap<TxnId, TxnInfo>>,
+    next_txn: AtomicU64,
+}
+
+impl Base {
+    /// Build over a store and clock.
+    pub fn new(store: Arc<MvStore>, clock: Arc<LogicalClock>) -> Self {
+        Base {
+            store,
+            clock,
+            log: ScheduleLog::new(),
+            metrics: Metrics::default(),
+            txns: Mutex::new(HashMap::new()),
+            next_txn: AtomicU64::new(1),
+        }
+    }
+
+    /// Allocate a handle, record the begin, register the txn table entry.
+    pub fn begin(&self, profile: &TxnProfile) -> TxnHandle {
+        let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
+        let start = self.clock.tick();
+        Metrics::bump(&self.metrics.begins);
+        self.log.record(ScheduleEvent::Begin {
+            txn: id,
+            start_ts: start,
+            class: profile.class,
+        });
+        self.txns.lock().insert(
+            id,
+            TxnInfo {
+                class: profile.class,
+                home: profile.write_segments.first().copied(),
+                read_only: profile.is_read_only(),
+                read_segments: profile.read_segments.clone(),
+                start,
+                ..TxnInfo::default()
+            },
+        );
+        TxnHandle {
+            id,
+            start_ts: start,
+            class: profile.class,
+        }
+    }
+
+    /// Record a read in the schedule log and count it.
+    pub fn log_read(&self, txn: TxnId, g: GranuleId, version: Timestamp, writer: TxnId) {
+        Metrics::bump(&self.metrics.reads);
+        self.log.record(ScheduleEvent::Read {
+            txn,
+            granule: g,
+            version,
+            writer,
+        });
+    }
+
+    /// Record a write in the schedule log and count it.
+    pub fn log_write(&self, txn: TxnId, g: GranuleId, version: Timestamp, value: Value) {
+        Metrics::bump(&self.metrics.writes);
+        self.log.record(ScheduleEvent::Write {
+            txn,
+            granule: g,
+            version,
+            value,
+        });
+    }
+
+    /// Take the transaction's state out of the table.
+    pub fn take(&self, id: TxnId) -> Option<TxnInfo> {
+        self.txns.lock().remove(&id)
+    }
+
+    /// Mark a pending-version commit: flip commit bits, log, count.
+    pub fn commit_installed(&self, id: TxnId, info: &TxnInfo) -> Timestamp {
+        self.store.commit_writes(id, &info.write_set);
+        let cts = self.clock.tick();
+        self.log.record(ScheduleEvent::Commit {
+            txn: id,
+            commit_ts: cts,
+        });
+        Metrics::bump(&self.metrics.commits);
+        cts
+    }
+
+    /// Abort cleanup for pending-version schedulers: remove versions,
+    /// log, count.
+    pub fn abort_installed(&self, id: TxnId, info: &TxnInfo) {
+        self.store.abort_writes(id, &info.write_set);
+        self.log.record(ScheduleEvent::Abort { txn: id });
+        Metrics::bump(&self.metrics.aborts);
+    }
+
+    /// Install the buffered writes at commit time (one fresh version
+    /// timestamp per granule, already committed), log them, and finish
+    /// the commit. Used by schedulers whose version order is the commit
+    /// order (2PL family, no-control).
+    pub fn commit_buffered(&self, id: TxnId, info: &TxnInfo) -> Timestamp {
+        for &g in &info.buffer_order {
+            let ts = self.clock.tick();
+            let value = info.buffer[&g].clone();
+            self.store.with_chain(g, |c| {
+                let ok = c.install(ts, value.clone(), id, true);
+                debug_assert!(ok, "commit ticks are unique");
+            });
+            self.log_write(id, g, ts, value);
+        }
+        let cts = self.clock.tick();
+        self.log.record(ScheduleEvent::Commit {
+            txn: id,
+            commit_ts: cts,
+        });
+        Metrics::bump(&self.metrics.commits);
+        cts
+    }
+
+    /// Abort for buffered-write schedulers: nothing was installed.
+    pub fn abort_buffered(&self, id: TxnId) {
+        self.log.record(ScheduleEvent::Abort { txn: id });
+        Metrics::bump(&self.metrics.aborts);
+    }
+}

@@ -1,0 +1,56 @@
+//! **Ablation: multiprogramming level** — the driver's admission window
+//! controls how many transactions are open at once. Wider windows raise
+//! conflict rates (and, for HDD, hold `I_old` lower, aging Protocol A
+//! bounds); this bench sweeps the window for HDD and 2PL.
+
+use bench::programs;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim::driver::{run_interleaved, DriverConfig};
+use sim::factory::{build_scheduler, SchedulerKind};
+use workloads::inventory::{Inventory, InventoryConfig};
+
+fn ablation_concurrency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_concurrency");
+    group.sample_size(10);
+    for kind in [SchedulerKind::Hdd, SchedulerKind::TwoPl] {
+        for window in [4usize, 16, 64] {
+            group.bench_function(
+                BenchmarkId::new(kind.name(), format!("window{window}")),
+                |b| {
+                    b.iter_batched(
+                        || {
+                            let mut w = Inventory::new(InventoryConfig {
+                                items: 16,
+                                ..InventoryConfig::default()
+                            });
+                            let batch = programs(&mut w, 300, 0x00B1_6103);
+                            let (sched, _store) = build_scheduler(kind, &w);
+                            sched.log().set_enabled(false);
+                            (sched, batch)
+                        },
+                        |(sched, batch)| {
+                            let cfg = DriverConfig {
+                                verify: false,
+                                concurrency: window,
+                                ..DriverConfig::default()
+                            };
+                            run_interleaved(sched.as_ref(), batch, &cfg).committed
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = ablation_concurrency
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! **Ablation: garbage collection interval** — GC trades sweep work for
+//! bounded version chains (shorter scans on every read). This bench runs
+//! a long update-heavy batch with GC off, lazy and aggressive.
+
+use bench::{bench_driver_config, programs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdd::protocol::HddConfig;
+use sim::driver::run_interleaved;
+use sim::factory::build_hdd_with_config;
+use workloads::banking::Banking;
+
+fn ablation_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_gc_interval");
+    group.sample_size(10);
+    for gc_interval in [0u64, 64, 8] {
+        let label = if gc_interval == 0 {
+            "off".to_string()
+        } else {
+            format!("every{gc_interval}")
+        };
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter_batched(
+                || {
+                    // Few accounts → long version chains without GC.
+                    let mut w = Banking::new(4);
+                    let batch = programs(&mut w, 400, 0x00B1_6102);
+                    let (sched, _store, _h) = build_hdd_with_config(
+                        &w,
+                        HddConfig {
+                            gc_interval,
+                            ..HddConfig::default()
+                        },
+                    );
+                    sched.core().log.set_enabled(false);
+                    (sched, batch)
+                },
+                |(sched, batch)| {
+                    let stats = run_interleaved(sched.as_ref(), batch, &bench_driver_config());
+                    (stats.committed, sched.store().version_count())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = ablation_gc
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! **Ablation: Protocol B flavor** — the paper allows either "the basic
+//! timestamp ordering protocol [Bernstein80] or the multi-version
+//! timestamp ordering protocol [Reed78]" inside the root segment. MVTO
+//! serves old readers their version where basic TO rejects them, trading
+//! version storage for fewer restarts; this bench measures the batch
+//! cost of each flavor on the inventory workload.
+
+use bench::{bench_driver_config, programs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdd::protocol::{HddConfig, ProtocolBMode};
+use sim::driver::run_interleaved;
+use sim::factory::build_hdd_with_config;
+use workloads::inventory::{Inventory, InventoryConfig};
+
+fn ablation_protocol_b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_protocol_b");
+    group.sample_size(10);
+    for (name, mode) in [("mvto", ProtocolBMode::Mvto), ("basic_to", ProtocolBMode::BasicTo)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_batched(
+                || {
+                    let mut w = Inventory::new(InventoryConfig {
+                        items: 16, // hot root segments → real intra-class conflicts
+                        ..InventoryConfig::default()
+                    });
+                    let batch = programs(&mut w, 300, 0x00B1_6101);
+                    let (sched, _store, _h) = build_hdd_with_config(
+                        &w,
+                        HddConfig {
+                            protocol_b: mode,
+                            ..HddConfig::default()
+                        },
+                    );
+                    sched.core().log.set_enabled(false);
+                    (sched, batch)
+                },
+                |(sched, batch)| {
+                    let stats = run_interleaved(sched.as_ref(), batch, &bench_driver_config());
+                    assert_eq!(stats.stalled, 0);
+                    stats.committed
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = ablation_protocol_b
+}
+criterion_main!(benches);

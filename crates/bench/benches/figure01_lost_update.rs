@@ -1,0 +1,52 @@
+//! **Figure 1 bench** — the banking workload of the lost-update example:
+//! cost of executing 200 read-modify-write transactions over 8 accounts
+//! under each scheduler (no-control is the paper's broken strawman; the
+//! others pay their respective synchronization costs to avoid it).
+
+use bench::{bench_driver_config, programs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim::driver::run_interleaved;
+use sim::factory::{build_scheduler, SchedulerKind};
+use workloads::banking::Banking;
+
+fn figure01(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure01_lost_update");
+    group.sample_size(10);
+    for kind in [
+        SchedulerKind::NoControl,
+        SchedulerKind::TwoPl,
+        SchedulerKind::Tso,
+        SchedulerKind::Mvto,
+        SchedulerKind::Mv2pl,
+        SchedulerKind::Hdd,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter_batched(
+                || {
+                    let mut w = Banking::new(8);
+                    let batch = programs(&mut w, 200, 0x00B1_6001);
+                    let (sched, _store) = build_scheduler(kind, &w);
+                    sched.log().set_enabled(false);
+                    (sched, batch)
+                },
+                |(sched, batch)| {
+                    let stats = run_interleaved(sched.as_ref(), batch, &bench_driver_config());
+                    assert_eq!(stats.stalled, 0);
+                    stats.committed
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = figure01
+}
+criterion_main!(benches);

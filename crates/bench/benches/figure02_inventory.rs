@@ -1,0 +1,47 @@
+//! **Figure 2 bench** — the inventory application under each scheduler:
+//! wall time of a 300-transaction mixed batch (events, postings,
+//! reorders, profiles, accounting, reports, audits).
+
+use bench::{bench_driver_config, programs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim::driver::run_interleaved;
+use sim::factory::{build_scheduler, ALL_KINDS};
+use workloads::inventory::{Inventory, InventoryConfig};
+
+fn figure02(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure02_inventory");
+    group.sample_size(10);
+    for &kind in ALL_KINDS {
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter_batched(
+                || {
+                    let mut w = Inventory::new(InventoryConfig {
+                        items: 32,
+                        ..InventoryConfig::default()
+                    });
+                    let batch = programs(&mut w, 300, 0x00B1_6002);
+                    let (sched, _store) = build_scheduler(kind, &w);
+                    sched.log().set_enabled(false);
+                    (sched, batch)
+                },
+                |(sched, batch)| {
+                    let stats = run_interleaved(sched.as_ref(), batch, &bench_driver_config());
+                    assert_eq!(stats.stalled, 0);
+                    stats.committed
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = figure02
+}
+criterion_main!(benches);

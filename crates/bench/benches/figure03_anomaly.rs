@@ -1,0 +1,41 @@
+//! **Figure 3 bench** — replay cost of the scripted 2PL anomaly timing
+//! (including dependency-graph cycle detection, which is what a
+//! verification-enabled deployment would pay).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim::factory::{build_scheduler, SchedulerKind};
+use sim::scripts::run_script;
+use workloads::anomalies::{figure3_script, AnomalyWorkload};
+
+fn figure03(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure03_anomaly");
+    for kind in [
+        SchedulerKind::TwoPlNoCrossReadLocks,
+        SchedulerKind::TwoPl,
+        SchedulerKind::Hdd,
+    ] {
+        let script = figure3_script();
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter_batched(
+                || {
+                    let w = AnomalyWorkload;
+                    let (sched, _store) = build_scheduler(kind, &w);
+                    sched
+                },
+                |sched| run_script(sched.as_ref(), &script).serializable,
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = figure03
+}
+criterion_main!(benches);

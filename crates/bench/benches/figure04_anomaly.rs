@@ -1,0 +1,39 @@
+//! **Figure 4 bench** — replay cost of the scripted TSO anomaly timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim::factory::{build_scheduler, SchedulerKind};
+use sim::scripts::run_script;
+use workloads::anomalies::{figure4_script, AnomalyWorkload};
+
+fn figure04(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure04_anomaly");
+    for kind in [
+        SchedulerKind::TsoNoCrossReadTs,
+        SchedulerKind::Tso,
+        SchedulerKind::Hdd,
+    ] {
+        let script = figure4_script();
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter_batched(
+                || {
+                    let w = AnomalyWorkload;
+                    let (sched, _store) = build_scheduler(kind, &w);
+                    sched
+                },
+                |sched| run_script(sched.as_ref(), &script).serializable,
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = figure04
+}
+criterion_main!(benches);

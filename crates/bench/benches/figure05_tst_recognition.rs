@@ -1,0 +1,35 @@
+//! **Figure 5 bench** — transitive-semi-tree recognition cost as the
+//! segment count grows: the one-time analysis a DBA pays to validate a
+//! decomposition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdd::graph::is_transitive_semi_tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim::experiments::e05_tst_recognition::{random_dag, random_tst};
+
+fn figure05(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure05_tst_recognition");
+    for n in [8usize, 16, 32, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(0x00B1_6005);
+        let tst = random_tst(n, &mut rng);
+        let dag = random_dag(n, 0.3, &mut rng);
+        group.bench_function(BenchmarkId::new("tst", n), |b| {
+            b.iter(|| is_transitive_semi_tree(std::hint::black_box(&tst)))
+        });
+        group.bench_function(BenchmarkId::new("dense_dag", n), |b| {
+            b.iter(|| is_transitive_semi_tree(std::hint::black_box(&dag)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = figure05
+}
+criterion_main!(benches);

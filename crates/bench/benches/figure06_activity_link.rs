@@ -1,0 +1,40 @@
+//! **Figure 6 bench** — the activity link function `A_i^j`: evaluation
+//! cost per cross-class read as hierarchy depth and per-class activity
+//! grow. This is the bookkeeping HDD pays instead of writing a read
+//! timestamp.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdd::activity::{ActivityFuncs, ActivityRegistry};
+use sim::experiments::e06_activity_link::{chain_hierarchy, populate};
+use txn_model::{ClassId, Timestamp};
+
+fn figure06(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure06_activity_link");
+    for depth in [2usize, 4, 8, 16] {
+        for active in [1usize, 16, 128] {
+            let h = chain_hierarchy(depth);
+            let registry = ActivityRegistry::new(depth);
+            populate(&registry, depth, active);
+            let leaf = ClassId((depth - 1) as u32);
+            let top = ClassId(0);
+            group.bench_function(
+                BenchmarkId::new(format!("depth{depth}"), format!("active{active}")),
+                |b| {
+                    let funcs = ActivityFuncs::new(&h, &registry);
+                    b.iter(|| funcs.a_fn(leaf, top, std::hint::black_box(Timestamp(1_000_000))))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = figure06
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! **Figure 7 bench** — evaluation cost of the `⇒` relation across its
+//! three cases (same class, t1 higher, t2 higher).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdd::activity::{topologically_follows, ActivityFuncs, ActivityRegistry, TxnCoord};
+use sim::experiments::e06_activity_link::chain_hierarchy;
+use txn_model::{ClassId, Timestamp};
+
+fn figure07(c: &mut Criterion) {
+    let h = chain_hierarchy(3);
+    let registry = ActivityRegistry::new(3);
+    registry.begin(ClassId(0), Timestamp(3));
+    registry.begin(ClassId(1), Timestamp(5));
+    registry.commit(ClassId(1), Timestamp(5), Timestamp(40));
+    registry.begin(ClassId(2), Timestamp(7));
+
+    let mut group = c.benchmark_group("figure07_follows");
+    let cases = [
+        ("same-class", TxnCoord::new(ClassId(1), Timestamp(50)), TxnCoord::new(ClassId(1), Timestamp(20))),
+        ("t1-higher", TxnCoord::new(ClassId(0), Timestamp(50)), TxnCoord::new(ClassId(2), Timestamp(20))),
+        ("t2-higher", TxnCoord::new(ClassId(2), Timestamp(50)), TxnCoord::new(ClassId(0), Timestamp(20))),
+    ];
+    for (name, t1, t2) in cases {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let funcs = ActivityFuncs::new(&h, &registry);
+            b.iter(|| {
+                topologically_follows(
+                    &funcs,
+                    std::hint::black_box(t1),
+                    std::hint::black_box(t2),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = figure07
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! **Figure 8 bench** — read-only transactions on one critical path:
+//! batch cost under HDD (Protocol A, free), MV2PL (snapshot read-only but
+//! locked updates) and 2PL (everything locked).
+
+use bench::{bench_driver_config, programs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim::driver::run_interleaved;
+use sim::factory::{build_scheduler, SchedulerKind};
+use workloads::inventory::{Inventory, InventoryConfig};
+
+fn report_heavy() -> Inventory {
+    Inventory::new(InventoryConfig {
+        items: 32,
+        w_type1: 30,
+        w_type2: 10,
+        w_type3: 5,
+        w_type4: 3,
+        w_type5: 3,
+        w_report: 50,
+        w_audit: 0,
+        ..InventoryConfig::default()
+    })
+}
+
+fn figure08(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure08_readonly_on_chain");
+    group.sample_size(10);
+    for kind in [
+        SchedulerKind::Hdd,
+        SchedulerKind::Mv2pl,
+        SchedulerKind::TwoPl,
+        SchedulerKind::Mvto,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter_batched(
+                || {
+                    let mut w = report_heavy();
+                    let batch = programs(&mut w, 300, 0x00B1_6008);
+                    let (sched, _store) = build_scheduler(kind, &w);
+                    sched.log().set_enabled(false);
+                    (sched, batch)
+                },
+                |(sched, batch)| {
+                    run_interleaved(sched.as_ref(), batch, &bench_driver_config()).committed
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = figure08
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! **Figure 9 bench** — time walls: (a) the cost of computing/releasing
+//! a wall as the hierarchy grows; (b) batch cost of an audit-heavy
+//! workload as the wall-release interval varies.
+
+use bench::{bench_driver_config, programs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdd::protocol::HddConfig;
+use sim::driver::run_interleaved;
+use sim::factory::build_hdd_with_config;
+use workloads::inventory::{Inventory, InventoryConfig};
+use workloads::synthetic::{Synthetic, SyntheticConfig};
+
+fn wall_release_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure09_wall_release");
+    for depth in [2usize, 3, 4] {
+        let w = Synthetic::new(SyntheticConfig {
+            depth,
+            fanout: 2,
+            granules_per_segment: 4,
+            ..SyntheticConfig::default()
+        });
+        let (sched, _store, _h) = build_hdd_with_config(&w, HddConfig::default());
+        group.bench_function(BenchmarkId::new("idle_release", format!("depth{depth}")), |b| {
+            b.iter(|| sched.try_release_wall())
+        });
+    }
+    group.finish();
+}
+
+fn audit_batch_by_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure09_audit_batch");
+    group.sample_size(10);
+    for interval in [2u64, 16, 64] {
+        group.bench_function(BenchmarkId::new("wall_interval", interval), |b| {
+            b.iter_batched(
+                || {
+                    let mut w = Inventory::new(InventoryConfig {
+                        items: 32,
+                        w_report: 0,
+                        w_audit: 30,
+                        ..InventoryConfig::default()
+                    });
+                    let batch = programs(&mut w, 200, 0x00B1_6009);
+                    let (sched, _store, _h) = build_hdd_with_config(
+                        &w,
+                        HddConfig {
+                            wall_interval: interval,
+                            ..HddConfig::default()
+                        },
+                    );
+                    sched.core().log.set_enabled(false);
+                    (sched, batch)
+                },
+                |(sched, batch)| {
+                    run_interleaved(sched.as_ref(), batch, &bench_driver_config()).committed
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = wall_release_cost, audit_batch_by_interval
+}
+criterion_main!(benches);

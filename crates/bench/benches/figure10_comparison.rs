@@ -1,0 +1,86 @@
+//! **Figure 10 bench** — the headline comparison: batch execution cost
+//! of the synthetic deep-hierarchy workload (where cross-class reads
+//! dominate) for every sound scheduler, plus a multi-threaded HDD run.
+
+use bench::{bench_driver_config, programs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim::concurrent::{run_concurrent, ConcurrentConfig};
+use sim::driver::run_interleaved;
+use sim::factory::{build_scheduler, SchedulerKind, ALL_KINDS};
+use workloads::synthetic::{Synthetic, SyntheticConfig};
+
+fn synthetic() -> Synthetic {
+    Synthetic::new(SyntheticConfig {
+        depth: 4,
+        fanout: 2,
+        granules_per_segment: 64,
+        reads_per_ancestor: 3,
+        ..SyntheticConfig::default()
+    })
+}
+
+fn comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure10_comparison");
+    group.sample_size(10);
+    for &kind in ALL_KINDS {
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter_batched(
+                || {
+                    let mut w = synthetic();
+                    let batch = programs(&mut w, 250, 0x00B1_6010);
+                    let (sched, _store) = build_scheduler(kind, &w);
+                    sched.log().set_enabled(false);
+                    (sched, batch)
+                },
+                |(sched, batch)| {
+                    run_interleaved(sched.as_ref(), batch, &bench_driver_config()).committed
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn concurrent_hdd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure10_concurrent");
+    group.sample_size(10);
+    for workers in [2usize, 4, 8] {
+        group.bench_function(BenchmarkId::new("hdd_workers", workers), |b| {
+            b.iter_batched(
+                || {
+                    let mut w = synthetic();
+                    let batch = programs(&mut w, 250, 0x00B1_6010);
+                    let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+                    sched.log().set_enabled(false);
+                    (sched, batch)
+                },
+                |(sched, batch)| {
+                    run_concurrent(
+                        sched.as_ref(),
+                        batch,
+                        &ConcurrentConfig {
+                            workers,
+                            verify: false,
+                            ..ConcurrentConfig::default()
+                        },
+                    )
+                    .stats
+                    .committed
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = comparison, concurrent_hdd
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Shared helpers for the per-figure Criterion benches.
+//!
+//! Benches disable schedule logging and post-hoc verification (both are
+//! correctness tooling, not part of the protocols' cost) so the numbers
+//! reflect what the paper argues about: registrations, waits,
+//! rejections, and scheduler work.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim::driver::{run_interleaved, DriverConfig, RunStats};
+use sim::factory::{build_scheduler, SchedulerKind};
+use txn_model::TxnProgram;
+use workloads::Workload;
+
+/// Driver config for benches: no verification, no logging growth.
+pub fn bench_driver_config() -> DriverConfig {
+    DriverConfig {
+        verify: false,
+        ..DriverConfig::default()
+    }
+}
+
+/// Generate `n` programs from a fresh workload instance.
+pub fn programs<W: Workload>(w: &mut W, n: usize, seed: u64) -> Vec<TxnProgram> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| w.generate(&mut rng)).collect()
+}
+
+/// One measured run: build the scheduler over a fresh store, disable
+/// logging, execute the batch.
+pub fn run_batch<W: Workload>(kind: SchedulerKind, w: &W, batch: Vec<TxnProgram>) -> RunStats {
+    let (sched, _store) = build_scheduler(kind, w);
+    sched.log().set_enabled(false);
+    run_interleaved(sched.as_ref(), batch, &bench_driver_config())
+}

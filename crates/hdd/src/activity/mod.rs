@@ -1,0 +1,10 @@
+//! Activity-link machinery (Sections 4.1, 4.3, 5.1): per-class activity
+//! histories, the `A`/`B`/`E` functions, and the `⇒` relation checker.
+
+pub mod follows;
+pub mod funcs;
+pub mod registry;
+
+pub use follows::{topologically_follows, TxnCoord};
+pub use funcs::ActivityFuncs;
+pub use registry::{ActivityRegistry, CLate, ClassActivity};

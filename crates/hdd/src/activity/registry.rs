@@ -1,0 +1,437 @@
+//! Per-class transaction activity history: the inputs to `I_old` and
+//! `C_late`.
+//!
+//! The activity-link machinery needs, for any past time `m`, the set of
+//! transactions of a class *active at m* — `I(t) < m < C(t)`, where an
+//! aborted transaction counts as active until its abort ("uncommitted and
+//! un-aborted"). [`ClassActivity`] keeps the `(start, end)` intervals of a
+//! class's transactions; [`ActivityRegistry`] is the per-class array.
+//!
+//! Evaluation at past times is well-defined because queries are only ever
+//! issued with `m ≤ now`: a transaction still running at evaluation time
+//! has `C(t) > now ≥ m`, so its activity at `m` is already determined.
+//!
+//! History is pruned by garbage collection: an interval that ended before
+//! the GC watermark can never again satisfy `end > m` for future queries.
+
+use parking_lot::Mutex;
+use txn_model::{ClassId, Timestamp};
+
+/// Outcome of a `C_late` evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CLate {
+    /// The latest commit time of transactions active at `m` (or `m` when
+    /// none were active).
+    Time(Timestamp),
+    /// Some transaction started at or before `m` is still running —
+    /// `C_late(m)` is not yet computable (Section 5.1); retry later.
+    NotComputable,
+}
+
+/// One transaction's activity interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interval {
+    start: Timestamp,
+    /// `None` while running; commit or abort time once ended.
+    end: Option<Timestamp>,
+    /// True when ended by commit (aborts contribute no commit time to
+    /// `C_late` but bound activity exactly like commits).
+    committed: bool,
+}
+
+/// Activity history of a single transaction class.
+#[derive(Debug, Default)]
+pub struct ClassActivity {
+    /// Sorted ascending by `start` (starts are unique clock ticks).
+    entries: Vec<Interval>,
+}
+
+impl ClassActivity {
+    fn position(&self, start: Timestamp) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&start, |e| e.start)
+    }
+
+    /// Record a transaction beginning at `start`.
+    pub fn begin(&mut self, start: Timestamp) {
+        match self.position(start) {
+            Ok(_) => panic!("duplicate initiation timestamp {start}"),
+            Err(i) => self.entries.insert(
+                i,
+                Interval {
+                    start,
+                    end: None,
+                    committed: false,
+                },
+            ),
+        }
+    }
+
+    /// Record the end (commit or abort) of the transaction that began at
+    /// `start`.
+    pub fn end(&mut self, start: Timestamp, end: Timestamp, committed: bool) {
+        if let Ok(i) = self.position(start) {
+            debug_assert!(self.entries[i].end.is_none(), "transaction ended twice");
+            self.entries[i].end = Some(end);
+            self.entries[i].committed = committed;
+        } else {
+            debug_assert!(false, "ending unknown transaction {start}");
+        }
+    }
+
+    /// `I_old(m)`: the initiation time of the oldest transaction active at
+    /// `m`, or `m` itself when none is active.
+    pub fn i_old(&self, m: Timestamp) -> Timestamp {
+        for e in &self.entries {
+            if e.start >= m {
+                break; // sorted: no further entry can have start < m
+            }
+            if e.end.is_none_or(|end| end > m) {
+                return e.start;
+            }
+        }
+        m
+    }
+
+    /// `C_late(m)`: the latest *end* time (commit or abort) of
+    /// transactions active at `m` (`m` when none), or
+    /// [`CLate::NotComputable`] while any transaction started at or
+    /// before `m` is still running.
+    ///
+    /// The paper defines `C_late` over commit times; aborts must bound it
+    /// too, because the inverse-pairing `I_old(C_late(x)) ≥ x` (the heart
+    /// of Properties 2.1/2.2) quantifies over everything `I_old` counts
+    /// as active — and an aborted transaction is active until its abort.
+    /// Using the abort time is safe: it only pushes the wall later, past
+    /// the point where the (version-less) aborted transaction is gone.
+    pub fn c_late(&self, m: Timestamp) -> CLate {
+        let mut max_end = m;
+        for e in &self.entries {
+            if e.start > m {
+                break;
+            }
+            match e.end {
+                None => return CLate::NotComputable,
+                Some(end) => {
+                    if e.start < m && end > m && end > max_end {
+                        max_end = end;
+                    }
+                }
+            }
+        }
+        CLate::Time(max_end)
+    }
+
+    /// The initiation time of the oldest transaction still running, if
+    /// any (GC watermark input).
+    pub fn oldest_running(&self) -> Option<Timestamp> {
+        self.entries.iter().find(|e| e.end.is_none()).map(|e| e.start)
+    }
+
+    /// Drop intervals that ended before `wm`; they can never satisfy
+    /// `end > m` for queries with `m ≥ wm`. Returns entries dropped.
+    pub fn prune_ended_before(&mut self, wm: Timestamp) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.end.is_none_or(|end| end >= wm));
+        before - self.entries.len()
+    }
+
+    /// Number of retained intervals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no intervals are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True while any transaction of the class is running.
+    pub fn has_running(&self) -> bool {
+        self.entries.iter().any(|e| e.end.is_none())
+    }
+
+    /// Export all intervals as `(start, end, committed)` tuples
+    /// (dynamic-restructuring registry hand-off).
+    pub fn export(&self) -> Vec<(Timestamp, Option<Timestamp>, bool)> {
+        self.entries
+            .iter()
+            .map(|e| (e.start, e.end, e.committed))
+            .collect()
+    }
+
+    /// Absorb exported intervals (keeps the start-sorted invariant; used
+    /// when classes are merged, where histories of several old classes
+    /// union into one).
+    pub fn absorb(&mut self, intervals: &[(Timestamp, Option<Timestamp>, bool)]) {
+        for &(start, end, committed) in intervals {
+            match self.position(start) {
+                Ok(_) => {} // already present (idempotent hand-off)
+                Err(i) => self.entries.insert(
+                    i,
+                    Interval {
+                        start,
+                        end,
+                        committed,
+                    },
+                ),
+            }
+        }
+    }
+}
+
+/// Activity histories for every transaction class.
+#[derive(Debug)]
+pub struct ActivityRegistry {
+    classes: Vec<Mutex<ClassActivity>>,
+}
+
+impl ActivityRegistry {
+    /// A registry for `n_classes` classes.
+    pub fn new(n_classes: usize) -> Self {
+        ActivityRegistry {
+            classes: (0..n_classes)
+                .map(|_| Mutex::new(ClassActivity::default()))
+                .collect(),
+        }
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Record a begin in `class`.
+    pub fn begin(&self, class: ClassId, start: Timestamp) {
+        self.classes[class.index()].lock().begin(start);
+    }
+
+    /// Record a commit in `class`.
+    pub fn commit(&self, class: ClassId, start: Timestamp, commit_ts: Timestamp) {
+        self.classes[class.index()].lock().end(start, commit_ts, true);
+    }
+
+    /// Record an abort in `class`.
+    pub fn abort(&self, class: ClassId, start: Timestamp, abort_ts: Timestamp) {
+        self.classes[class.index()].lock().end(start, abort_ts, false);
+    }
+
+    /// `I_old` of `class` at `m`.
+    pub fn i_old(&self, class: ClassId, m: Timestamp) -> Timestamp {
+        self.classes[class.index()].lock().i_old(m)
+    }
+
+    /// `C_late` of `class` at `m`.
+    pub fn c_late(&self, class: ClassId, m: Timestamp) -> CLate {
+        self.classes[class.index()].lock().c_late(m)
+    }
+
+    /// The globally oldest running transaction's start, if any.
+    pub fn oldest_running(&self) -> Option<Timestamp> {
+        self.classes
+            .iter()
+            .filter_map(|c| c.lock().oldest_running())
+            .min()
+    }
+
+    /// Prune all classes' histories; returns intervals dropped.
+    pub fn prune_ended_before(&self, wm: Timestamp) -> usize {
+        self.classes
+            .iter()
+            .map(|c| c.lock().prune_ended_before(wm))
+            .sum()
+    }
+
+    /// Total retained intervals (diagnostics).
+    pub fn interval_count(&self) -> usize {
+        self.classes.iter().map(|c| c.lock().len()).sum()
+    }
+
+    /// True while any transaction of `class` is running.
+    pub fn class_has_running(&self, class: ClassId) -> bool {
+        self.classes[class.index()].lock().has_running()
+    }
+
+    /// Export one class's intervals.
+    pub fn export_class(&self, class: ClassId) -> Vec<(Timestamp, Option<Timestamp>, bool)> {
+        self.classes[class.index()].lock().export()
+    }
+
+    /// Absorb intervals into `class`.
+    pub fn absorb_class(
+        &self,
+        class: ClassId,
+        intervals: &[(Timestamp, Option<Timestamp>, bool)],
+    ) {
+        self.classes[class.index()].lock().absorb(intervals);
+    }
+
+    /// Record the end of a transaction in `class` without requiring a
+    /// prior `begin` in this registry (mirroring ends across epochs in
+    /// dynamic restructuring). Idempotent: completes a running copied
+    /// interval, inserts a completed one if absent, and leaves
+    /// already-ended intervals alone.
+    pub fn mirror_end(&self, class: ClassId, start: Timestamp, end: Timestamp, committed: bool) {
+        let mut c = self.classes[class.index()].lock();
+        match c.export().iter().find(|&&(s, _, _)| s == start) {
+            Some(&(_, None, _)) => c.end(start, end, committed),
+            Some(_) => {} // already ended
+            None => c.absorb(&[(start, Some(end), committed)]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp(t)
+    }
+
+    #[test]
+    fn i_old_picks_oldest_active() {
+        let mut a = ClassActivity::default();
+        a.begin(ts(5));
+        a.begin(ts(10));
+        a.end(ts(5), ts(8), true);
+        // At m=9: t@5 ended at 8 (not active), t@10 not started.
+        assert_eq!(a.i_old(ts(9)), ts(9));
+        // At m=12: t@10 active.
+        assert_eq!(a.i_old(ts(12)), ts(10));
+        // At m=7: t@5 active (5 < 7 < 8).
+        assert_eq!(a.i_old(ts(7)), ts(5));
+        // Boundaries are strict: at m=5 t@5 not yet active; at m=8 ended.
+        assert_eq!(a.i_old(ts(5)), ts(5));
+        assert_eq!(a.i_old(ts(8)), ts(8));
+    }
+
+    #[test]
+    fn i_old_with_running_txn() {
+        let mut a = ClassActivity::default();
+        a.begin(ts(3));
+        assert_eq!(a.i_old(ts(100)), ts(3));
+        assert_eq!(a.i_old(ts(3)), ts(3)); // strict start
+        assert_eq!(a.i_old(ts(2)), ts(2));
+    }
+
+    #[test]
+    fn i_old_never_exceeds_argument() {
+        let mut a = ClassActivity::default();
+        a.begin(ts(5));
+        a.end(ts(5), ts(20), true);
+        for m in 0..25 {
+            assert!(a.i_old(ts(m)) <= ts(m));
+        }
+    }
+
+    #[test]
+    fn aborted_txn_bounds_activity_and_c_late() {
+        let mut a = ClassActivity::default();
+        a.begin(ts(5));
+        a.end(ts(5), ts(9), false); // aborted at 9
+        // Active for i_old purposes during (5, 9).
+        assert_eq!(a.i_old(ts(7)), ts(5));
+        assert_eq!(a.i_old(ts(10)), ts(10));
+        // The abort end bounds C_late exactly like a commit would:
+        // I_old(C_late(x)) ≥ x must hold for everything I_old counts.
+        assert_eq!(a.c_late(ts(7)), CLate::Time(ts(9)));
+        assert_eq!(a.i_old(ts(9)), ts(9)); // pairing inequality at work
+    }
+
+    #[test]
+    fn c_late_takes_latest_commit_of_active() {
+        let mut a = ClassActivity::default();
+        a.begin(ts(2));
+        a.begin(ts(4));
+        a.end(ts(2), ts(10), true);
+        a.end(ts(4), ts(8), true);
+        // At m=5 both active; latest commit = 10.
+        assert_eq!(a.c_late(ts(5)), CLate::Time(ts(10)));
+        // At m=9 only t@2 active (4..8 ended).
+        assert_eq!(a.c_late(ts(9)), CLate::Time(ts(10)));
+        // At m=11 none active.
+        assert_eq!(a.c_late(ts(11)), CLate::Time(ts(11)));
+    }
+
+    #[test]
+    fn c_late_not_computable_while_running() {
+        let mut a = ClassActivity::default();
+        a.begin(ts(5));
+        assert_eq!(a.c_late(ts(7)), CLate::NotComputable);
+        assert_eq!(a.c_late(ts(5)), CLate::NotComputable); // started AT m
+        assert_eq!(a.c_late(ts(4)), CLate::Time(ts(4))); // started after m
+        a.end(ts(5), ts(9), true);
+        assert_eq!(a.c_late(ts(7)), CLate::Time(ts(9)));
+    }
+
+    #[test]
+    fn prune_drops_only_history() {
+        let mut a = ClassActivity::default();
+        a.begin(ts(1));
+        a.end(ts(1), ts(2), true);
+        a.begin(ts(3)); // still running
+        a.begin(ts(4));
+        a.end(ts(4), ts(6), true);
+        assert_eq!(a.prune_ended_before(ts(5)), 1); // only (1,2)
+        assert_eq!(a.len(), 2);
+        // Queries at m >= watermark unaffected.
+        assert_eq!(a.i_old(ts(5)), ts(3));
+    }
+
+    #[test]
+    fn absorb_is_idempotent_and_sorted() {
+        let mut a = ClassActivity::default();
+        a.begin(ts(10));
+        let intervals = vec![(ts(5), Some(ts(8)), true), (ts(12), None, false)];
+        a.absorb(&intervals);
+        a.absorb(&intervals); // idempotent
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.i_old(ts(6)), ts(5));
+        assert_eq!(a.i_old(ts(15)), ts(10)); // running copy at 10
+        let exported = a.export();
+        assert!(exported.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+    }
+
+    #[test]
+    fn mirror_end_completes_inserts_and_ignores() {
+        let r = ActivityRegistry::new(1);
+        let c = ClassId(0);
+        // Completes a running copied interval.
+        r.absorb_class(c, &[(ts(5), None, false)]);
+        r.mirror_end(c, ts(5), ts(9), true);
+        assert_eq!(r.c_late(c, ts(7)), CLate::Time(ts(9)));
+        // Inserts a completed interval when absent.
+        r.mirror_end(c, ts(20), ts(25), true);
+        assert_eq!(r.i_old(c, ts(22)), ts(20));
+        // Ignores an already-ended interval (no panic, no change).
+        r.mirror_end(c, ts(5), ts(99), false);
+        assert_eq!(r.c_late(c, ts(7)), CLate::Time(ts(9)));
+    }
+
+    #[test]
+    fn class_has_running_tracks_lifecycle() {
+        let r = ActivityRegistry::new(2);
+        assert!(!r.class_has_running(ClassId(0)));
+        r.begin(ClassId(0), ts(1));
+        assert!(r.class_has_running(ClassId(0)));
+        assert!(!r.class_has_running(ClassId(1)));
+        r.abort(ClassId(0), ts(1), ts(2));
+        assert!(!r.class_has_running(ClassId(0)));
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let r = ActivityRegistry::new(2);
+        r.begin(ClassId(0), ts(1));
+        r.begin(ClassId(1), ts(2));
+        assert_eq!(r.oldest_running(), Some(ts(1)));
+        r.commit(ClassId(0), ts(1), ts(5));
+        assert_eq!(r.oldest_running(), Some(ts(2)));
+        r.abort(ClassId(1), ts(2), ts(6));
+        assert_eq!(r.oldest_running(), None);
+        assert_eq!(r.i_old(ClassId(0), ts(3)), ts(1));
+        assert_eq!(r.c_late(ClassId(0), ts(3)), CLate::Time(ts(5)));
+        assert_eq!(r.interval_count(), 2);
+        assert_eq!(r.prune_ended_before(ts(100)), 2);
+    }
+}

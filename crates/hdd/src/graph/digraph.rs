@@ -1,0 +1,290 @@
+//! A small dense digraph over `0..n` node indices.
+//!
+//! Hierarchies have few nodes (one per data segment), so an adjacency
+//! matrix plus neighbor lists keeps every operation simple and fast. The
+//! graph-theoretic machinery of Section 3 (transitive closure/reduction,
+//! semi-trees) builds on this type.
+
+use std::fmt;
+
+/// A directed graph over nodes `0..n`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Digraph {
+    n: usize,
+    /// Row-major adjacency matrix: `m[u * n + v]` ⇔ arc u → v.
+    m: Vec<bool>,
+}
+
+impl Digraph {
+    /// An arc-less digraph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Digraph {
+            n,
+            m: vec![false; n * n],
+        }
+    }
+
+    /// Build from an arc list.
+    pub fn from_arcs(n: usize, arcs: &[(usize, usize)]) -> Self {
+        let mut g = Self::new(n);
+        for &(u, v) in arcs {
+            g.add_arc(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Add arc `u → v`. Self-loops are ignored (a DHG has none by
+    /// construction: the defining condition requires `i ≠ j`).
+    pub fn add_arc(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "node out of range");
+        if u != v {
+            self.m[u * self.n + v] = true;
+        }
+    }
+
+    /// Remove arc `u → v`.
+    pub fn remove_arc(&mut self, u: usize, v: usize) {
+        self.m[u * self.n + v] = false;
+    }
+
+    /// True iff arc `u → v` exists.
+    #[inline]
+    pub fn has_arc(&self, u: usize, v: usize) -> bool {
+        self.m[u * self.n + v]
+    }
+
+    /// All arcs as `(u, v)` pairs.
+    pub fn arcs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for u in 0..self.n {
+            for v in 0..self.n {
+                if self.has_arc(u, v) {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.m.iter().filter(|&&b| b).count()
+    }
+
+    /// Out-neighbors of `u`.
+    pub fn out_neighbors(&self, u: usize) -> Vec<usize> {
+        (0..self.n).filter(|&v| self.has_arc(u, v)).collect()
+    }
+
+    /// In-neighbors of `u`.
+    pub fn in_neighbors(&self, u: usize) -> Vec<usize> {
+        (0..self.n).filter(|&v| self.has_arc(v, u)).collect()
+    }
+
+    /// True iff the digraph has no directed cycle.
+    pub fn is_acyclic(&self) -> bool {
+        self.topo_order().is_some()
+    }
+
+    /// A topological order (arcs point from earlier to later), or `None`
+    /// if cyclic.
+    pub fn topo_order(&self) -> Option<Vec<usize>> {
+        let mut indeg = vec![0usize; self.n];
+        for (_, v) in self.arcs() {
+            indeg[v] += 1;
+        }
+        let mut queue: Vec<usize> = (0..self.n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(u) = queue.pop() {
+            order.push(u);
+            for v in self.out_neighbors(u) {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        (order.len() == self.n).then_some(order)
+    }
+
+    /// Find any directed cycle, as a node list `v0 → v1 → ... → v0`.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum C {
+            W,
+            G,
+            B,
+        }
+        let mut color = vec![C::W; self.n];
+        let mut parent = vec![usize::MAX; self.n];
+        for s in 0..self.n {
+            if color[s] != C::W {
+                continue;
+            }
+            let mut stack = vec![(s, 0usize)];
+            color[s] = C::G;
+            while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+                let outs = self.out_neighbors(u);
+                if *i < outs.len() {
+                    let v = outs[*i];
+                    *i += 1;
+                    match color[v] {
+                        C::W => {
+                            color[v] = C::G;
+                            parent[v] = u;
+                            stack.push((v, 0));
+                        }
+                        C::G => {
+                            let mut cycle = vec![v];
+                            let mut cur = u;
+                            while cur != v {
+                                cycle.push(cur);
+                                cur = parent[cur];
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        C::B => {}
+                    }
+                } else {
+                    color[u] = C::B;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// The transitive closure (Warshall).
+    pub fn transitive_closure(&self) -> Digraph {
+        let n = self.n;
+        let mut c = self.clone();
+        for k in 0..n {
+            for u in 0..n {
+                if c.m[u * n + k] {
+                    for v in 0..n {
+                        if c.m[k * n + v] {
+                            c.m[u * n + v] = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Closure of a DAG has no self-loops; drop any introduced by
+        // cycles (callers check acyclicity separately).
+        for v in 0..n {
+            c.m[v * n + v] = false;
+        }
+        c
+    }
+
+    /// The transitive reduction. **Only valid for acyclic digraphs** (the
+    /// unique minimal graph with the same closure); callers must check
+    /// [`Self::is_acyclic`] first.
+    pub fn transitive_reduction(&self) -> Digraph {
+        debug_assert!(self.is_acyclic(), "reduction requires a DAG");
+        let closure = self.transitive_closure();
+        let n = self.n;
+        let mut r = Digraph::new(n);
+        for u in 0..n {
+            for v in 0..n {
+                if !self.has_arc(u, v) && !closure.has_arc(u, v) {
+                    continue;
+                }
+                // Arc u→v of the closure is critical iff there is no
+                // intermediate w with u→w and w→v in the closure.
+                if closure.has_arc(u, v) {
+                    let redundant = (0..n).any(|w| {
+                        w != u && w != v && closure.has_arc(u, w) && closure.has_arc(w, v)
+                    });
+                    if !redundant {
+                        r.add_arc(u, v);
+                    }
+                }
+            }
+        }
+        r
+    }
+}
+
+impl fmt::Debug for Digraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digraph(n={}, arcs={:?})", self.n, self.arcs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arcs_and_neighbors() {
+        let g = Digraph::from_arcs(4, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(g.has_arc(0, 1));
+        assert!(!g.has_arc(1, 0));
+        assert_eq!(g.arc_count(), 3);
+        assert_eq!(g.out_neighbors(0), vec![1, 2]);
+        assert_eq!(g.in_neighbors(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = Digraph::new(2);
+        g.add_arc(1, 1);
+        assert_eq!(g.arc_count(), 0);
+    }
+
+    #[test]
+    fn acyclicity_and_topo() {
+        let dag = Digraph::from_arcs(4, &[(0, 1), (1, 2), (0, 3)]);
+        assert!(dag.is_acyclic());
+        let order = dag.topo_order().unwrap();
+        let pos = |v: usize| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(0) < pos(1) && pos(1) < pos(2) && pos(0) < pos(3));
+
+        let cyc = Digraph::from_arcs(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(!cyc.is_acyclic());
+        let cycle = cyc.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 3);
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let g = Digraph::from_arcs(2, &[(0, 1), (1, 0)]);
+        assert!(!g.is_acyclic());
+        assert_eq!(g.find_cycle().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn closure_of_chain() {
+        let g = Digraph::from_arcs(3, &[(0, 1), (1, 2)]);
+        let c = g.transitive_closure();
+        assert!(c.has_arc(0, 2));
+        assert!(c.has_arc(0, 1));
+        assert!(!c.has_arc(2, 0));
+    }
+
+    #[test]
+    fn reduction_removes_transitive_arcs() {
+        // Figure 5-style: chain plus induced arcs.
+        let g = Digraph::from_arcs(4, &[(0, 1), (1, 2), (2, 3), (0, 2), (0, 3), (1, 3)]);
+        let r = g.transitive_reduction();
+        assert_eq!(r.arcs(), vec![(0, 1), (1, 2), (2, 3)]);
+        // Reduction preserves reachability.
+        assert_eq!(
+            r.transitive_closure().arcs(),
+            g.transitive_closure().arcs()
+        );
+    }
+
+    #[test]
+    fn reduction_of_tree_is_identity() {
+        let g = Digraph::from_arcs(5, &[(1, 0), (2, 0), (3, 1), (4, 1)]);
+        assert_eq!(g.transitive_reduction().arcs(), g.arcs());
+    }
+}

@@ -1,0 +1,238 @@
+//! Critical paths, undirected critical paths, and the `higher-than`
+//! partial order over a validated transitive semi-tree.
+//!
+//! Properties from Section 3.1 realized here:
+//! * a path is critical iff composed of critical arcs alone;
+//! * there is at most one critical path between any pair of nodes;
+//! * `T_j ↑ T_i` (T_j *higher than* T_i) iff the critical path `CP_i^j`
+//!   exists;
+//! * between any pair of nodes of one component there is exactly one
+//!   **undirected critical path** (`UCP`, Section 5.1).
+//!
+//! All tables are precomputed from the transitive reduction (whose arcs
+//! are the critical arcs); node counts are small, so O(n²) storage is
+//! irrelevant.
+
+use super::digraph::Digraph;
+
+/// Precomputed path tables over a semi-tree reduction.
+#[derive(Debug, Clone)]
+pub struct PathTables {
+    reduction: Digraph,
+    /// `cp[i][j]` = the critical path i → ... → j (inclusive), if any.
+    cp: Vec<Vec<Option<Vec<usize>>>>,
+    /// `ucp[i][j]` = the undirected critical path i ... j (inclusive), if
+    /// i and j are in the same component.
+    ucp: Vec<Vec<Option<Vec<usize>>>>,
+}
+
+impl PathTables {
+    /// Build tables from a semi-tree `reduction` (the critical arcs).
+    pub fn new(reduction: Digraph) -> Self {
+        let n = reduction.node_count();
+        let mut cp = vec![vec![None; n]; n];
+        let mut ucp = vec![vec![None; n]; n];
+
+        for s in 0..n {
+            cp[s][s] = Some(vec![s]);
+            ucp[s][s] = Some(vec![s]);
+            // Directed reach: unique paths because the reduction is a
+            // semi-tree (at most one undirected path ⇒ at most one
+            // directed one).
+            let mut stack = vec![s];
+            while let Some(u) = stack.pop() {
+                for v in reduction.out_neighbors(u) {
+                    if cp[s][v].is_none() {
+                        let mut path = cp[s][u].clone().expect("parent path exists");
+                        path.push(v);
+                        cp[s][v] = Some(path);
+                        stack.push(v);
+                    }
+                }
+            }
+            // Undirected reach (BFS over arcs in both directions).
+            let mut stack = vec![s];
+            while let Some(u) = stack.pop() {
+                let mut nbrs = reduction.out_neighbors(u);
+                nbrs.extend(reduction.in_neighbors(u));
+                for v in nbrs {
+                    if ucp[s][v].is_none() {
+                        let mut path = ucp[s][u].clone().expect("parent path exists");
+                        path.push(v);
+                        ucp[s][v] = Some(path);
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+
+        PathTables { reduction, cp, ucp }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.reduction.node_count()
+    }
+
+    /// The critical arcs (the reduction).
+    pub fn reduction(&self) -> &Digraph {
+        &self.reduction
+    }
+
+    /// True iff `u → v` is a critical arc.
+    pub fn is_critical_arc(&self, u: usize, v: usize) -> bool {
+        self.reduction.has_arc(u, v)
+    }
+
+    /// The critical path `CP_i^j` (nodes `i ... j` inclusive), if any.
+    pub fn critical_path(&self, i: usize, j: usize) -> Option<&[usize]> {
+        self.cp[i][j].as_deref()
+    }
+
+    /// `T_j ↑ T_i`: node `j` is strictly higher than node `i`.
+    pub fn higher_than(&self, j: usize, i: usize) -> bool {
+        i != j && self.cp[i][j].is_some()
+    }
+
+    /// `j` is higher than or equal to `i`.
+    pub fn higher_or_equal(&self, j: usize, i: usize) -> bool {
+        self.cp[i][j].is_some()
+    }
+
+    /// True iff `i` and `j` lie on one critical path (comparable under ↑,
+    /// or equal).
+    pub fn on_one_critical_path(&self, i: usize, j: usize) -> bool {
+        self.cp[i][j].is_some() || self.cp[j][i].is_some()
+    }
+
+    /// True iff *all* of `nodes` lie on one critical path.
+    ///
+    /// In a semi-tree this holds iff the nodes are pairwise comparable
+    /// under ↑ — they then all sit on `CP_min^max`.
+    pub fn all_on_one_critical_path(&self, nodes: &[usize]) -> bool {
+        nodes
+            .iter()
+            .all(|&a| nodes.iter().all(|&b| self.on_one_critical_path(a, b)))
+    }
+
+    /// The lowest node of a set that lies on one critical path (the node
+    /// every other is higher than or equal to). `None` when the set is
+    /// empty or not a chain.
+    pub fn lowest_of_chain(&self, nodes: &[usize]) -> Option<usize> {
+        let &first = nodes.first()?;
+        let mut low = first;
+        for &v in &nodes[1..] {
+            if self.higher_or_equal(low, v) {
+                low = v;
+            } else if !self.higher_or_equal(v, low) {
+                return None;
+            }
+        }
+        Some(low)
+    }
+
+    /// The undirected critical path `UCP_i^j` (nodes inclusive), if `i`
+    /// and `j` are connected.
+    pub fn undirected_critical_path(&self, i: usize, j: usize) -> Option<&[usize]> {
+        self.ucp[i][j].as_deref()
+    }
+
+    /// The **lowest-level** nodes: nodes with no node strictly below them
+    /// (no incoming critical arc). These are the anchor candidates for
+    /// time walls (Section 5.2 picks "a starting class of one of the
+    /// lowest levels").
+    pub fn lowest_nodes(&self) -> Vec<usize> {
+        (0..self.node_count())
+            .filter(|&v| self.reduction.in_neighbors(v).is_empty())
+            .collect()
+    }
+
+    /// Connected components of the (undirected) reduction forest.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut comps = Vec::new();
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            let comp: Vec<usize> = (0..n).filter(|&v| self.ucp[s][v].is_some()).collect();
+            for &v in &comp {
+                seen[v] = true;
+            }
+            comps.push(comp);
+        }
+        comps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example: a tree with arcs pointing lower → higher.
+    ///   3 → 1 → 0,  4 → 1,  2 → 0
+    /// (0 is the top; 3, 4, 2 are leaves/lowest.)
+    fn tree() -> PathTables {
+        PathTables::new(Digraph::from_arcs(5, &[(1, 0), (2, 0), (3, 1), (4, 1)]))
+    }
+
+    #[test]
+    fn critical_paths_follow_arcs() {
+        let t = tree();
+        assert_eq!(t.critical_path(3, 0).unwrap(), &[3, 1, 0]);
+        assert_eq!(t.critical_path(3, 1).unwrap(), &[3, 1]);
+        assert!(t.critical_path(0, 3).is_none());
+        assert!(t.critical_path(3, 4).is_none());
+        assert_eq!(t.critical_path(2, 2).unwrap(), &[2]);
+    }
+
+    #[test]
+    fn higher_than_is_strict_partial_order() {
+        let t = tree();
+        assert!(t.higher_than(0, 3));
+        assert!(t.higher_than(1, 3));
+        assert!(!t.higher_than(3, 0));
+        assert!(!t.higher_than(3, 3));
+        assert!(!t.higher_than(4, 3)); // siblings incomparable
+        assert!(t.higher_or_equal(3, 3));
+    }
+
+    #[test]
+    fn one_critical_path_checks() {
+        let t = tree();
+        assert!(t.on_one_critical_path(3, 0));
+        assert!(!t.on_one_critical_path(3, 4));
+        assert!(t.all_on_one_critical_path(&[3, 1, 0]));
+        assert!(!t.all_on_one_critical_path(&[3, 4]));
+        assert!(t.all_on_one_critical_path(&[2]));
+        assert_eq!(t.lowest_of_chain(&[0, 1, 3]), Some(3));
+        assert_eq!(t.lowest_of_chain(&[3, 4]), None);
+        assert_eq!(t.lowest_of_chain(&[]), None);
+    }
+
+    #[test]
+    fn ucp_between_siblings_goes_through_parent() {
+        let t = tree();
+        assert_eq!(t.undirected_critical_path(3, 4).unwrap(), &[3, 1, 4]);
+        assert_eq!(t.undirected_critical_path(3, 2).unwrap(), &[3, 1, 0, 2]);
+        assert_eq!(t.undirected_critical_path(3, 0).unwrap(), &[3, 1, 0]);
+    }
+
+    #[test]
+    fn lowest_nodes_are_leaves() {
+        let t = tree();
+        assert_eq!(t.lowest_nodes(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn components_of_forest() {
+        let t = PathTables::new(Digraph::from_arcs(5, &[(0, 1), (2, 3)]));
+        let comps = t.components();
+        assert_eq!(comps.len(), 3);
+        assert!(comps.contains(&vec![0, 1]));
+        assert!(comps.contains(&vec![2, 3]));
+        assert!(comps.contains(&vec![4]));
+        assert!(t.undirected_critical_path(0, 2).is_none());
+    }
+}

@@ -1,0 +1,894 @@
+//! The HDD scheduler: Protocols A, B and C over a validated hierarchy
+//! (Sections 4.2 and 5.2).
+//!
+//! * **Protocol A** — an update transaction `t ∈ T_i` reading a granule
+//!   `d ∈ D_j`, `j ≠ i` (necessarily `T_j ↑ T_i`), is served the version
+//!   with the largest write timestamp below `A_i^j(I(t))`. *No trace of
+//!   the access is registered* and the read never waits.
+//! * **Protocol B** — accesses inside the root segment use timestamp
+//!   ordering: multi-version (Reed) or basic single-version TO, selected
+//!   by [`ProtocolBMode`].
+//! * **Protocol C** — an ad-hoc read-only transaction whose read segments
+//!   do *not* lie on one critical path reads below the newest time wall
+//!   released before its initiation. Read-only transactions whose
+//!   segments do lie on one critical path ride Protocol A anchored at a
+//!   fictitious class below the chain (Section 5.0, Figure 8). Neither
+//!   kind registers reads or waits (except, for Protocol C, an initial
+//!   wait when no wall has been released yet).
+//!
+//! A synchronization subtlety: version chains are updated **before** the
+//! activity registry on commit/abort. Protocol A's bound proof guarantees
+//! every version below the bound was written by a no-longer-active
+//! transaction; updating chains first makes that state visible before the
+//! registry stops reporting the writer as active, so a bound computed
+//! from the registry never selects a still-pending version.
+
+use crate::activity::{ActivityFuncs, ActivityRegistry};
+use crate::analysis::Hierarchy;
+use crate::timewall::{TimeWall, TimeWallService};
+use mvstore::{MvStore, MvtoReadResult, MvtoWriteResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use txn_model::{
+    ClassId, CommitOutcome, GranuleId, LogicalClock, Metrics, ReadOutcome, ScheduleEvent,
+    ScheduleLog, Scheduler, Timestamp, TxnHandle, TxnId, TxnProfile, Value,
+    WriteOutcome,
+};
+
+/// Intra-class (Protocol B) synchronization flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolBMode {
+    /// Multi-version timestamp ordering (Reed 78). Reads never reject;
+    /// writes reject when they would invalidate a younger read.
+    Mvto,
+    /// Basic timestamp ordering (Bernstein 80): reads of granules already
+    /// overwritten by younger transactions reject too.
+    BasicTo,
+}
+
+/// How a read-only transaction is synchronized.
+#[derive(Debug, Clone)]
+enum RoMode {
+    /// Read segments lie on one critical path: Protocol A from a
+    /// fictitious class below `base`.
+    OnChain { base: ClassId },
+    /// Protocol C: pinned to a released time wall (lazily bound).
+    Wall { wall: Option<Arc<TimeWall>> },
+}
+
+#[derive(Debug)]
+struct TxnState {
+    class: Option<ClassId>,
+    start: Timestamp,
+    write_set: Vec<GranuleId>,
+    ro_mode: Option<RoMode>,
+}
+
+/// Configuration for [`HddScheduler`].
+#[derive(Debug, Clone)]
+pub struct HddConfig {
+    /// Protocol B flavor.
+    pub protocol_b: ProtocolBMode,
+    /// Release a new time wall at most once per this many maintenance
+    /// calls (Section 5.2 computes walls "at certain intervals").
+    pub wall_interval: u64,
+    /// Run garbage collection every this many maintenance calls
+    /// (0 disables GC).
+    pub gc_interval: u64,
+}
+
+impl Default for HddConfig {
+    fn default() -> Self {
+        HddConfig {
+            protocol_b: ProtocolBMode::Mvto,
+            wall_interval: 8,
+            gc_interval: 64,
+        }
+    }
+}
+
+/// Substrate shared by scheduler epochs (and, in dynamic restructuring,
+/// across hierarchy switches): the store, the clock, the schedule log,
+/// the metrics and the transaction-id allocator.
+#[derive(Debug, Clone)]
+pub struct SchedulerCore {
+    /// The multi-version store.
+    pub store: Arc<MvStore>,
+    /// The global logical clock.
+    pub clock: Arc<LogicalClock>,
+    /// The schedule log (serializability checking spans epochs).
+    pub log: Arc<ScheduleLog>,
+    /// Cost counters.
+    pub metrics: Arc<Metrics>,
+    /// Transaction-id allocator (ids stay unique across epochs).
+    pub txn_ids: Arc<AtomicU64>,
+}
+
+impl SchedulerCore {
+    /// A fresh core over a store and clock.
+    pub fn new(store: Arc<MvStore>, clock: Arc<LogicalClock>) -> Self {
+        SchedulerCore {
+            store,
+            clock,
+            log: Arc::new(ScheduleLog::new()),
+            metrics: Arc::new(Metrics::default()),
+            txn_ids: Arc::new(AtomicU64::new(1)),
+        }
+    }
+}
+
+/// The HDD concurrency control.
+pub struct HddScheduler {
+    hierarchy: Arc<Hierarchy>,
+    core: SchedulerCore,
+    registry: ActivityRegistry,
+    walls: TimeWallService,
+    txns: Mutex<HashMap<TxnId, TxnState>>,
+    config: HddConfig,
+    maintenance_calls: AtomicU64,
+}
+
+impl HddScheduler {
+    /// Build a scheduler over a validated hierarchy and a (possibly
+    /// pre-seeded) store.
+    pub fn new(
+        hierarchy: Arc<Hierarchy>,
+        store: Arc<MvStore>,
+        clock: Arc<LogicalClock>,
+        config: HddConfig,
+    ) -> Self {
+        Self::with_core(hierarchy, SchedulerCore::new(store, clock), config)
+    }
+
+    /// Build a scheduler over an existing core (dynamic restructuring
+    /// hands the same core to the next epoch).
+    pub fn with_core(hierarchy: Arc<Hierarchy>, core: SchedulerCore, config: HddConfig) -> Self {
+        let n = hierarchy.class_count();
+        HddScheduler {
+            hierarchy,
+            core,
+            registry: ActivityRegistry::new(n),
+            walls: TimeWallService::new(),
+            txns: Mutex::new(HashMap::new()),
+            config,
+            maintenance_calls: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared core.
+    pub fn core(&self) -> &SchedulerCore {
+        &self.core
+    }
+
+    /// The hierarchy in force.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The activity registry (exposed for tests and the Figure 6/7
+    /// benches).
+    pub fn registry(&self) -> &ActivityRegistry {
+        &self.registry
+    }
+
+    /// The time-wall service (exposed for the Figure 9 bench).
+    pub fn walls(&self) -> &TimeWallService {
+        &self.walls
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &MvStore {
+        &self.core.store
+    }
+
+    /// Read `g` under a (possibly historical) time wall — Reed's
+    /// "arbitrary time slice" retrieval (cited in Section 1.3), made
+    /// cut-consistent by Theorem 2: reading the latest version below
+    /// `E_s^i(m)` in every segment observes a consistent database state.
+    /// Requires no transaction, registers nothing, never waits.
+    ///
+    /// Slices older than the garbage-collection watermark may have been
+    /// compacted to their newest surviving version per granule.
+    pub fn read_at_wall(&self, wall: &TimeWall, g: GranuleId) -> Value {
+        let bound = wall.component(self.hierarchy.class_of(g.segment));
+        self.core.store.value_as_of(g, bound)
+    }
+
+    /// Attempt to release a time wall now; returns true on success.
+    pub fn try_release_wall(&self) -> bool {
+        let funcs = ActivityFuncs::new(&self.hierarchy, &self.registry);
+        let released = self
+            .walls
+            .try_release(&self.hierarchy, &funcs, self.core.clock.now(), || {
+                self.core.clock.tick()
+            })
+            .is_some();
+        if released {
+            Metrics::bump(&self.core.metrics.timewalls_released);
+        }
+        released
+    }
+
+    /// Garbage-collect versions and activity history below the safe
+    /// watermark. Returns versions reclaimed.
+    pub fn run_gc(&self) -> usize {
+        let wm = self.gc_watermark();
+        let reclaimed = self.core.store.prune_before(wm);
+        self.registry.prune_ended_before(wm);
+        self.walls.retire_old(4);
+        if reclaimed > 0 {
+            Metrics::add(&self.core.metrics.versions_gced, reclaimed as u64);
+        }
+        reclaimed
+    }
+
+    /// The GC watermark: nothing at or above it may be reclaimed.
+    ///
+    /// Activity-link bounds are compositions of `I_old`, which can step
+    /// *below* the oldest running transaction's start (to the start of a
+    /// transaction that was active at the probed instant). But any `A`,
+    /// `A`-from-below or `E` evaluation applies at most `n_classes` such
+    /// steps (one per class along a critical path / UCP), and `I_old` is
+    /// monotone, so a **bounded descent** is a safe floor: start from
+    /// the minimum of `now`, every retained/pending wall anchor and
+    /// floor, and the starts of live read-only transactions, then apply
+    /// `min over classes of I_old` exactly `n_classes` times. Every
+    /// bound any present or future evaluation can produce stays at or
+    /// above the result (new transactions only start later, and
+    /// `I_old(m)` is immutable for `m ≤ now`), so pruning versions and
+    /// activity history strictly below it is safe.
+    pub fn gc_watermark(&self) -> Timestamp {
+        let mut f = self.core.clock.now();
+        for w in self.walls.released_all() {
+            f = f.min(w.floor()).min(w.anchor_time);
+        }
+        if let Some(anchor) = self.walls.pending_anchor() {
+            f = f.min(anchor);
+        }
+        {
+            let txns = self.txns.lock();
+            for st in txns.values() {
+                if let Some(ro) = &st.ro_mode {
+                    let floor = match ro {
+                        RoMode::Wall { wall: Some(w) } => w.floor().min(w.anchor_time),
+                        _ => st.start,
+                    };
+                    f = f.min(floor);
+                }
+            }
+        }
+        // Bounded descent: one round per class (the longest critical
+        // path / UCP visits each class at most once).
+        for _ in 0..self.hierarchy.class_count() {
+            let mut nf = f;
+            for c in 0..self.hierarchy.class_count() {
+                nf = nf.min(self.registry.i_old(ClassId(c as u32), f));
+            }
+            if nf == f {
+                break;
+            }
+            f = nf;
+        }
+        f
+    }
+
+    fn funcs(&self) -> ActivityFuncs<'_> {
+        ActivityFuncs::new(&self.hierarchy, &self.registry)
+    }
+
+    /// Protocol A read: serve the latest committed version below `bound`
+    /// without registering anything.
+    fn read_unregistered(&self, h: &TxnHandle, g: GranuleId, bound: Timestamp) -> ReadOutcome {
+        let r = self.core.store.with_chain(g, |c| c.read_before_unregistered(bound));
+        match r {
+            MvtoReadResult::Value {
+                value,
+                version,
+                writer,
+            } => {
+                Metrics::bump(&self.core.metrics.reads);
+                self.core.log.record(ScheduleEvent::Read {
+                    txn: h.id,
+                    granule: g,
+                    version,
+                    writer,
+                });
+                ReadOutcome::Value(value)
+            }
+            // Unreachable by the bound proof; block defensively.
+            MvtoReadResult::BlockOn(_) => {
+                Metrics::bump(&self.core.metrics.blocks);
+                ReadOutcome::Block
+            }
+        }
+    }
+
+    /// Protocol B read inside the root segment.
+    fn read_root(&self, h: &TxnHandle, g: GranuleId) -> ReadOutcome {
+        match self.config.protocol_b {
+            ProtocolBMode::Mvto => {
+                let r = self.core.store.with_chain(g, |c| c.mvto_read(h.start_ts));
+                match r {
+                    MvtoReadResult::Value {
+                        value,
+                        version,
+                        writer,
+                    } => {
+                        Metrics::bump(&self.core.metrics.reads);
+                        Metrics::bump(&self.core.metrics.read_registrations);
+                        self.core.log.record(ScheduleEvent::Read {
+                            txn: h.id,
+                            granule: g,
+                            version,
+                            writer,
+                        });
+                        ReadOutcome::Value(value)
+                    }
+                    MvtoReadResult::BlockOn(waiting_for) => {
+                        // Reading one's own pending version must not block.
+                        debug_assert_ne!(waiting_for, h.id);
+                        Metrics::bump(&self.core.metrics.blocks);
+                        ReadOutcome::Block
+                    }
+                }
+            }
+            ProtocolBMode::BasicTo => self.core.store.with_chain(g, |c| {
+                let latest = match c.latest() {
+                    Some(v) => v,
+                    None => unreachable!("chains are seeded on first touch"),
+                };
+                if latest.writer == h.id {
+                    // Own pending write: read it back.
+                    let (value, version, writer) = (latest.value.clone(), latest.ts, latest.writer);
+                    Metrics::bump(&self.core.metrics.reads);
+                    self.core.log.record(ScheduleEvent::Read {
+                        txn: h.id,
+                        granule: g,
+                        version,
+                        writer,
+                    });
+                    return ReadOutcome::Value(value);
+                }
+                if latest.ts > h.start_ts {
+                    // Overwritten by a younger transaction: reject.
+                    Metrics::bump(&self.core.metrics.rejections);
+                    return ReadOutcome::Abort;
+                }
+                if !latest.committed {
+                    Metrics::bump(&self.core.metrics.blocks);
+                    return ReadOutcome::Block;
+                }
+                if h.start_ts > c.max_rts {
+                    c.max_rts = h.start_ts;
+                }
+                Metrics::bump(&self.core.metrics.reads);
+                Metrics::bump(&self.core.metrics.read_registrations);
+                let v = c.latest().expect("checked above");
+                self.core.log.record(ScheduleEvent::Read {
+                    txn: h.id,
+                    granule: g,
+                    version: v.ts,
+                    writer: v.writer,
+                });
+                ReadOutcome::Value(v.value.clone())
+            }),
+        }
+    }
+
+    fn state_start(&self, h: &TxnHandle) -> Timestamp {
+        h.start_ts
+    }
+}
+
+impl Scheduler for HddScheduler {
+    fn name(&self) -> &'static str {
+        "hdd"
+    }
+
+    fn begin(&self, profile: &TxnProfile) -> TxnHandle {
+        if let Err(v) = self.hierarchy.validate_profile(profile) {
+            panic!(
+                "transaction profile violates the hierarchy ({v:?}); \
+                 use dynamic restructuring for ad-hoc update patterns"
+            );
+        }
+        let id = TxnId(self.core.txn_ids.fetch_add(1, Ordering::Relaxed));
+        let start = self.core.clock.tick();
+        Metrics::bump(&self.core.metrics.begins);
+
+        let ro_mode = if profile.is_read_only() {
+            if self
+                .hierarchy
+                .read_only_on_one_critical_path(&profile.read_segments)
+            {
+                let idx: Vec<usize> = profile.read_segments.iter().map(|s| s.index()).collect();
+                let base = self
+                    .hierarchy
+                    .paths()
+                    .lowest_of_chain(&idx)
+                    .expect("chain check passed");
+                Some(RoMode::OnChain {
+                    base: ClassId(base as u32),
+                })
+            } else {
+                Some(RoMode::Wall { wall: None })
+            }
+        } else {
+            None
+        };
+
+        if let Some(class) = profile.class {
+            self.registry.begin(class, start);
+        }
+        self.core.log.record(ScheduleEvent::Begin {
+            txn: id,
+            start_ts: start,
+            class: profile.class,
+        });
+        self.txns.lock().insert(
+            id,
+            TxnState {
+                class: profile.class,
+                start,
+                write_set: Vec::new(),
+                ro_mode,
+            },
+        );
+        TxnHandle {
+            id,
+            start_ts: start,
+            class: profile.class,
+        }
+    }
+
+    fn read(&self, h: &TxnHandle, g: GranuleId) -> ReadOutcome {
+        let seg = g.segment;
+        // Read-only transactions.
+        let ro = {
+            let txns = self.txns.lock();
+            txns.get(&h.id).and_then(|st| st.ro_mode.clone())
+        };
+        if let Some(mode) = ro {
+            return match mode {
+                RoMode::OnChain { base } => {
+                    let bound =
+                        self.funcs()
+                            .a_fn_from_below(base, self.hierarchy.class_of(seg), h.start_ts);
+                    Metrics::bump(&self.core.metrics.cross_class_reads);
+                    self.read_unregistered(h, g, bound)
+                }
+                RoMode::Wall { wall } => {
+                    let wall = match wall {
+                        Some(w) => w,
+                        None => {
+                            let picked = self
+                                .walls
+                                .latest_released_before(h.start_ts)
+                                .or_else(|| self.walls.earliest());
+                            match picked {
+                                Some(w) => {
+                                    if let Some(st) = self.txns.lock().get_mut(&h.id) {
+                                        st.ro_mode = Some(RoMode::Wall {
+                                            wall: Some(Arc::clone(&w)),
+                                        });
+                                    }
+                                    w
+                                }
+                                None => {
+                                    // No wall released yet at all; wait
+                                    // for the service (the only wait
+                                    // Protocol C has).
+                                    Metrics::bump(&self.core.metrics.blocks);
+                                    return ReadOutcome::Block;
+                                }
+                            }
+                        }
+                    };
+                    Metrics::bump(&self.core.metrics.wall_reads);
+                    self.read_unregistered(h, g, wall.component(self.hierarchy.class_of(seg)))
+                }
+            };
+        }
+
+        // Update transactions.
+        let class = h.class.expect("update transactions carry a class");
+        if self.hierarchy.class_of(seg) == class {
+            self.read_root(h, g)
+        } else {
+            // Protocol A: T_seg is higher than T_class (validated at
+            // begin); compute the activity-link bound.
+            let bound = self
+                .funcs()
+                .a_fn(class, self.hierarchy.class_of(seg), self.state_start(h));
+            Metrics::bump(&self.core.metrics.cross_class_reads);
+            self.read_unregistered(h, g, bound)
+        }
+    }
+
+    fn write(&self, h: &TxnHandle, g: GranuleId, v: Value) -> WriteOutcome {
+        let class = h.class.expect("read-only transactions do not write");
+        assert_eq!(
+            self.hierarchy.class_of(g.segment),
+            class,
+            "update transactions write only inside their root class"
+        );
+        let result = match self.config.protocol_b {
+            ProtocolBMode::Mvto => {
+                let value = v.clone();
+                self.core
+                    .store
+                    .with_chain(g, |c| c.mvto_write(h.start_ts, value, h.id))
+            }
+            ProtocolBMode::BasicTo => {
+                let value = v.clone();
+                self.core.store.with_chain(g, |c| {
+                    // Re-write of own pending version.
+                    if c.version_by_writer(h.id).map(|ver| ver.ts) == Some(h.start_ts) {
+                        return c.mvto_write(h.start_ts, value, h.id);
+                    }
+                    // Basic TO write rules over the (logically
+                    // single-version) granule: reject if a younger
+                    // transaction read or wrote.
+                    if c.max_rts > h.start_ts {
+                        return MvtoWriteResult::Rejected;
+                    }
+                    match c.latest() {
+                        Some(latest) if latest.ts > h.start_ts => MvtoWriteResult::Rejected,
+                        Some(latest) if !latest.committed && latest.writer != h.id => {
+                            // Pending older write: wait for its commit bit.
+                            MvtoWriteResult::Blocked
+                        }
+                        _ => c.mvto_write(h.start_ts, value, h.id),
+                    }
+                })
+            }
+        };
+        match result {
+            MvtoWriteResult::Blocked => {
+                Metrics::bump(&self.core.metrics.blocks);
+                WriteOutcome::Block
+            }
+            MvtoWriteResult::Installed => {
+                Metrics::bump(&self.core.metrics.writes);
+                Metrics::bump(&self.core.metrics.write_registrations);
+                self.core.log.record(ScheduleEvent::Write {
+                    txn: h.id,
+                    granule: g,
+                    version: h.start_ts,
+                    value: v,
+                });
+                let mut txns = self.txns.lock();
+                if let Some(st) = txns.get_mut(&h.id) {
+                    if !st.write_set.contains(&g) {
+                        st.write_set.push(g);
+                    }
+                }
+                WriteOutcome::Done
+            }
+            MvtoWriteResult::Rejected => {
+                Metrics::bump(&self.core.metrics.rejections);
+                WriteOutcome::Abort
+            }
+        }
+    }
+
+    fn commit(&self, h: &TxnHandle) -> CommitOutcome {
+        let st = self.txns.lock().remove(&h.id);
+        let Some(st) = st else {
+            return CommitOutcome::Aborted; // unknown / already finished
+        };
+        // Chains first, then the registry (see module docs).
+        self.core.store.commit_writes(h.id, &st.write_set);
+        let commit_ts = self.core.clock.tick();
+        if let Some(class) = st.class {
+            self.registry.commit(class, st.start, commit_ts);
+        }
+        self.core.log.record(ScheduleEvent::Commit {
+            txn: h.id,
+            commit_ts,
+        });
+        Metrics::bump(&self.core.metrics.commits);
+        CommitOutcome::Committed(commit_ts)
+    }
+
+    fn abort(&self, h: &TxnHandle) {
+        let st = self.txns.lock().remove(&h.id);
+        let Some(st) = st else { return };
+        self.core.store.abort_writes(h.id, &st.write_set);
+        let abort_ts = self.core.clock.tick();
+        if let Some(class) = st.class {
+            self.registry.abort(class, st.start, abort_ts);
+        }
+        self.core.log.record(ScheduleEvent::Abort { txn: h.id });
+        Metrics::bump(&self.core.metrics.aborts);
+    }
+
+    fn maintenance(&self) {
+        let n = self.maintenance_calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.config.wall_interval > 0 && n.is_multiple_of(self.config.wall_interval) {
+            self.try_release_wall();
+        }
+        if self.config.gc_interval > 0 && n.is_multiple_of(self.config.gc_interval) {
+            self.run_gc();
+        }
+    }
+
+    fn log(&self) -> &ScheduleLog {
+        &self.core.log
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::AccessSpec;
+    use txn_model::{DependencyGraph, SegmentId};
+
+    fn s(i: u32) -> SegmentId {
+        SegmentId(i)
+    }
+
+    fn g(seg: u32, key: u64) -> GranuleId {
+        GranuleId::new(s(seg), key)
+    }
+
+    /// Inventory chain: 2 → 1 → 0.
+    fn setup(mode: ProtocolBMode) -> HddScheduler {
+        let h = Hierarchy::build(
+            3,
+            &[
+                AccessSpec::new("t1", vec![s(0)], vec![]),
+                AccessSpec::new("t2", vec![s(1)], vec![s(0)]),
+                AccessSpec::new("t3", vec![s(2)], vec![s(0), s(1), s(2)]),
+            ],
+        )
+        .unwrap();
+        let store = Arc::new(MvStore::new());
+        store.seed(g(0, 1), Value::Int(0));
+        store.seed(g(1, 1), Value::Int(0));
+        store.seed(g(2, 1), Value::Int(0));
+        HddScheduler::new(
+            Arc::new(h),
+            store,
+            Arc::new(LogicalClock::new()),
+            HddConfig {
+                protocol_b: mode,
+                ..HddConfig::default()
+            },
+        )
+    }
+
+    fn profile_t1() -> TxnProfile {
+        TxnProfile::update(ClassId(0), vec![])
+    }
+    fn profile_t2() -> TxnProfile {
+        TxnProfile::update(ClassId(1), vec![s(0)])
+    }
+    fn profile_t3() -> TxnProfile {
+        TxnProfile::update(ClassId(2), vec![s(0), s(1), s(2)])
+    }
+
+    #[test]
+    fn simple_write_then_cross_class_read() {
+        let sched = setup(ProtocolBMode::Mvto);
+        // t1 writes an event record and commits.
+        let t1 = sched.begin(&profile_t1());
+        assert_eq!(sched.write(&t1, g(0, 1), Value::Int(42)), WriteOutcome::Done);
+        assert!(matches!(sched.commit(&t1), CommitOutcome::Committed(_)));
+
+        // t2 reads the event cross-class without registration.
+        let t2 = sched.begin(&profile_t2());
+        match sched.read(&t2, g(0, 1)) {
+            ReadOutcome::Value(v) => assert_eq!(v, Value::Int(42)),
+            other => panic!("expected value, got {other:?}"),
+        }
+        assert!(matches!(sched.commit(&t2), CommitOutcome::Committed(_)));
+
+        let m = sched.metrics().snapshot();
+        assert_eq!(m.read_registrations, 0, "Protocol A never registers");
+        assert_eq!(m.cross_class_reads, 1);
+        assert!(DependencyGraph::from_log(sched.log()).is_serializable());
+    }
+
+    #[test]
+    fn cross_class_read_hides_active_writers_versions() {
+        let sched = setup(ProtocolBMode::Mvto);
+        // Active t1 writes but has not committed.
+        let t1 = sched.begin(&profile_t1());
+        sched.write(&t1, g(0, 1), Value::Int(99));
+        // A later t2 reads D0: the bound is t1's start, so it sees the
+        // initial version, and never blocks.
+        let t2 = sched.begin(&profile_t2());
+        match sched.read(&t2, g(0, 1)) {
+            ReadOutcome::Value(v) => assert_eq!(v, Value::Int(0)),
+            other => panic!("expected initial value, got {other:?}"),
+        }
+        assert!(matches!(sched.commit(&t2), CommitOutcome::Committed(_)));
+        assert!(matches!(sched.commit(&t1), CommitOutcome::Committed(_)));
+        assert!(DependencyGraph::from_log(sched.log()).is_serializable());
+    }
+
+    #[test]
+    fn own_segment_uses_protocol_b_registration() {
+        let sched = setup(ProtocolBMode::Mvto);
+        let t3 = sched.begin(&profile_t3());
+        // Read own segment: registers.
+        assert!(matches!(sched.read(&t3, g(2, 1)), ReadOutcome::Value(_)));
+        assert_eq!(sched.metrics().snapshot().read_registrations, 1);
+        // Cross-class reads: no registration.
+        assert!(matches!(sched.read(&t3, g(1, 1)), ReadOutcome::Value(_)));
+        assert!(matches!(sched.read(&t3, g(0, 1)), ReadOutcome::Value(_)));
+        assert_eq!(sched.metrics().snapshot().read_registrations, 1);
+        assert_eq!(sched.metrics().snapshot().cross_class_reads, 2);
+        assert!(matches!(sched.commit(&t3), CommitOutcome::Committed(_)));
+    }
+
+    #[test]
+    fn mvto_write_rejection_forces_abort() {
+        let sched = setup(ProtocolBMode::Mvto);
+        // Older txn t_a begins; younger t_b reads the granule (rts = I_b);
+        // then t_a's write must be rejected.
+        let ta = sched.begin(&profile_t1());
+        let tb = sched.begin(&profile_t1());
+        assert!(matches!(sched.read(&tb, g(0, 1)), ReadOutcome::Value(_)));
+        assert_eq!(sched.write(&ta, g(0, 1), Value::Int(1)), WriteOutcome::Abort);
+        sched.abort(&ta);
+        assert!(matches!(sched.commit(&tb), CommitOutcome::Committed(_)));
+        let m = sched.metrics().snapshot();
+        assert_eq!(m.rejections, 1);
+        assert_eq!(m.aborts, 1);
+        assert!(DependencyGraph::from_log(sched.log()).is_serializable());
+    }
+
+    #[test]
+    fn basic_to_rejects_late_reader() {
+        let sched = setup(ProtocolBMode::BasicTo);
+        let ta = sched.begin(&profile_t1()); // older
+        let tb = sched.begin(&profile_t1()); // younger
+        assert_eq!(sched.write(&tb, g(0, 1), Value::Int(7)), WriteOutcome::Done);
+        assert!(matches!(sched.commit(&tb), CommitOutcome::Committed(_)));
+        // ta now reads a granule overwritten by the younger tb: reject.
+        assert_eq!(sched.read(&ta, g(0, 1)), ReadOutcome::Abort);
+        sched.abort(&ta);
+        assert!(DependencyGraph::from_log(sched.log()).is_serializable());
+    }
+
+    #[test]
+    fn read_only_on_chain_rides_protocol_a() {
+        let sched = setup(ProtocolBMode::Mvto);
+        let t1 = sched.begin(&profile_t1());
+        sched.write(&t1, g(0, 1), Value::Int(5));
+        sched.commit(&t1);
+
+        let ro = sched.begin(&TxnProfile::read_only(vec![s(0), s(1)]));
+        assert!(matches!(sched.read(&ro, g(0, 1)), ReadOutcome::Value(_)));
+        assert!(matches!(sched.read(&ro, g(1, 1)), ReadOutcome::Value(_)));
+        assert!(matches!(sched.commit(&ro), CommitOutcome::Committed(_)));
+        let m = sched.metrics().snapshot();
+        assert_eq!(m.read_registrations, 0);
+        assert_eq!(m.cross_class_reads, 2);
+        assert_eq!(m.wall_reads, 0);
+    }
+
+    #[test]
+    fn read_only_off_chain_needs_a_wall() {
+        // Branching hierarchy: 1 → 0 ← 2; segments 1 and 2 off-chain.
+        let h = Hierarchy::build(
+            3,
+            &[
+                AccessSpec::new("c0", vec![s(0)], vec![]),
+                AccessSpec::new("c1", vec![s(1)], vec![s(0)]),
+                AccessSpec::new("c2", vec![s(2)], vec![s(0)]),
+            ],
+        )
+        .unwrap();
+        let store = Arc::new(MvStore::new());
+        store.seed(g(1, 1), Value::Int(11));
+        store.seed(g(2, 1), Value::Int(22));
+        let sched = HddScheduler::new(
+            Arc::new(h),
+            store,
+            Arc::new(LogicalClock::new()),
+            HddConfig::default(),
+        );
+
+        // Without a wall, the read blocks.
+        let ro = sched.begin(&TxnProfile::read_only(vec![s(1), s(2)]));
+        assert_eq!(sched.read(&ro, g(1, 1)), ReadOutcome::Block);
+
+        // Release a wall: the blocked reader's retry succeeds via the
+        // earliest-wall liveness fallback, and transactions started
+        // after the release use it directly.
+        assert!(sched.try_release_wall());
+        match sched.read(&ro, g(1, 1)) {
+            ReadOutcome::Value(v) => assert_eq!(v, Value::Int(11)),
+            other => panic!("expected value after wall release, got {other:?}"),
+        }
+        assert!(matches!(sched.commit(&ro), CommitOutcome::Committed(_)));
+        let ro2 = sched.begin(&TxnProfile::read_only(vec![s(1), s(2)]));
+        match sched.read(&ro2, g(1, 1)) {
+            ReadOutcome::Value(v) => assert_eq!(v, Value::Int(11)),
+            other => panic!("expected value, got {other:?}"),
+        }
+        match sched.read(&ro2, g(2, 1)) {
+            ReadOutcome::Value(v) => assert_eq!(v, Value::Int(22)),
+            other => panic!("expected value, got {other:?}"),
+        }
+        assert!(matches!(sched.commit(&ro2), CommitOutcome::Committed(_)));
+        let m = sched.metrics().snapshot();
+        assert_eq!(m.wall_reads, 3); // ro's post-release read + ro2's two
+        assert_eq!(m.read_registrations, 0);
+        assert!(DependencyGraph::from_log(sched.log()).is_serializable());
+    }
+
+    #[test]
+    #[should_panic(expected = "violates the hierarchy")]
+    fn illegal_profile_panics() {
+        let sched = setup(ProtocolBMode::Mvto);
+        // Class 0 (the top) may not read segment 2 (below it).
+        sched.begin(&TxnProfile::update(ClassId(0), vec![s(2)]));
+    }
+
+    #[test]
+    fn gc_reclaims_old_versions() {
+        let sched = setup(ProtocolBMode::Mvto);
+        for i in 0..20 {
+            let t = sched.begin(&profile_t1());
+            sched.write(&t, g(0, 1), Value::Int(i));
+            sched.commit(&t);
+        }
+        let before = sched.store().version_count();
+        let reclaimed = sched.run_gc();
+        assert!(reclaimed > 0, "old versions should be reclaimed");
+        assert!(sched.store().version_count() < before);
+        // The latest value survives.
+        assert_eq!(sched.store().latest_value(g(0, 1)), Value::Int(19));
+    }
+
+    #[test]
+    fn time_slice_reads_are_cut_consistent() {
+        let sched = setup(ProtocolBMode::Mvto);
+        // Round 1: event + derived inventory.
+        let t1 = sched.begin(&profile_t1());
+        sched.write(&t1, g(0, 1), Value::Int(1));
+        sched.commit(&t1);
+        let t2 = sched.begin(&profile_t2());
+        sched.read(&t2, g(0, 1));
+        sched.write(&t2, g(1, 1), Value::Int(10));
+        sched.commit(&t2);
+        assert!(sched.try_release_wall());
+        let wall1 = sched.walls().latest().unwrap();
+
+        // Round 2 overwrites both.
+        let t3 = sched.begin(&profile_t1());
+        sched.write(&t3, g(0, 1), Value::Int(2));
+        sched.commit(&t3);
+        let t4 = sched.begin(&profile_t2());
+        sched.read(&t4, g(0, 1));
+        sched.write(&t4, g(1, 1), Value::Int(20));
+        sched.commit(&t4);
+
+        // The historical slice at wall1 still shows round 1 in BOTH
+        // segments, with no transaction and no registration.
+        assert_eq!(sched.read_at_wall(&wall1, g(0, 1)), Value::Int(1));
+        assert_eq!(sched.read_at_wall(&wall1, g(1, 1)), Value::Int(10));
+        // The present shows round 2.
+        assert_eq!(sched.store().latest_value(g(1, 1)), Value::Int(20));
+    }
+
+    #[test]
+    fn maintenance_releases_walls_periodically() {
+        let sched = setup(ProtocolBMode::Mvto);
+        for _ in 0..20 {
+            sched.maintenance();
+        }
+        assert!(sched.walls().released_count() > 0);
+        assert!(sched.metrics().snapshot().timewalls_released > 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # mvstore — multi-version in-memory storage substrate
+//!
+//! The paper assumes "the maintenance of a multi-version database"
+//! (Section 1.2.2) and, for intra-class synchronization, "the basic
+//! timestamp ordering protocol \[Bernstein80\] or the multi-version
+//! timestamp ordering protocol \[Reed78\]" (Protocol B). This crate is that
+//! substrate, shared by the HDD scheduler and by every baseline:
+//!
+//! * [`chain::VersionChain`] — a granule's committed/pending versions
+//!   ordered by write timestamp, with the MVTO read/write rules and the
+//!   per-granule read-timestamp bookkeeping basic TSO needs;
+//! * [`store::MvStore`] — a sharded concurrent map of granules to chains,
+//!   with seeding and time-wall-driven garbage collection;
+//! * [`locktable::LockTable`] — shared/exclusive locks with FIFO waiters,
+//!   upgrades, and waits-for deadlock detection (substrate for the 2PL
+//!   family of baselines).
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod locktable;
+pub mod recovery;
+pub mod store;
+
+pub use chain::{MvtoReadResult, MvtoWriteResult, Version, VersionChain};
+pub use locktable::{LockMode, LockRequestResult, LockTable};
+pub use recovery::{recover, RecoveryReport};
+pub use store::MvStore;

@@ -1,0 +1,17 @@
+//! Regenerate every figure of the paper as a measured table.
+//!
+//! ```text
+//! cargo run --release -p sim --bin experiments          # full sizes
+//! cargo run --release -p sim --bin experiments -- quick # CI sizes
+//! ```
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    println!(
+        "Hierarchical Database Decomposition (Hsu 1982/83) — experiment suite ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    for table in sim::experiments::run_all(quick) {
+        println!("{table}");
+    }
+}

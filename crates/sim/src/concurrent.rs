@@ -1,0 +1,258 @@
+//! Multi-threaded closed-loop driver for wall-clock throughput runs.
+//!
+//! `workers` threads pull transaction programs from a shared queue and
+//! drive them to commit, retrying blocked operations (with a yield) and
+//! restarting aborted ones. A coordinator thread ticks the scheduler's
+//! maintenance hook until the queue drains. Semantics match the
+//! deterministic driver; only the interleaving source differs.
+
+use crate::driver::RunStats;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use txn_model::{
+    CommitOutcome, DependencyGraph, ReadOutcome, Scheduler, Step, TxnProgram, WriteOutcome,
+};
+use txn_model::program::ReadCtx;
+
+/// Concurrent driver configuration.
+#[derive(Debug, Clone)]
+pub struct ConcurrentConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Restart budget per program.
+    pub max_restarts: usize,
+    /// Maintenance tick interval.
+    pub maintenance_interval: Duration,
+    /// Verify serializability afterwards.
+    pub verify: bool,
+}
+
+impl Default for ConcurrentConfig {
+    fn default() -> Self {
+        ConcurrentConfig {
+            workers: 4,
+            max_restarts: 100,
+            maintenance_interval: Duration::from_micros(50),
+            verify: true,
+        }
+    }
+}
+
+/// Drop guard: the last worker to exit stops the maintenance ticker.
+struct WorkerGuard<'a> {
+    active: &'a AtomicUsize,
+    done: &'a AtomicBool,
+}
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.done.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Result of a concurrent run: the shared [`RunStats`] plus wall time.
+#[derive(Debug, Clone)]
+pub struct ConcurrentStats {
+    /// Common counters (steps counts operation attempts).
+    pub stats: RunStats,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Committed transactions per second.
+    pub throughput: f64,
+}
+
+/// Run `programs` across threads.
+pub fn run_concurrent(
+    scheduler: &dyn Scheduler,
+    programs: Vec<TxnProgram>,
+    cfg: &ConcurrentConfig,
+) -> ConcurrentStats {
+    let queue: Mutex<VecDeque<TxnProgram>> = Mutex::new(programs.into());
+    let committed = AtomicUsize::new(0);
+    let restarts = AtomicUsize::new(0);
+    let gave_up = AtomicUsize::new(0);
+    let attempts = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let active_workers = AtomicUsize::new(cfg.workers);
+
+    let start = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        // Maintenance ticker: runs until every worker has exited, so a
+        // worker blocked on maintenance-driven state (time-wall release,
+        // lock queues) always makes progress eventually.
+        scope.spawn(|_| {
+            while !done.load(Ordering::Relaxed) {
+                scheduler.maintenance();
+                std::thread::sleep(cfg.maintenance_interval);
+            }
+        });
+        for _ in 0..cfg.workers {
+            scope.spawn(|_| {
+                let _guard = WorkerGuard {
+                    active: &active_workers,
+                    done: &done,
+                };
+                loop {
+                let program = {
+                    let mut q = queue.lock();
+                    q.pop_front()
+                };
+                let Some(program) = program else { break };
+                let mut tries = 0usize;
+                'retry: loop {
+                    let handle = scheduler.begin(&program.profile);
+                    let mut ctx = ReadCtx::default();
+                    let mut pc = 0usize;
+                    let mut spins = 0u32;
+                    while pc < program.steps.len() {
+                        attempts.fetch_add(1, Ordering::Relaxed);
+                        let outcome_block = match &program.steps[pc] {
+                            Step::Read(g) => match scheduler.read(&handle, *g) {
+                                ReadOutcome::Value(v) => {
+                                    ctx.record(*g, v);
+                                    pc += 1;
+                                    spins = 0;
+                                    false
+                                }
+                                ReadOutcome::Block => true,
+                                ReadOutcome::Abort => {
+                                    scheduler.abort(&handle);
+                                    tries += 1;
+                                    if tries > cfg.max_restarts {
+                                        gave_up.fetch_add(1, Ordering::Relaxed);
+                                        break 'retry;
+                                    }
+                                    restarts.fetch_add(1, Ordering::Relaxed);
+                                    continue 'retry;
+                                }
+                            },
+                            Step::Write(g, src) => {
+                                let v = src.resolve(&ctx);
+                                match scheduler.write(&handle, *g, v) {
+                                    WriteOutcome::Done => {
+                                        pc += 1;
+                                        spins = 0;
+                                        false
+                                    }
+                                    WriteOutcome::Block => true,
+                                    WriteOutcome::Abort => {
+                                        scheduler.abort(&handle);
+                                        tries += 1;
+                                        if tries > cfg.max_restarts {
+                                            gave_up.fetch_add(1, Ordering::Relaxed);
+                                            break 'retry;
+                                        }
+                                        restarts.fetch_add(1, Ordering::Relaxed);
+                                        continue 'retry;
+                                    }
+                                }
+                            }
+                        };
+                        if outcome_block {
+                            spins += 1;
+                            if spins > 4 {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    // Commit loop.
+                    loop {
+                        attempts.fetch_add(1, Ordering::Relaxed);
+                        match scheduler.commit(&handle) {
+                            CommitOutcome::Committed(_) => {
+                                committed.fetch_add(1, Ordering::Relaxed);
+                                break 'retry;
+                            }
+                            CommitOutcome::Block => std::thread::yield_now(),
+                            CommitOutcome::Aborted => {
+                                tries += 1;
+                                if tries > cfg.max_restarts {
+                                    gave_up.fetch_add(1, Ordering::Relaxed);
+                                    break 'retry;
+                                }
+                                restarts.fetch_add(1, Ordering::Relaxed);
+                                continue 'retry;
+                            }
+                        }
+                    }
+                }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    done.store(true, Ordering::Relaxed);
+    let elapsed = start.elapsed();
+
+    let committed = committed.load(Ordering::Relaxed);
+    let mut stats = RunStats {
+        committed,
+        restarts: restarts.load(Ordering::Relaxed),
+        gave_up: gave_up.load(Ordering::Relaxed),
+        stalled: 0,
+        steps: attempts.load(Ordering::Relaxed),
+        metrics: scheduler.metrics().snapshot(),
+        serializable: None,
+        cycle: None,
+    };
+    if cfg.verify {
+        let dg = DependencyGraph::from_log(scheduler.log());
+        stats.cycle = dg.find_cycle();
+        stats.serializable = Some(stats.cycle.is_none());
+    }
+    ConcurrentStats {
+        throughput: committed as f64 / elapsed.as_secs_f64().max(1e-9),
+        stats,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::{build_scheduler, SchedulerKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use workloads::banking::Banking;
+    use workloads::inventory::{Inventory, InventoryConfig};
+    use workloads::Workload;
+
+    #[test]
+    fn concurrent_hdd_banking_serializable() {
+        let mut w = Banking::new(16);
+        let mut rng = StdRng::seed_from_u64(9);
+        let programs: Vec<_> = (0..200).map(|_| w.generate(&mut rng)).collect();
+        let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+        let out = run_concurrent(sched.as_ref(), programs, &ConcurrentConfig::default());
+        assert_eq!(out.stats.gave_up, 0);
+        assert_eq!(out.stats.committed, 200);
+        assert_eq!(out.stats.serializable, Some(true), "{:?}", out.stats.cycle);
+        assert!(out.throughput > 0.0);
+    }
+
+    #[test]
+    fn concurrent_inventory_under_2pl_and_hdd() {
+        for kind in [SchedulerKind::TwoPl, SchedulerKind::Hdd] {
+            let mut w = Inventory::new(InventoryConfig {
+                items: 16,
+                ..InventoryConfig::default()
+            });
+            let mut rng = StdRng::seed_from_u64(21);
+            let programs: Vec<_> = (0..150).map(|_| w.generate(&mut rng)).collect();
+            let (sched, _store) = build_scheduler(kind, &w);
+            let out = run_concurrent(sched.as_ref(), programs, &ConcurrentConfig::default());
+            assert_eq!(
+                out.stats.serializable,
+                Some(true),
+                "{} cycle: {:?}",
+                kind.name(),
+                out.stats.cycle
+            );
+            assert!(out.stats.committed > 0);
+        }
+    }
+}

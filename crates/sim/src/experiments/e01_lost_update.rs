@@ -1,0 +1,82 @@
+//! **E1 (Figure 1)** — the lost-update anomaly.
+//!
+//! Figure 1 interleaves a deposit and a withdrawal so that one update is
+//! lost. We run a deposits-only banking workload over a single hot
+//! account: after `n` committed deposits of $50, any serializable
+//! scheduler leaves `initial + 50·n` in the account; `nocontrol` loses
+//! money. The table reports the shortfall per scheduler.
+
+use crate::driver::{run_interleaved, DriverConfig};
+use crate::factory::{build_scheduler, SchedulerKind};
+use crate::report::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use txn_model::TxnProgram;
+use workloads::banking::{Banking, DEPOSIT, INITIAL_BALANCE};
+use workloads::Workload;
+
+/// Schedulers demonstrated in E1.
+pub const KINDS: &[SchedulerKind] = &[
+    SchedulerKind::NoControl,
+    SchedulerKind::TwoPl,
+    SchedulerKind::Tso,
+    SchedulerKind::Mvto,
+    SchedulerKind::Mv2pl,
+    SchedulerKind::Sdd1,
+    SchedulerKind::Hdd,
+];
+
+/// Run E1.
+pub fn run(quick: bool) -> Table {
+    let n_txns = if quick { 40 } else { 300 };
+    let mut table = Table::new(
+        "E1 / Figure 1 — lost updates on one hot account",
+        &[
+            "scheduler",
+            "committed",
+            "restarts",
+            "expected",
+            "actual",
+            "lost",
+            "serializable",
+        ],
+    );
+
+    for &kind in KINDS {
+        let mut w = Banking::new(1);
+        w.deposit_prob = 1.0; // deposits only, like Figure 1's t1
+        let mut rng = StdRng::seed_from_u64(0x00F1_6001);
+        let programs: Vec<TxnProgram> = (0..n_txns).map(|_| w.generate(&mut rng)).collect();
+        let (sched, store) = build_scheduler(kind, &w);
+        let stats = run_interleaved(sched.as_ref(), programs, &DriverConfig::default());
+
+        let expected = INITIAL_BALANCE + DEPOSIT * stats.committed as i64;
+        let actual = w.total_balance(&store);
+        table.row(&[
+            kind.name().to_string(),
+            stats.committed.to_string(),
+            stats.restarts.to_string(),
+            expected.to_string(),
+            actual.to_string(),
+            (expected - actual).to_string(),
+            format!("{:?}", stats.serializable.unwrap_or(false)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nocontrol_loses_everyone_else_does_not() {
+        let t = run(true);
+        let lost = |k: &str| t.cell(k, "lost").unwrap().parse::<i64>().unwrap();
+        assert!(lost("nocontrol") > 0, "no-control must lose updates");
+        for k in ["2pl", "tso", "mvto", "mv2pl", "sdd1", "hdd"] {
+            assert_eq!(lost(k), 0, "{k} must not lose updates");
+            assert_eq!(t.cell(k, "serializable"), Some("true"));
+        }
+    }
+}

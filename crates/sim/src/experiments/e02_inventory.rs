@@ -1,0 +1,96 @@
+//! **E2 (Figure 2)** — the retail inventory application.
+//!
+//! Runs the paper's motivating workload (event inserts, periodic
+//! inventory postings, reorder checks, supplier profiles, accounting,
+//! ad-hoc reports/audits) under every sound scheduler and reports the
+//! paper's cost measures: read registrations per commit, unregistered
+//! (Protocol A/C-style) reads, blocks and rejections.
+
+use crate::driver::{run_interleaved, DriverConfig};
+use crate::factory::{build_scheduler, SchedulerKind, ALL_KINDS};
+use crate::report::{f2, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use txn_model::TxnProgram;
+use workloads::inventory::{Inventory, InventoryConfig};
+use workloads::Workload;
+
+/// Generate a batch of inventory programs.
+pub fn batch(n: usize, seed: u64) -> (Inventory, Vec<TxnProgram>) {
+    let mut w = Inventory::new(InventoryConfig {
+        items: 32,
+        ..InventoryConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let programs = (0..n).map(|_| w.generate(&mut rng)).collect();
+    (w, programs)
+}
+
+/// Run E2.
+pub fn run(quick: bool) -> Table {
+    let n_txns = if quick { 120 } else { 800 };
+    let mut table = Table::new(
+        "E2 / Figure 2 — inventory application, scheduler costs",
+        &[
+            "scheduler",
+            "commits",
+            "restarts",
+            "read_regs",
+            "regs_per_commit",
+            "unregistered_reads",
+            "blocks",
+            "rejections",
+            "serializable",
+        ],
+    );
+    for &kind in ALL_KINDS {
+        run_one(kind, n_txns, &mut table);
+    }
+    table
+}
+
+fn run_one(kind: SchedulerKind, n_txns: usize, table: &mut Table) {
+    let (w, programs) = batch(n_txns, 0x00F1_6002);
+    let (sched, _store) = build_scheduler(kind, &w);
+    let stats = run_interleaved(sched.as_ref(), programs, &DriverConfig::default());
+    let m = &stats.metrics;
+    table.row(&[
+        kind.name().to_string(),
+        stats.committed.to_string(),
+        stats.restarts.to_string(),
+        m.read_registrations.to_string(),
+        f2(m.read_registrations_per_commit()),
+        (m.cross_class_reads + m.wall_reads).to_string(),
+        m.blocks.to_string(),
+        m.rejections.to_string(),
+        format!("{:?}", stats.serializable.unwrap_or(false)),
+    ]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdd_registers_least_and_everyone_serializes() {
+        let t = run(true);
+        let regs = |k: &str| t.cell(k, "read_regs").unwrap().parse::<u64>().unwrap();
+        for k in ["hdd", "2pl", "tso", "mvto", "mv2pl", "sdd1"] {
+            assert_eq!(t.cell(k, "serializable"), Some("true"), "{k}");
+        }
+        // The paper's claim: HDD registers only root-segment reads; 2PL
+        // and TSO register every read.
+        assert!(
+            regs("hdd") < regs("2pl"),
+            "hdd ({}) must register fewer reads than 2pl ({})",
+            regs("hdd"),
+            regs("2pl")
+        );
+        assert!(regs("hdd") < regs("tso"));
+        assert!(regs("hdd") < regs("mvto"));
+        // SDD-1 registers nothing but pays in blocking.
+        assert_eq!(regs("sdd1"), 0);
+        let blocks = |k: &str| t.cell(k, "blocks").unwrap().parse::<u64>().unwrap();
+        assert!(blocks("sdd1") > blocks("hdd"));
+    }
+}

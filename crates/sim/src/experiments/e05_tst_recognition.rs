@@ -1,0 +1,117 @@
+//! **E5 (Figure 5)** — transitive semi-trees.
+//!
+//! Figure 5 exhibits a TST; the cost of *recognizing* one (transitive
+//! reduction + semi-tree check) is what a database administrator pays at
+//! decomposition time. This experiment sweeps graph size over three
+//! families — guaranteed TSTs (a random tree plus transitively induced
+//! arcs), random DAGs, and dense DAGs — and reports recognition time and
+//! acceptance rate.
+
+use crate::report::{f2, Table};
+use hdd::graph::{is_transitive_semi_tree, Digraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Random tree (arcs child → parent) with extra transitively induced
+/// arcs: always a TST.
+pub fn random_tst(n: usize, rng: &mut StdRng) -> Digraph {
+    let mut g = Digraph::new(n);
+    let mut parent = vec![usize::MAX; n];
+    for (v, slot) in parent.iter_mut().enumerate().skip(1) {
+        let p = rng.gen_range(0..v);
+        *slot = p;
+        g.add_arc(v, p);
+    }
+    // Induced arcs to random ancestors.
+    for v in 2..n {
+        if rng.gen_bool(0.5) {
+            let mut a = parent[v];
+            while parent[a] != usize::MAX && rng.gen_bool(0.5) {
+                a = parent[a];
+            }
+            g.add_arc(v, a);
+        }
+    }
+    g
+}
+
+/// Random DAG with arc probability `p` (arcs from higher to lower index).
+pub fn random_dag(n: usize, p: f64, rng: &mut StdRng) -> Digraph {
+    let mut g = Digraph::new(n);
+    for u in 0..n {
+        for v in 0..u {
+            if rng.gen_bool(p) {
+                g.add_arc(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Run E5.
+pub fn run(quick: bool) -> Table {
+    let sizes: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 64, 128] };
+    let trials = if quick { 50 } else { 200 };
+    let mut table = Table::new(
+        "E5 / Figure 5 — TST recognition over random graphs",
+        &["family", "n", "trials", "accepted_frac", "us_per_check"],
+    );
+    let mut rng = StdRng::seed_from_u64(0x00F1_6005);
+
+    for &n in sizes {
+        for (family, gen) in [
+            (
+                "tree+induced",
+                Box::new(|rng: &mut StdRng| random_tst(n, rng)) as Box<dyn Fn(&mut StdRng) -> Digraph>,
+            ),
+            ("sparse-dag(p=2/n)", {
+                let p = (2.0 / n as f64).min(1.0);
+                Box::new(move |rng: &mut StdRng| random_dag(n, p, rng))
+            }),
+            ("dense-dag(p=0.3)", Box::new(move |rng: &mut StdRng| random_dag(n, 0.3, rng))),
+        ] {
+            let graphs: Vec<Digraph> = (0..trials).map(|_| gen(&mut rng)).collect();
+            let start = Instant::now();
+            let accepted = graphs.iter().filter(|g| is_transitive_semi_tree(g)).count();
+            let elapsed = start.elapsed();
+            table.row(&[
+                family.to_string(),
+                n.to_string(),
+                trials.to_string(),
+                f2(accepted as f64 / trials as f64),
+                f2(elapsed.as_micros() as f64 / trials as f64),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_family_always_accepted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(is_transitive_semi_tree(&random_tst(20, &mut rng)));
+        }
+    }
+
+    #[test]
+    fn dense_dags_mostly_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rejected = (0..50)
+            .filter(|_| !is_transitive_semi_tree(&random_dag(20, 0.3, &mut rng)))
+            .count();
+        assert!(rejected > 40, "dense DAGs are almost never TSTs");
+    }
+
+    #[test]
+    fn table_shape() {
+        let t = run(true);
+        assert_eq!(t.cell("tree+induced", "accepted_frac"), Some("1.00"));
+        assert!(t.rows.len() >= 6);
+    }
+}

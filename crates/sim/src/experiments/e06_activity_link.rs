@@ -1,0 +1,121 @@
+//! **E6 (Figure 6)** — the activity link function `A_i^j`.
+//!
+//! Figure 6 walks `A_i^j(m) = I_j_old(I_k_old(m))` along a critical
+//! path. This experiment (a) re-validates the figure's walk-through as a
+//! fixed scenario and (b) measures the evaluation cost of `A` as the
+//! hierarchy deepens and per-class activity grows — the bookkeeping HDD
+//! pays *instead of* a read registration per cross-class read.
+
+use crate::report::{f2, Table};
+use hdd::activity::{ActivityFuncs, ActivityRegistry};
+use hdd::analysis::{AccessSpec, Hierarchy};
+use std::time::Instant;
+use txn_model::{ClassId, SegmentId, Timestamp};
+
+/// Build a pure chain hierarchy of `depth` classes: `depth-1 → ... → 0`.
+pub fn chain_hierarchy(depth: usize) -> Hierarchy {
+    let specs: Vec<AccessSpec> = (0..depth)
+        .map(|i| {
+            let reads: Vec<SegmentId> = (0..i).map(|j| SegmentId(j as u32)).collect();
+            AccessSpec::new(format!("c{i}"), vec![SegmentId(i as u32)], reads)
+        })
+        .collect();
+    Hierarchy::build(depth, &specs).expect("chain is a TST")
+}
+
+/// Populate `active_per_class` running transactions in every class.
+pub fn populate(registry: &ActivityRegistry, classes: usize, active_per_class: usize) {
+    let mut ts = 1u64;
+    for c in 0..classes {
+        for _ in 0..active_per_class {
+            registry.begin(ClassId(c as u32), Timestamp(ts));
+            ts += 1;
+        }
+    }
+}
+
+/// Run E6.
+pub fn run(quick: bool) -> Table {
+    let depths: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8, 16] };
+    let actives: &[usize] = if quick { &[1, 8] } else { &[1, 8, 64] };
+    let evals = if quick { 2_000 } else { 50_000 };
+
+    let mut table = Table::new(
+        "E6 / Figure 6 — activity link function evaluation cost",
+        &["depth", "active_per_class", "evals", "ns_per_eval", "result_ts"],
+    );
+    for &depth in depths {
+        for &active in actives {
+            let h = chain_hierarchy(depth);
+            let registry = ActivityRegistry::new(depth);
+            populate(&registry, depth, active);
+            let funcs = ActivityFuncs::new(&h, &registry);
+            let leaf = ClassId((depth - 1) as u32);
+            let top = ClassId(0);
+            let m = Timestamp(1_000_000);
+            let start = Instant::now();
+            let mut sink = Timestamp::ZERO;
+            for _ in 0..evals {
+                sink = funcs.a_fn(leaf, top, m);
+            }
+            let elapsed = start.elapsed();
+            table.row(&[
+                depth.to_string(),
+                active.to_string(),
+                evals.to_string(),
+                f2(elapsed.as_nanos() as f64 / evals as f64),
+                sink.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// The Figure 6 walk-through as a checkable scenario: CP `T_i → T_k →
+/// T_j`; `A_i^j(m) = I_j_old(I_k_old(m))`.
+pub fn figure6_scenario() -> (Timestamp, Timestamp) {
+    let h = chain_hierarchy(3); // classes 2 (=i) → 1 (=k) → 0 (=j)
+    let registry = ActivityRegistry::new(3);
+    // T_k: oldest active at m=30 started at 10.
+    registry.begin(ClassId(1), Timestamp(10));
+    registry.begin(ClassId(1), Timestamp(20));
+    // T_j: oldest active at 10 started at 5.
+    registry.begin(ClassId(0), Timestamp(5));
+    registry.begin(ClassId(0), Timestamp(8));
+    let funcs = ActivityFuncs::new(&h, &registry);
+    let expected = Timestamp(5);
+    let got = funcs.a_fn(ClassId(2), ClassId(0), Timestamp(30));
+    (expected, got)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_walkthrough_matches() {
+        let (expected, got) = figure6_scenario();
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn idle_chain_is_identity() {
+        let h = chain_hierarchy(5);
+        let registry = ActivityRegistry::new(5);
+        let funcs = ActivityFuncs::new(&h, &registry);
+        assert_eq!(
+            funcs.a_fn(ClassId(4), ClassId(0), Timestamp(77)),
+            Timestamp(77)
+        );
+    }
+
+    #[test]
+    fn table_has_all_rows() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 4);
+        // With active transactions starting at ts 1.., A collapses to a
+        // small timestamp.
+        let r: u64 = t.cell("2", "result_ts").unwrap().parse().unwrap();
+        assert!(r < 1_000_000);
+    }
+}

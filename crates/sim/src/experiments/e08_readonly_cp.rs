@@ -1,0 +1,109 @@
+//! **E8 (Figure 8)** — read-only transactions on one critical path.
+//!
+//! Figure 8's `t1` reads segments that all lie on one critical path and
+//! therefore rides Protocol A from a fictitious class below the chain:
+//! no read timestamps, no waiting. This experiment floods the inventory
+//! application with on-chain read-only reports alongside update traffic
+//! and compares what each scheduler charges the reports.
+
+use crate::driver::{run_interleaved, DriverConfig};
+use crate::factory::{build_scheduler, SchedulerKind};
+use crate::report::{f2, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use txn_model::TxnProgram;
+use workloads::inventory::{Inventory, InventoryConfig};
+use workloads::Workload;
+
+/// Schedulers compared in E8.
+pub const KINDS: &[SchedulerKind] = &[
+    SchedulerKind::Hdd,
+    SchedulerKind::Mv2pl,
+    SchedulerKind::TwoPl,
+    SchedulerKind::Tso,
+    SchedulerKind::Mvto,
+    SchedulerKind::Sdd1,
+];
+
+/// Report-heavy inventory mix (no off-chain audits: Figure 8 is about
+/// the on-chain case; Figure 9/E9 covers the walls).
+pub fn batch(n: usize, seed: u64) -> (Inventory, Vec<TxnProgram>) {
+    let mut w = Inventory::new(InventoryConfig {
+        items: 32,
+        w_type1: 30,
+        w_type2: 10,
+        w_type3: 5,
+        w_type4: 3,
+        w_type5: 3,
+        w_report: 50,
+        w_audit: 0,
+        ..InventoryConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let programs = (0..n).map(|_| w.generate(&mut rng)).collect();
+    (w, programs)
+}
+
+/// Run E8.
+pub fn run(quick: bool) -> Table {
+    let n_txns = if quick { 120 } else { 800 };
+    let mut table = Table::new(
+        "E8 / Figure 8 — read-only transactions on one critical path",
+        &[
+            "scheduler",
+            "commits",
+            "read_regs",
+            "regs_per_commit",
+            "unregistered_reads",
+            "blocks",
+            "rejections",
+            "serializable",
+        ],
+    );
+    for &kind in KINDS {
+        let (w, programs) = batch(n_txns, 0x00F1_6008);
+        let (sched, _store) = build_scheduler(kind, &w);
+        let stats = run_interleaved(sched.as_ref(), programs, &DriverConfig::default());
+        let m = &stats.metrics;
+        table.row(&[
+            kind.name().to_string(),
+            stats.committed.to_string(),
+            m.read_registrations.to_string(),
+            f2(m.read_registrations_per_commit()),
+            (m.cross_class_reads + m.wall_reads).to_string(),
+            m.blocks.to_string(),
+            m.rejections.to_string(),
+            format!("{:?}", stats.serializable.unwrap_or(false)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdd_reports_ride_protocol_a_free() {
+        let t = run(true);
+        for k in ["hdd", "mv2pl", "2pl", "tso", "mvto", "sdd1"] {
+            assert_eq!(t.cell(k, "serializable"), Some("true"), "{k}");
+        }
+        let regs = |k: &str| t.cell(k, "read_regs").unwrap().parse::<u64>().unwrap();
+        // HDD: reports + cross-class reads all unregistered; only
+        // root-segment Protocol B reads register. 2PL/TSO/MVTO register
+        // every read including all report reads.
+        assert!(regs("hdd") < regs("2pl") / 2, "hdd {} vs 2pl {}", regs("hdd"), regs("2pl"));
+        assert!(regs("hdd") < regs("mvto") / 2);
+        // MV2PL also spares read-only transactions, but still registers
+        // update transactions' cross-class reads — HDD registers fewer.
+        assert!(regs("hdd") <= regs("mv2pl"));
+        let unreg = |k: &str| {
+            t.cell(k, "unregistered_reads")
+                .unwrap()
+                .parse::<u64>()
+                .unwrap()
+        };
+        assert!(unreg("hdd") > 0);
+    }
+}

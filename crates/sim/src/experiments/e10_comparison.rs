@@ -1,0 +1,130 @@
+//! **E10 (Figure 10)** — the scheduler comparison table, quantified.
+//!
+//! Figure 10 compares HDD, SDD-1 and MV2PL qualitatively (inter-class
+//! synchronization: "never reject or block a read request" vs "may cause
+//! read requests to be rejected or blocked"; read-only handling; etc.).
+//! This experiment measures those claims on the paper's own inventory
+//! application and on a deeper synthetic hierarchy, for all six sound
+//! schedulers.
+
+use crate::driver::{run_interleaved, DriverConfig};
+use crate::factory::{build_scheduler, ALL_KINDS};
+use crate::report::{f2, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use txn_model::TxnProgram;
+use workloads::inventory::{Inventory, InventoryConfig};
+use workloads::synthetic::{Synthetic, SyntheticConfig};
+use workloads::Workload;
+
+fn inventory_batch(n: usize) -> (Inventory, Vec<TxnProgram>) {
+    let mut w = Inventory::new(InventoryConfig {
+        items: 32,
+        ..InventoryConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(0x00F1_6010);
+    let programs = (0..n).map(|_| w.generate(&mut rng)).collect();
+    (w, programs)
+}
+
+fn synthetic_batch(n: usize) -> (Synthetic, Vec<TxnProgram>) {
+    let mut w = Synthetic::new(SyntheticConfig {
+        depth: 4,
+        fanout: 2,
+        granules_per_segment: 64,
+        ..SyntheticConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(0x00F1_6011);
+    let programs = (0..n).map(|_| w.generate(&mut rng)).collect();
+    (w, programs)
+}
+
+/// Run E10.
+pub fn run(quick: bool) -> Table {
+    let n_txns = if quick { 120 } else { 700 };
+    let mut table = Table::new(
+        "E10 / Figure 10 — HDD vs SDD-1 vs MV2PL (and classical baselines)",
+        &[
+            "row",
+            "workload",
+            "scheduler",
+            "commits",
+            "regs_per_commit",
+            "blocks_per_commit",
+            "rejections",
+            "restarts",
+            "serializable",
+        ],
+    );
+    for (workload_name, make) in [
+        ("inventory", true),
+        ("synthetic-d4", false),
+    ] {
+        for &kind in ALL_KINDS {
+            let stats = if make {
+                let (w, programs) = inventory_batch(n_txns);
+                let (sched, _store) = build_scheduler(kind, &w);
+                run_interleaved(sched.as_ref(), programs, &DriverConfig::default())
+            } else {
+                let (w, programs) = synthetic_batch(n_txns);
+                let (sched, _store) = build_scheduler(kind, &w);
+                run_interleaved(sched.as_ref(), programs, &DriverConfig::default())
+            };
+            let m = &stats.metrics;
+            let bpc = if stats.committed == 0 {
+                0.0
+            } else {
+                m.blocks as f64 / stats.committed as f64
+            };
+            table.row(&[
+                format!("{workload_name}/{}", kind.name()),
+                workload_name.to_string(),
+                kind.name().to_string(),
+                stats.committed.to_string(),
+                f2(m.read_registrations_per_commit()),
+                f2(bpc),
+                m.rejections.to_string(),
+                stats.restarts.to_string(),
+                format!("{:?}", stats.serializable.unwrap_or(false)),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure10_claims_hold() {
+        let t = run(true);
+        let get = |row: &str, col: &str| t.cell(row, col).unwrap().to_string();
+        let f = |row: &str, col: &str| get(row, col).parse::<f64>().unwrap();
+
+        for wl in ["inventory", "synthetic-d4"] {
+            for k in ["hdd", "2pl", "tso", "mvto", "mv2pl", "sdd1"] {
+                assert_eq!(
+                    get(&format!("{wl}/{k}"), "serializable"),
+                    "true",
+                    "{wl}/{k}"
+                );
+            }
+            // HDD registers the least among registration-based schemes.
+            let hdd = f(&format!("{wl}/hdd"), "regs_per_commit");
+            for k in ["2pl", "tso", "mvto", "mv2pl"] {
+                assert!(
+                    hdd < f(&format!("{wl}/{k}"), "regs_per_commit"),
+                    "{wl}: hdd ({hdd}) must register less than {k}"
+                );
+            }
+            // SDD-1 registers nothing but blocks more than HDD.
+            assert_eq!(f(&format!("{wl}/sdd1"), "regs_per_commit"), 0.0);
+            assert!(
+                f(&format!("{wl}/sdd1"), "blocks_per_commit")
+                    > f(&format!("{wl}/hdd"), "blocks_per_commit"),
+                "{wl}: SDD-1 pipelining must block more than HDD"
+            );
+        }
+    }
+}

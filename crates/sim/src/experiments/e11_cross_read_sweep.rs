@@ -1,0 +1,103 @@
+//! **E11 (beyond the paper)** — where does HDD pay off?
+//!
+//! The paper argues qualitatively that the technique's benefit is the
+//! eliminated registration of *cross-class* reads; it follows that the
+//! advantage should grow with the share of such reads per transaction.
+//! This sweep varies `reads_per_ancestor` on the depth-4 synthetic
+//! hierarchy and reports registrations per commit for HDD vs MVTO (the
+//! protocol HDD degenerates to when *every* read must register) — the
+//! ratio is the measured saving.
+
+use crate::driver::{run_interleaved, DriverConfig};
+use crate::factory::{build_scheduler, SchedulerKind};
+use crate::report::{f2, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use txn_model::TxnProgram;
+use workloads::synthetic::{Synthetic, SyntheticConfig};
+use workloads::Workload;
+
+fn batch(reads_per_ancestor: usize, n: usize) -> (Synthetic, Vec<TxnProgram>) {
+    let mut w = Synthetic::new(SyntheticConfig {
+        depth: 4,
+        fanout: 2,
+        granules_per_segment: 64,
+        reads_per_ancestor,
+        read_only_share: 0.2,
+        ..SyntheticConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(0x00F1_6012);
+    let programs = (0..n).map(|_| w.generate(&mut rng)).collect();
+    (w, programs)
+}
+
+/// Run E11.
+pub fn run(quick: bool) -> Table {
+    let n_txns = if quick { 120 } else { 500 };
+    let sweeps: &[usize] = if quick { &[0, 2, 6] } else { &[0, 1, 2, 4, 8] };
+    let mut table = Table::new(
+        "E11 — HDD saving vs cross-class read share (synthetic depth 4)",
+        &[
+            "reads_per_ancestor",
+            "hdd_regs_per_commit",
+            "mvto_regs_per_commit",
+            "saving_ratio",
+            "hdd_serializable",
+        ],
+    );
+    for &rpa in sweeps {
+        let mut cells: Vec<String> = vec![rpa.to_string()];
+        let mut hdd_regs = 0.0;
+        for kind in [SchedulerKind::Hdd, SchedulerKind::Mvto] {
+            let (w, programs) = batch(rpa, n_txns);
+            let (sched, _store) = build_scheduler(kind, &w);
+            let stats = run_interleaved(sched.as_ref(), programs, &DriverConfig::default());
+            assert_eq!(stats.serializable, Some(true), "{}", kind.name());
+            let regs = stats.metrics.read_registrations_per_commit();
+            if kind == SchedulerKind::Hdd {
+                hdd_regs = regs;
+            } else {
+                let ratio = if hdd_regs > 0.0 { regs / hdd_regs } else { f64::INFINITY };
+                cells.push(f2(hdd_regs));
+                cells.push(f2(regs));
+                cells.push(if ratio.is_finite() {
+                    f2(ratio)
+                } else {
+                    "∞".to_string()
+                });
+                cells.push("true".to_string());
+            }
+        }
+        table.row(&cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saving_grows_with_cross_read_share() {
+        let t = run(true);
+        let ratio = |rpa: &str| -> f64 {
+            let c = t.cell(rpa, "saving_ratio").unwrap();
+            if c == "∞" {
+                f64::INFINITY
+            } else {
+                c.parse().unwrap()
+            }
+        };
+        // More ancestor reads → bigger multiplicative saving.
+        assert!(
+            ratio("6") > ratio("0"),
+            "saving must grow with cross-read share: {} vs {}",
+            ratio("6"),
+            ratio("0")
+        );
+        // Even at 0 ancestor reads HDD never registers MORE than MVTO.
+        let hdd0: f64 = t.cell("0", "hdd_regs_per_commit").unwrap().parse().unwrap();
+        let mvto0: f64 = t.cell("0", "mvto_regs_per_commit").unwrap().parse().unwrap();
+        assert!(hdd0 <= mvto0);
+    }
+}

@@ -1,0 +1,204 @@
+//! **E12 (Section 7.5)** — inter-level synchronization messages in a
+//! hierarchical database computer.
+//!
+//! "One of the motivations for the current research is to find a way to
+//! optimize the concurrency control activities inside of a
+//! multi-processor based database computer that employs a hierarchical
+//! decomposition of the DBMS functionalities. The potential of the
+//! current technique in reducing inter-level synchronization
+//! communications will be explored."
+//!
+//! We model the INFOPLEX-style machine: each hierarchy class runs on its
+//! own processor level, hosting its segment's controller; a transaction
+//! executes at its class's processor, so accesses to its *own* segment
+//! are local and accesses to other segments are **remote** (read-only
+//! transactions are remote everywhere). From a run's schedule log we
+//! count, per scheduler, with a documented message model:
+//!
+//! * **data messages** — 2 per remote access (request + response); equal
+//!   for every scheduler, the unavoidable cost of moving data;
+//! * **synchronization messages** — the overhead each discipline adds:
+//!   * 2PL / MV2PL: 2 per remote *registered* access (lock round-trip to
+//!     the remote lock manager), 1 release notice per distinct remote
+//!     segment at commit, 2 per block (suspend/wake);
+//!   * TSO / MVTO: 1 per remote read (the read-timestamp write made
+//!     durable at the remote controller), 2 per block;
+//!   * SDD-1: 2 per pipeline block (poll/wake);
+//!   * HDD: **0 per cross-class read** (Protocol A/C register nothing and
+//!     the bound is computed at the transaction's own level), 2 per
+//!     block, plus one broadcast message per class per released time
+//!     wall.
+//!
+//! The absolute constants are a model; the *shape* — HDD's inter-level
+//! synchronization traffic independent of the remote-read volume — is
+//! the Section 7.5 claim.
+
+use crate::driver::{run_interleaved, DriverConfig};
+use crate::factory::{build_scheduler, SchedulerKind, ALL_KINDS};
+use crate::report::{f2, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+use txn_model::{ClassId, ScheduleEvent, TxnId, TxnProgram};
+use workloads::inventory::{Inventory, InventoryConfig};
+use workloads::Workload;
+
+/// Per-run message tally.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MessageTally {
+    /// Remote data accesses (each costs 2 data messages).
+    pub remote_accesses: u64,
+    /// Synchronization messages under the scheduler's discipline.
+    pub sync_msgs: u64,
+    /// Commits observed.
+    pub commits: u64,
+}
+
+/// Count remote accesses and synchronization messages from a run.
+pub fn tally(
+    kind: SchedulerKind,
+    events: &[ScheduleEvent],
+    hierarchy: &hdd::Hierarchy,
+    blocks: u64,
+    walls_released: u64,
+) -> MessageTally {
+    let mut class_of_txn: HashMap<TxnId, Option<ClassId>> = HashMap::new();
+    for ev in events {
+        if let ScheduleEvent::Begin { txn, class, .. } = ev {
+            class_of_txn.insert(*txn, *class);
+        }
+    }
+
+    let mut t = MessageTally::default();
+    // Remote segments each txn wrote/locked (for 2PL release notices).
+    let mut remote_touched: HashMap<TxnId, HashSet<u32>> = HashMap::new();
+    let mut remote_reads = 0u64;
+    let mut remote_registered = 0u64; // accesses that register remotely
+
+    for ev in events {
+        let (txn, seg, is_read) = match ev {
+            ScheduleEvent::Read { txn, granule, .. } => (*txn, granule.segment, true),
+            ScheduleEvent::Write { txn, granule, .. } => (*txn, granule.segment, false),
+            ScheduleEvent::Commit { .. } => {
+                t.commits += 1;
+                continue;
+            }
+            _ => continue,
+        };
+        let txn_class = class_of_txn.get(&txn).copied().flatten();
+        let remote = match txn_class {
+            Some(c) => hierarchy.class_of(seg) != c,
+            None => true, // read-only transactions run off to the side
+        };
+        if !remote {
+            continue;
+        }
+        t.remote_accesses += 1;
+        remote_touched
+            .entry(txn)
+            .or_default()
+            .insert(hierarchy.class_of(seg).index() as u32);
+        if is_read {
+            remote_reads += 1;
+        }
+        // Which remote accesses register, per discipline?
+        let registers = match kind {
+            SchedulerKind::TwoPl | SchedulerKind::Mv2pl => true, // lock everything
+            SchedulerKind::Tso | SchedulerKind::Mvto => is_read, // rts writes
+            SchedulerKind::Hdd | SchedulerKind::Sdd1 => false,
+            _ => true,
+        };
+        if registers {
+            remote_registered += 1;
+        }
+    }
+
+    t.sync_msgs = match kind {
+        SchedulerKind::TwoPl | SchedulerKind::Mv2pl => {
+            let releases: u64 = remote_touched.values().map(|s| s.len() as u64).sum();
+            2 * remote_registered + releases + 2 * blocks
+        }
+        SchedulerKind::Tso | SchedulerKind::Mvto => remote_reads + 2 * blocks,
+        SchedulerKind::Sdd1 => 2 * blocks,
+        SchedulerKind::Hdd => {
+            2 * blocks + walls_released * hierarchy.class_count() as u64
+        }
+        _ => 2 * remote_registered + 2 * blocks,
+    };
+    t
+}
+
+/// Run E12.
+pub fn run(quick: bool) -> Table {
+    let n_txns = if quick { 120 } else { 600 };
+    let mut table = Table::new(
+        "E12 / Section 7.5 — inter-level messages in a database computer (model)",
+        &[
+            "scheduler",
+            "commits",
+            "remote_accesses",
+            "data_msgs_per_commit",
+            "sync_msgs_per_commit",
+            "sync_overhead_pct",
+        ],
+    );
+    for &kind in ALL_KINDS {
+        let mut w = Inventory::new(InventoryConfig {
+            items: 32,
+            ..InventoryConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(0x00F1_6013);
+        let programs: Vec<TxnProgram> = (0..n_txns).map(|_| w.generate(&mut rng)).collect();
+        let hierarchy = w.hierarchy();
+        let (sched, _store) = build_scheduler(kind, &w);
+        let stats = run_interleaved(sched.as_ref(), programs, &DriverConfig::default());
+        assert_eq!(stats.serializable, Some(true));
+        let t = tally(
+            kind,
+            &sched.log().events(),
+            &hierarchy,
+            stats.metrics.blocks,
+            stats.metrics.timewalls_released,
+        );
+        let commits = t.commits.max(1) as f64;
+        let data = 2.0 * t.remote_accesses as f64 / commits;
+        let sync = t.sync_msgs as f64 / commits;
+        table.row(&[
+            kind.name().to_string(),
+            t.commits.to_string(),
+            t.remote_accesses.to_string(),
+            f2(data),
+            f2(sync),
+            f2(100.0 * sync / (data + sync).max(1e-9)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdd_minimizes_inter_level_sync_traffic() {
+        let t = run(true);
+        let sync = |k: &str| -> f64 {
+            t.cell(k, "sync_msgs_per_commit").unwrap().parse().unwrap()
+        };
+        let data = |k: &str| -> f64 {
+            t.cell(k, "data_msgs_per_commit").unwrap().parse().unwrap()
+        };
+        // Everyone moves (roughly) the same data...
+        assert!((data("hdd") - data("2pl")).abs() < data("hdd") * 0.5);
+        // ...but HDD's synchronization chatter is the smallest of the
+        // registration-based schemes, and far below SDD-1's polling.
+        for k in ["2pl", "tso", "mvto", "mv2pl", "sdd1"] {
+            assert!(
+                sync("hdd") < sync(k),
+                "hdd ({}) must beat {k} ({})",
+                sync("hdd"),
+                sync(k)
+            );
+        }
+    }
+}

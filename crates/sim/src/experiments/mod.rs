@@ -1,0 +1,39 @@
+//! One experiment per figure of the paper (see DESIGN.md §4).
+//!
+//! Every experiment returns a [`Table`](crate::report::Table) whose rows
+//! are what the corresponding figure claims; `quick = true` shrinks the
+//! workload sizes for tests and CI.
+
+pub mod e01_lost_update;
+pub mod e02_inventory;
+pub mod e03_2pl_anomaly;
+pub mod e04_tso_anomaly;
+pub mod e05_tst_recognition;
+pub mod e06_activity_link;
+pub mod e07_follows;
+pub mod e08_readonly_cp;
+pub mod e09_timewall;
+pub mod e10_comparison;
+pub mod e11_cross_read_sweep;
+pub mod e12_dbc_messages;
+
+use crate::report::Table;
+
+/// Run every experiment (E1–E10 per figure, plus the E11 sweep and the
+/// E12 message analysis) and return the tables in order.
+pub fn run_all(quick: bool) -> Vec<Table> {
+    vec![
+        e01_lost_update::run(quick),
+        e02_inventory::run(quick),
+        e03_2pl_anomaly::run(),
+        e04_tso_anomaly::run(),
+        e05_tst_recognition::run(quick),
+        e06_activity_link::run(quick),
+        e07_follows::run(quick),
+        e08_readonly_cp::run(quick),
+        e09_timewall::run(quick),
+        e10_comparison::run(quick),
+        e11_cross_read_sweep::run(quick),
+        e12_dbc_messages::run(quick),
+    ]
+}

@@ -1,0 +1,29 @@
+//! # sim — execution drivers and the experiment harness
+//!
+//! * [`driver`] — a seeded, deterministic interleaved executor: one
+//!   logical step of one transaction at a time, with retry-on-block and
+//!   restart-on-abort semantics shared by every scheduler;
+//! * [`concurrent`] — a multi-threaded closed-loop executor for
+//!   wall-clock throughput comparisons;
+//! * [`scripts`] — replay of the deterministic anomaly interleavings of
+//!   Figures 3 and 4;
+//! * [`factory`] — builds every scheduler (HDD and all baselines) over a
+//!   freshly seeded store for a given workload;
+//! * [`report`] — ASCII tables for the paper-style output;
+//! * [`experiments`] — one module per figure of the paper (E1–E10),
+//!   each regenerating the figure's claim as a measured table, plus the
+//!   E11 cross-read scaling sweep and the E12 Section-7.5 database-
+//!   computer message analysis.
+
+#![warn(missing_docs)]
+
+pub mod concurrent;
+pub mod driver;
+pub mod experiments;
+pub mod factory;
+pub mod report;
+pub mod scripts;
+
+pub use driver::{run_interleaved, DriverConfig, RunStats};
+pub use factory::{build_scheduler, SchedulerKind, ALL_KINDS};
+pub use report::Table;

@@ -1,0 +1,99 @@
+//! ASCII tables for experiment output.
+
+use serde::Serialize;
+use std::fmt;
+
+/// A titled table of string cells.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table title (e.g. "Figure 10 — scheduler comparison").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringifies each cell).
+    pub fn row<S: ToString>(&mut self, cells: &[S]) {
+        let row: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Look up a cell by row key (first column) and header name
+    /// (tests use this to assert on measured values).
+    pub fn cell(&self, row_key: &str, header: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        self.rows
+            .iter()
+            .find(|r| r[0] == row_key)
+            .map(|r| r[col].as_str())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "\n== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:<w$} |", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with 2 decimals (table cells).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render() {
+        let mut t = Table::new("demo", &["scheduler", "commits"]);
+        t.row(&["hdd", "10"]);
+        t.row(&["2pl", "9"]);
+        let s = format!("{t}");
+        assert!(s.contains("demo"));
+        assert!(s.contains("hdd"));
+        assert_eq!(t.cell("hdd", "commits"), Some("10"));
+        assert_eq!(t.cell("nope", "commits"), None);
+        assert_eq!(t.cell("hdd", "nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+}

@@ -1,0 +1,510 @@
+//! The multi-version transaction dependency graph of Section 2, and the
+//! acyclicity-based serializability checker.
+//!
+//! Paper (Section 2): arcs `t2 → t1` exist iff
+//!
+//! 1. `t1` wrote a version `d^v` and `t2` read `d^v` (reads-from), or
+//! 2. `t1` read a version `d^j` and `t2` wrote `d^k` where `d^j` is the
+//!    *predecessor* of `d^k` in `d`'s version order (write-after-read).
+//!
+//! *Theorem (Bernstein 82): a schedule is serializable iff this graph is
+//! acyclic.* Every experiment in the repository rebuilds this graph from a
+//! run's [`ScheduleLog`] and asserts acyclicity (or, for the deliberately
+//! broken baselines of Figures 1/3/4, asserts the presence of a cycle).
+//!
+//! Only *committed* transactions participate: versions written by aborted
+//! transactions are discarded by every scheduler, and reads performed by
+//! aborted transactions impose no ordering. Pre-loaded data is modelled as
+//! versions written by the virtual committed transaction
+//! [`INITIAL_WRITER`](crate::schedule::INITIAL_WRITER).
+
+use crate::ids::{GranuleId, Timestamp, TxnId};
+use crate::schedule::{ScheduleEvent, ScheduleLog, INITIAL_WRITER};
+use std::collections::{HashMap, HashSet};
+
+/// The transaction dependency graph `TG(S(T))` of a recorded schedule.
+#[derive(Debug, Clone)]
+pub struct DependencyGraph {
+    /// Node ids, in insertion order. Index = position.
+    nodes: Vec<TxnId>,
+    /// Map node id -> index.
+    index: HashMap<TxnId, usize>,
+    /// Adjacency: `adj[i]` lists indices `j` with arc `nodes[i] → nodes[j]`
+    /// (i depends on j).
+    adj: Vec<Vec<usize>>,
+    edge_set: HashSet<(usize, usize)>,
+    /// Reads whose writer never committed (dirty reads that survived).
+    /// Nonzero only for deliberately broken schedulers.
+    reads_from_uncommitted: usize,
+}
+
+impl DependencyGraph {
+    /// Build the dependency graph from a schedule log.
+    pub fn from_log(log: &ScheduleLog) -> Self {
+        Self::from_events(&log.events())
+    }
+
+    /// Build from an explicit event sequence.
+    pub fn from_events(events: &[ScheduleEvent]) -> Self {
+        let mut committed: HashSet<TxnId> = HashSet::new();
+        committed.insert(INITIAL_WRITER);
+        for ev in events {
+            if let ScheduleEvent::Commit { txn, .. } = ev {
+                committed.insert(*txn);
+            }
+        }
+
+        // Committed versions per granule, keyed by version timestamp.
+        // version -> writer, plus the sorted version order (for the
+        // predecessor relation).
+        let mut versions: HashMap<GranuleId, Vec<(Timestamp, TxnId)>> = HashMap::new();
+        for ev in events {
+            match ev {
+                ScheduleEvent::Write { txn, granule, version, .. }
+                    if committed.contains(txn) => {
+                        versions.entry(*granule).or_default().push((*version, *txn));
+                    }
+                // Every granule implicitly has an initial version at
+                // Timestamp::ZERO written by the virtual initial writer;
+                // materialize it for any granule that is read, so the
+                // predecessor relation covers reads of pre-loaded data.
+                ScheduleEvent::Read { granule, .. } => {
+                    versions.entry(*granule).or_default();
+                }
+                _ => {}
+            }
+        }
+        for chain in versions.values_mut() {
+            if !chain.iter().any(|(ts, _)| *ts == Timestamp::ZERO) {
+                chain.push((Timestamp::ZERO, INITIAL_WRITER));
+            }
+            chain.sort_unstable_by_key(|(ts, _)| *ts);
+            // A transaction may overwrite its own version; keep the last
+            // write per (granule, ts) — timestamps are unique per writer,
+            // so duplicates only arise from blind self-overwrites.
+            chain.dedup_by_key(|(ts, _)| *ts);
+        }
+
+        // Reads performed by committed transactions.
+        let mut graph = DependencyGraph {
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            adj: Vec::new(),
+            edge_set: HashSet::new(),
+            reads_from_uncommitted: 0,
+        };
+
+        // Ensure all committed txns (except the virtual initial writer)
+        // appear as nodes even if they never conflicted.
+        for ev in events {
+            let t = ev.txn();
+            if committed.contains(&t) {
+                graph.node(t);
+            }
+        }
+
+        for ev in events {
+            if let ScheduleEvent::Read { txn, granule, version, writer } = ev {
+                if !committed.contains(txn) {
+                    continue;
+                }
+                // Rule 1: reads-from. txn depends on writer.
+                if *writer != *txn {
+                    if committed.contains(writer) {
+                        if *writer != INITIAL_WRITER {
+                            graph.arc(*txn, *writer);
+                        }
+                    } else {
+                        graph.reads_from_uncommitted += 1;
+                    }
+                }
+                // Rule 2: write-after-read. The creator of the *successor*
+                // of the read version depends on txn.
+                if let Some(chain) = versions.get(granule) {
+                    if let Some(pos) = chain.iter().position(|(ts, _)| *ts == *version) {
+                        if let Some((_, succ_writer)) = chain.get(pos + 1) {
+                            if *succ_writer != *txn {
+                                graph.arc(*succ_writer, *txn);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        graph
+    }
+
+    fn node(&mut self, t: TxnId) -> usize {
+        if let Some(&i) = self.index.get(&t) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(t);
+        self.index.insert(t, i);
+        self.adj.push(Vec::new());
+        i
+    }
+
+    fn arc(&mut self, from: TxnId, to: TxnId) {
+        if from == to {
+            return;
+        }
+        let f = self.node(from);
+        let t = self.node(to);
+        if self.edge_set.insert((f, t)) {
+            self.adj[f].push(t);
+        }
+    }
+
+    /// All transactions in the graph.
+    pub fn transactions(&self) -> &[TxnId] {
+        &self.nodes
+    }
+
+    /// Direct dependencies of `t` (the transactions `t` depends on).
+    pub fn depends_on(&self, t: TxnId) -> Vec<TxnId> {
+        match self.index.get(&t) {
+            Some(&i) => self.adj[i].iter().map(|&j| self.nodes[j]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// True iff arc `from → to` exists.
+    pub fn has_arc(&self, from: TxnId, to: TxnId) -> bool {
+        match (self.index.get(&from), self.index.get(&to)) {
+            (Some(&f), Some(&t)) => self.edge_set.contains(&(f, t)),
+            _ => false,
+        }
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.edge_set.len()
+    }
+
+    /// Count of committed reads that observed uncommitted data
+    /// (only broken schedulers produce these).
+    pub fn dirty_reads(&self) -> usize {
+        self.reads_from_uncommitted
+    }
+
+    /// The paper's correctness criterion: serializable iff acyclic.
+    pub fn is_serializable(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+
+    /// Find a dependency cycle, if any, as a list of transactions
+    /// `t_0 → t_1 → ... → t_k → t_0`.
+    pub fn find_cycle(&self) -> Option<Vec<TxnId>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.nodes.len();
+        let mut color = vec![Color::White; n];
+        let mut parent = vec![usize::MAX; n];
+
+        for start in 0..n {
+            if color[start] != Color::White {
+                continue;
+            }
+            // Iterative DFS with explicit stack of (node, next-edge-index).
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = Color::Gray;
+            while let Some(&mut (u, ref mut ei)) = stack.last_mut() {
+                if *ei < self.adj[u].len() {
+                    let v = self.adj[u][*ei];
+                    *ei += 1;
+                    match color[v] {
+                        Color::White => {
+                            color[v] = Color::Gray;
+                            parent[v] = u;
+                            stack.push((v, 0));
+                        }
+                        Color::Gray => {
+                            // Found a cycle: walk back from u to v.
+                            let mut cycle = vec![self.nodes[v]];
+                            let mut cur = u;
+                            while cur != v {
+                                cycle.push(self.nodes[cur]);
+                                cur = parent[cur];
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[u] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Render the dependency graph in Graphviz DOT. Arcs point from the
+    /// depending transaction to the one it depends on; transactions on a
+    /// detected cycle are drawn red.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let cycle: std::collections::HashSet<TxnId> =
+            self.find_cycle().unwrap_or_default().into_iter().collect();
+        let mut out = String::from("digraph dependencies {\n  rankdir=LR;\n");
+        for &t in &self.nodes {
+            let style = if cycle.contains(&t) {
+                " [color=red, fontcolor=red]"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  \"{t}\"{style};");
+        }
+        for (u, outs) in self.adj.iter().enumerate() {
+            for &v in outs {
+                let (a, b) = (self.nodes[u], self.nodes[v]);
+                let style = if cycle.contains(&a) && cycle.contains(&b) {
+                    " [color=red]"
+                } else {
+                    ""
+                };
+                let _ = writeln!(out, "  \"{a}\" -> \"{b}\"{style};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// A serialization order (reverse topological order of the dependency
+    /// graph: every transaction appears after everything it depends on).
+    /// `None` when the graph has a cycle.
+    pub fn serialization_order(&self) -> Option<Vec<TxnId>> {
+        if !self.is_serializable() {
+            return None;
+        }
+        let n = self.nodes.len();
+        // Kahn over reversed arcs: out-degree = number of dependencies.
+        let mut outdeg: Vec<usize> = self.adj.iter().map(|a| a.len()).collect();
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (u, outs) in self.adj.iter().enumerate() {
+            for &v in outs {
+                rev[v].push(u);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| outdeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop() {
+            order.push(self.nodes[u]);
+            for &w in &rev[u] {
+                outdeg[w] -= 1;
+                if outdeg[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n);
+        Some(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SegmentId;
+
+    fn g(key: u64) -> GranuleId {
+        GranuleId::new(SegmentId(0), key)
+    }
+
+    fn begin(t: u64) -> ScheduleEvent {
+        ScheduleEvent::Begin {
+            txn: TxnId(t),
+            start_ts: Timestamp(t),
+            class: None,
+        }
+    }
+
+    fn write(t: u64, key: u64, v: u64) -> ScheduleEvent {
+        ScheduleEvent::Write {
+            txn: TxnId(t),
+            granule: g(key),
+            version: Timestamp(v),
+            value: crate::value::Value::Int(v as i64),
+        }
+    }
+
+    fn read(t: u64, key: u64, v: u64, writer: u64) -> ScheduleEvent {
+        ScheduleEvent::Read {
+            txn: TxnId(t),
+            granule: g(key),
+            version: Timestamp(v),
+            writer: TxnId(writer),
+        }
+    }
+
+    fn commit(t: u64, ts: u64) -> ScheduleEvent {
+        ScheduleEvent::Commit {
+            txn: TxnId(t),
+            commit_ts: Timestamp(ts),
+        }
+    }
+
+    #[test]
+    fn reads_from_arc() {
+        // t1 writes, t2 reads t1's version: t2 → t1.
+        let evs = vec![
+            begin(1),
+            write(1, 0, 1),
+            commit(1, 10),
+            begin(2),
+            read(2, 0, 1, 1),
+            commit(2, 11),
+        ];
+        let dg = DependencyGraph::from_events(&evs);
+        assert!(dg.has_arc(TxnId(2), TxnId(1)));
+        assert!(!dg.has_arc(TxnId(1), TxnId(2)));
+        assert!(dg.is_serializable());
+        let order = dg.serialization_order().unwrap();
+        let p1 = order.iter().position(|&t| t == TxnId(1)).unwrap();
+        let p2 = order.iter().position(|&t| t == TxnId(2)).unwrap();
+        assert!(p1 < p2, "t1 must precede t2 in serialization order");
+    }
+
+    #[test]
+    fn write_after_read_arc() {
+        // t1 reads initial version; t2 writes successor: t2 → t1.
+        let evs = vec![
+            begin(1),
+            read(1, 0, 0, 0), // reads initial version ts=0
+            commit(1, 10),
+            begin(2),
+            write(2, 0, 2),
+            commit(2, 11),
+        ];
+        let dg = DependencyGraph::from_events(&evs);
+        assert!(dg.has_arc(TxnId(2), TxnId(1)));
+        assert!(dg.is_serializable());
+    }
+
+    #[test]
+    fn lost_update_cycle_detected() {
+        // Classic non-serializable multi-version witness (write skew):
+        //   t1 reads x@v0; t2 writes the successor of x@v0 ⇒ t2 → t1.
+        //   t2 reads z@v0; t1 writes the successor of z@v0 ⇒ t1 → t2.
+        let evs = vec![
+            begin(1),
+            begin(2),
+            read(1, 0, 0, 0),  // t1 reads x@v0
+            read(2, 1, 0, 0),  // t2 reads z@v0
+            write(2, 0, 4),    // t2 writes x (successor of v0)
+            write(1, 1, 5),    // t1 writes z (successor of v0)
+            commit(1, 10),
+            commit(2, 11),
+        ];
+        let dg = DependencyGraph::from_events(&evs);
+        assert!(dg.has_arc(TxnId(2), TxnId(1)));
+        assert!(dg.has_arc(TxnId(1), TxnId(2)));
+        assert!(!dg.is_serializable());
+        let cycle = dg.find_cycle().unwrap();
+        assert!(cycle.len() >= 2);
+        assert!(dg.serialization_order().is_none());
+    }
+
+    #[test]
+    fn aborted_transactions_are_ignored() {
+        let evs = vec![
+            begin(1),
+            write(1, 0, 1),
+            ScheduleEvent::Abort { txn: TxnId(1) },
+            begin(2),
+            read(2, 0, 0, 0),
+            commit(2, 5),
+        ];
+        let dg = DependencyGraph::from_events(&evs);
+        assert!(dg.is_serializable());
+        assert_eq!(dg.arc_count(), 0);
+        assert!(!dg.transactions().contains(&TxnId(1)));
+    }
+
+    #[test]
+    fn dirty_read_counted() {
+        let evs = vec![
+            begin(1),
+            write(1, 0, 1),
+            begin(2),
+            read(2, 0, 1, 1), // reads t1's version
+            commit(2, 5),
+            ScheduleEvent::Abort { txn: TxnId(1) }, // t1 never commits
+        ];
+        let dg = DependencyGraph::from_events(&evs);
+        assert_eq!(dg.dirty_reads(), 1);
+    }
+
+    #[test]
+    fn self_reads_produce_no_arcs() {
+        let evs = vec![
+            begin(1),
+            write(1, 0, 1),
+            read(1, 0, 1, 1),
+            commit(1, 5),
+        ];
+        let dg = DependencyGraph::from_events(&evs);
+        assert_eq!(dg.arc_count(), 0);
+        assert!(dg.is_serializable());
+    }
+
+    #[test]
+    fn dot_export_highlights_cycles() {
+        let evs = vec![
+            begin(1),
+            begin(2),
+            read(1, 0, 0, 0),
+            read(2, 1, 0, 0),
+            write(2, 0, 4),
+            write(1, 1, 5),
+            commit(1, 10),
+            commit(2, 11),
+        ];
+        let dg = DependencyGraph::from_events(&evs);
+        let dot = dg.to_dot();
+        assert!(dot.starts_with("digraph dependencies"));
+        assert!(dot.contains("[color=red"), "cycle must be highlighted");
+        assert!(dot.contains("\"t1\" -> \"t2\""));
+
+        // Acyclic graph: no red.
+        let evs = vec![begin(1), write(1, 0, 1), commit(1, 5)];
+        let dot = DependencyGraph::from_events(&evs).to_dot();
+        assert!(!dot.contains("red"));
+    }
+
+    #[test]
+    fn three_txn_cycle_found() {
+        // t1 → t2 → t3 → t1 via reads-from chain plus rule 2.
+        let evs = vec![
+            begin(1),
+            begin(2),
+            begin(3),
+            // t2 reads version by t1 ⇒ t2 → t1
+            write(1, 0, 1),
+            commit(1, 9),
+            read(2, 0, 1, 1),
+            // t3 reads version by t2 ⇒ t3 → t2
+            write(2, 1, 2),
+            commit(2, 10),
+            read(3, 1, 2, 2),
+            // t1 read granule 2 @v0 and t3 wrote its successor ⇒ t3 → t1...
+            // we need t1 → t3: t3 reads granule 3 @v0, t1 wrote successor
+            read(3, 3, 0, 0),
+            write(1, 3, 1),
+            commit(3, 11),
+        ];
+        let dg = DependencyGraph::from_events(&evs);
+        assert!(dg.has_arc(TxnId(2), TxnId(1)));
+        assert!(dg.has_arc(TxnId(3), TxnId(2)));
+        assert!(dg.has_arc(TxnId(1), TxnId(3)));
+        assert!(!dg.is_serializable());
+        assert_eq!(dg.find_cycle().unwrap().len(), 3);
+    }
+}

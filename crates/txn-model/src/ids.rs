@@ -1,0 +1,219 @@
+//! Identifier newtypes and logical timestamps.
+//!
+//! The paper works entirely in logical time: `I(t)` (initiation time),
+//! `C(t)` (commit time), and `TS(d^v)` (write timestamp of a version) are
+//! all drawn from one totally ordered domain. [`Timestamp`] is that domain:
+//! a `u64` drawn from a global [`LogicalClock`](crate::clock::LogicalClock),
+//! so every initiation, commit and version timestamp is unique and totally
+//! ordered — exactly the setting the proofs in the paper assume.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the global logical time domain.
+///
+/// `Timestamp(0)` is reserved as "the beginning of time"; the clock starts
+/// ticking at 1.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The timestamp before any event: versions loaded at database
+    /// population time carry this timestamp.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// A timestamp greater than every timestamp the clock will ever produce.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// The raw tick value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The immediately preceding instant. Saturates at zero.
+    ///
+    /// The paper's Property 2.2 quantifies over "`m − ε` for every positive
+    /// ε"; in an integer clock domain the meaningful ε is one tick.
+    #[inline]
+    pub fn pred(self) -> Timestamp {
+        Timestamp(self.0.saturating_sub(1))
+    }
+
+    /// The immediately following instant. Saturates at `u64::MAX`.
+    #[inline]
+    pub fn succ(self) -> Timestamp {
+        Timestamp(self.0.saturating_add(1))
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts:{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Unique identifier of a transaction instance.
+///
+/// In all timestamp-based protocols in this workspace the transaction's
+/// *initiation timestamp* doubles as its identity-in-time; `TxnId` is kept
+/// separate so that a restarted transaction (after an abort) is a *new*
+/// transaction with a new initiation time, as the paper requires.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of a data segment `D_i` of the database partition.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SegmentId(pub u32);
+
+impl SegmentId {
+    /// Index into dense per-segment arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Identifier of a transaction class `T_i`.
+///
+/// Under a TST-hierarchical partition there is exactly one class per
+/// segment (the class *rooted* in that segment), so `ClassId(i)`
+/// corresponds to `SegmentId(i)`. Read-only transactions are *hosted* by a
+/// fictitious class (Section 5) and carry no `ClassId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClassId(pub u32);
+
+impl ClassId {
+    /// Index into dense per-class arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The segment this class is rooted in (classes and segments share
+    /// indices under a TST-hierarchical partition).
+    #[inline]
+    pub fn root_segment(self) -> SegmentId {
+        SegmentId(self.0)
+    }
+}
+
+impl From<SegmentId> for ClassId {
+    fn from(s: SegmentId) -> Self {
+        ClassId(s.0)
+    }
+}
+
+impl fmt::Debug for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a data granule — "the smallest unit of access so far as
+/// concurrency control is concerned" (Section 4, Notations).
+///
+/// A granule lives in exactly one segment; the partition of granules into
+/// segments *is* the database partition `P`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GranuleId {
+    /// The segment the granule belongs to.
+    pub segment: SegmentId,
+    /// Key within the segment.
+    pub key: u64,
+}
+
+impl GranuleId {
+    /// Construct a granule id.
+    #[inline]
+    pub fn new(segment: SegmentId, key: u64) -> Self {
+        GranuleId { segment, key }
+    }
+}
+
+impl fmt::Debug for GranuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}/{}", self.segment, self.key)
+    }
+}
+
+impl fmt::Display for GranuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.segment, self.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_ordering_and_bounds() {
+        assert!(Timestamp::ZERO < Timestamp(1));
+        assert!(Timestamp(1) < Timestamp::MAX);
+        assert_eq!(Timestamp(5).pred(), Timestamp(4));
+        assert_eq!(Timestamp::ZERO.pred(), Timestamp::ZERO);
+        assert_eq!(Timestamp(5).succ(), Timestamp(6));
+        assert_eq!(Timestamp::MAX.succ(), Timestamp::MAX);
+    }
+
+    #[test]
+    fn class_maps_to_root_segment() {
+        let c = ClassId(3);
+        assert_eq!(c.root_segment(), SegmentId(3));
+        assert_eq!(ClassId::from(SegmentId(7)), ClassId(7));
+    }
+
+    #[test]
+    fn granule_identity() {
+        let a = GranuleId::new(SegmentId(1), 10);
+        let b = GranuleId::new(SegmentId(1), 10);
+        let c = GranuleId::new(SegmentId(2), 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(format!("{a}"), "D1/10");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", TxnId(4)), "t4");
+        assert_eq!(format!("{}", ClassId(2)), "T2");
+        assert_eq!(format!("{}", Timestamp(9)), "9");
+    }
+}

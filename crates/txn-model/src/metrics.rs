@@ -1,0 +1,175 @@
+//! Concurrency-control cost counters.
+//!
+//! The paper's argument is a *cost* argument: read locks / read timestamps
+//! "not only incur a write operation in the database ... but also
+//! potentially cause delays for concurrent transactions" (Section 1.2).
+//! [`Metrics`] counts exactly those costs so experiments can compare
+//! schedulers on the paper's own terms:
+//!
+//! * `read_registrations` — read locks set or read timestamps written,
+//! * `blocks` — operations that had to wait,
+//! * `rejections` — operations refused by a protocol rule (causing abort),
+//! * plus bookkeeping (begins/commits/aborts/reads/writes).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($($(#[doc = $doc:literal])* $name:ident),+ $(,)?) => {
+        /// Live, thread-safe counters owned by a scheduler.
+        #[derive(Debug, Default)]
+        pub struct Metrics {
+            $($(#[doc = $doc])* pub $name: AtomicU64,)+
+        }
+
+        /// A point-in-time copy of [`Metrics`].
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+        pub struct MetricsSnapshot {
+            $($(#[doc = $doc])* pub $name: u64,)+
+        }
+
+        impl Metrics {
+            /// Copy all counters.
+            pub fn snapshot(&self) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+
+            /// Reset all counters to zero.
+            pub fn reset(&self) {
+                $(self.$name.store(0, Ordering::Relaxed);)+
+            }
+        }
+
+        impl MetricsSnapshot {
+            /// Column headers, in field order (for table printing).
+            pub fn headers() -> &'static [&'static str] {
+                &[$(stringify!($name),)+]
+            }
+
+            /// Field values, in header order.
+            pub fn values(&self) -> Vec<u64> {
+                vec![$(self.$name,)+]
+            }
+        }
+    };
+}
+
+counters! {
+    /// Transactions begun.
+    begins,
+    /// Transactions committed.
+    commits,
+    /// Transactions aborted (all causes).
+    aborts,
+    /// Read operations performed (counting retries once granted).
+    reads,
+    /// Write operations performed.
+    writes,
+    /// Read registrations: read locks set or read timestamps written.
+    /// This is the overhead HDD Protocol A/C eliminates.
+    read_registrations,
+    /// Write registrations: write locks set or write timestamps recorded.
+    write_registrations,
+    /// Operations that returned Block (each wait counted once per attempt).
+    blocks,
+    /// Operations rejected by a protocol rule, forcing an abort.
+    rejections,
+    /// Deadlocks detected (2PL family only).
+    deadlocks,
+    /// Protocol A reads: cross-class reads served without registration.
+    cross_class_reads,
+    /// Protocol C reads: read-only-transaction reads served from a time wall.
+    wall_reads,
+    /// Time walls released by the time-wall service.
+    timewalls_released,
+    /// Versions reclaimed by garbage collection.
+    versions_gced,
+}
+
+impl Metrics {
+    #[inline]
+    /// Add 1 to a counter (helper so call sites stay short).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    /// Add `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl MetricsSnapshot {
+    /// Read registrations per committed transaction; the paper's headline
+    /// overhead measure. Returns 0.0 when nothing committed.
+    pub fn read_registrations_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.read_registrations as f64 / self.commits as f64
+        }
+    }
+
+    /// Fraction of begun transactions that aborted.
+    pub fn abort_rate(&self) -> f64 {
+        if self.begins == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / self.begins as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let m = Metrics::default();
+        Metrics::bump(&m.reads);
+        Metrics::bump(&m.reads);
+        Metrics::add(&m.read_registrations, 5);
+        let s = m.snapshot();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.read_registrations, 5);
+        assert_eq!(s.writes, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = Metrics::default();
+        Metrics::bump(&m.commits);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = MetricsSnapshot {
+            begins: 10,
+            commits: 5,
+            aborts: 5,
+            read_registrations: 20,
+            ..Default::default()
+        };
+        assert!((s.read_registrations_per_commit() - 4.0).abs() < 1e-9);
+        assert!((s.abort_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(MetricsSnapshot::default().abort_rate(), 0.0);
+        assert_eq!(MetricsSnapshot::default().read_registrations_per_commit(), 0.0);
+    }
+
+    #[test]
+    fn headers_and_values_align() {
+        let s = MetricsSnapshot {
+            begins: 1,
+            ..Default::default()
+        };
+        assert_eq!(MetricsSnapshot::headers().len(), s.values().len());
+        assert_eq!(MetricsSnapshot::headers()[0], "begins");
+        assert_eq!(s.values()[0], 1);
+    }
+}

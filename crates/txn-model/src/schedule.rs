@@ -1,0 +1,197 @@
+//! The schedule log: the sequence of steps a scheduler actually performed.
+//!
+//! Section 2 of the paper defines a schedule as a sequence of tuples
+//! `<transaction id, action, version of a data granule>`. [`ScheduleLog`]
+//! records exactly that (plus begin/commit/abort lifecycle events), so the
+//! multi-version transaction dependency graph — the paper's correctness
+//! criterion — can be rebuilt after any run by
+//! [`DependencyGraph::from_log`](crate::depgraph::DependencyGraph::from_log).
+//!
+//! A version is identified by `(granule, write timestamp)`: every protocol
+//! in this workspace assigns versions unique-per-granule timestamps
+//! (initiation timestamps under timestamp ordering, commit sequence under
+//! locking protocols).
+
+use crate::ids::{ClassId, GranuleId, Timestamp, TxnId};
+use crate::value::Value;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// The writer id of versions present at database-population time.
+pub const INITIAL_WRITER: TxnId = TxnId(0);
+
+/// One event in a schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleEvent {
+    /// Transaction began with initiation time `start_ts`.
+    Begin {
+        /// Transaction id.
+        txn: TxnId,
+        /// Initiation time `I(t)`.
+        start_ts: Timestamp,
+        /// Class of an update transaction, None if read-only.
+        class: Option<ClassId>,
+    },
+    /// `<txn, r, d^v>`: `txn` read the version of `granule` whose write
+    /// timestamp is `version` and which was created by `writer`.
+    Read {
+        /// Reading transaction.
+        txn: TxnId,
+        /// Granule read.
+        granule: GranuleId,
+        /// Write timestamp of the version observed.
+        version: Timestamp,
+        /// Creator of that version ([`INITIAL_WRITER`] for pre-loaded data).
+        writer: TxnId,
+    },
+    /// `<txn, w, d^v>`: `txn` created the version of `granule` with write
+    /// timestamp `version` and content `value`.
+    ///
+    /// Carrying the value makes the schedule log double as a **redo
+    /// log**: replaying the committed writes of a log prefix
+    /// reconstructs the database state as of a crash at that point (see
+    /// `mvstore::recovery`).
+    Write {
+        /// Writing transaction.
+        txn: TxnId,
+        /// Granule written.
+        granule: GranuleId,
+        /// Write timestamp of the created version.
+        version: Timestamp,
+        /// The written value.
+        value: Value,
+    },
+    /// Transaction committed at `commit_ts`.
+    Commit {
+        /// Transaction id.
+        txn: TxnId,
+        /// Commit time `C(t)`.
+        commit_ts: Timestamp,
+    },
+    /// Transaction aborted.
+    Abort {
+        /// Transaction id.
+        txn: TxnId,
+    },
+}
+
+impl ScheduleEvent {
+    /// The transaction this event belongs to.
+    pub fn txn(&self) -> TxnId {
+        match self {
+            ScheduleEvent::Begin { txn, .. }
+            | ScheduleEvent::Read { txn, .. }
+            | ScheduleEvent::Write { txn, .. }
+            | ScheduleEvent::Commit { txn, .. }
+            | ScheduleEvent::Abort { txn } => *txn,
+        }
+    }
+}
+
+/// Thread-safe, append-only schedule log.
+#[derive(Debug, Default)]
+pub struct ScheduleLog {
+    events: Mutex<Vec<ScheduleEvent>>,
+    enabled: std::sync::atomic::AtomicBool,
+}
+
+impl ScheduleLog {
+    /// A new, enabled log.
+    pub fn new() -> Self {
+        ScheduleLog {
+            events: Mutex::new(Vec::new()),
+            enabled: std::sync::atomic::AtomicBool::new(true),
+        }
+    }
+
+    /// Disable recording (for long benchmark runs where post-hoc checking
+    /// is not needed and log growth would dominate).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Append an event (no-op when disabled).
+    pub fn record(&self, ev: ScheduleEvent) {
+        if self.is_enabled() {
+            self.events.lock().push(ev);
+        }
+    }
+
+    /// Copy out all events in order.
+    pub fn events(&self) -> Vec<ScheduleEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all events (between experiment phases).
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SegmentId;
+
+    fn g(key: u64) -> GranuleId {
+        GranuleId::new(SegmentId(0), key)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let log = ScheduleLog::new();
+        log.record(ScheduleEvent::Begin {
+            txn: TxnId(1),
+            start_ts: Timestamp(1),
+            class: Some(ClassId(0)),
+        });
+        log.record(ScheduleEvent::Write {
+            txn: TxnId(1),
+            granule: g(0),
+            version: Timestamp(1),
+            value: Value::Int(7),
+        });
+        log.record(ScheduleEvent::Commit {
+            txn: TxnId(1),
+            commit_ts: Timestamp(2),
+        });
+        let evs = log.events();
+        assert_eq!(evs.len(), 3);
+        assert!(matches!(evs[0], ScheduleEvent::Begin { .. }));
+        assert_eq!(evs[2].txn(), TxnId(1));
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = ScheduleLog::new();
+        log.set_enabled(false);
+        log.record(ScheduleEvent::Abort { txn: TxnId(3) });
+        assert!(log.is_empty());
+        log.set_enabled(true);
+        log.record(ScheduleEvent::Abort { txn: TxnId(3) });
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let log = ScheduleLog::new();
+        log.record(ScheduleEvent::Abort { txn: TxnId(3) });
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Values stored in data granules.
+//!
+//! The paper is agnostic about what a granule holds; the workloads in this
+//! repository need integers (balances, quantities, inventory levels),
+//! record-ish payloads and deletion markers, so [`Value`] is a small enum
+//! covering those. Arithmetic helpers keep read-modify-write transaction
+//! programs terse.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A granule value.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Value {
+    /// A signed integer (account balance, quantity, inventory level...).
+    Int(i64),
+    /// An opaque payload (record bodies in the inventory workload).
+    #[serde(with = "serde_bytes_compat")]
+    Bytes(Bytes),
+    /// Deletion marker; granules start in this state before first write.
+    #[default]
+    Absent,
+}
+
+mod serde_bytes_compat {
+    //! `bytes::Bytes` does not implement serde traits without the `serde`
+    //! feature; round-trip through `Vec<u8>` instead.
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        b.as_ref().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        Ok(Bytes::from(Vec::<u8>::deserialize(d)?))
+    }
+}
+
+impl Value {
+    /// Interpret as integer, defaulting missing/non-integer values to 0.
+    ///
+    /// Workload programs use this for read-modify-write arithmetic over
+    /// granules that may not have been written yet.
+    #[inline]
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(i) => *i,
+            _ => 0,
+        }
+    }
+
+    /// True if the granule logically holds no value.
+    #[inline]
+    pub fn is_absent(&self) -> bool {
+        matches!(self, Value::Absent)
+    }
+
+    /// Byte length of the payload (0 for `Int`/`Absent`).
+    #[inline]
+    pub fn payload_len(&self) -> usize {
+        match self {
+            Value::Bytes(b) => b.len(),
+            _ => 0,
+        }
+    }
+}
+
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&'static [u8]> for Value {
+    fn from(b: &'static [u8]) -> Self {
+        Value::Bytes(Bytes::from_static(b))
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::Bytes(Bytes::from(b))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bytes(b) => write!(f, "bytes[{}]", b.len()),
+            Value::Absent => write!(f, "⊥"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trip() {
+        let v = Value::from(42);
+        assert_eq!(v.as_int(), 42);
+        assert!(!v.is_absent());
+    }
+
+    #[test]
+    fn absent_reads_as_zero() {
+        assert_eq!(Value::Absent.as_int(), 0);
+        assert!(Value::Absent.is_absent());
+        assert_eq!(Value::default(), Value::Absent);
+    }
+
+    #[test]
+    fn bytes_payload() {
+        let v = Value::from(vec![1u8, 2, 3]);
+        assert_eq!(v.payload_len(), 3);
+        assert_eq!(v.as_int(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let vals = vec![Value::Int(-7), Value::from(vec![9u8; 4]), Value::Absent];
+        for v in vals {
+            let json = serde_json_like(&v);
+            assert!(!json.is_empty());
+        }
+    }
+
+    // serde_json is not a dependency; exercise serde through a throwaway
+    // in-memory serializer instead (bincode-style not available either), so
+    // just check the Serialize impl compiles and Debug is stable.
+    fn serde_json_like(v: &Value) -> String {
+        format!("{v:?}")
+    }
+}

@@ -1,0 +1,89 @@
+//! Deterministic step scripts: exact interleavings of named transactions.
+//!
+//! The anomaly constructions of Figures 3 and 4 are *specific timings* —
+//! "a timing of these three transactions can be found such that ...
+//! violation of serializability occurs". A [`Script`] pins such a timing:
+//! a fixed list of per-transaction steps that a driver replays against
+//! any scheduler. Blocking and rejection are scheduler-dependent, so the
+//! runner (in the `sim` crate) retries blocked steps and skips the
+//! remaining steps of aborted transactions; the *attempted order* is what
+//! the script fixes.
+
+use txn_model::{GranuleId, TxnProfile, Value};
+
+/// One scripted action of one transaction (identified by index into
+/// [`Script::transactions`]).
+#[derive(Debug, Clone)]
+pub enum ScriptAction {
+    /// Begin the transaction.
+    Begin,
+    /// Read a granule.
+    Read(GranuleId),
+    /// Write a constant.
+    Write(GranuleId, Value),
+    /// Write the value last read from the first granule plus a delta
+    /// (read-modify-write convenience).
+    WriteDerived {
+        /// Granule to write.
+        target: GranuleId,
+        /// Granule whose last-read value is the base.
+        base: GranuleId,
+        /// Delta added to the base.
+        delta: i64,
+    },
+    /// Commit the transaction.
+    Commit,
+}
+
+/// A scripted step: which transaction acts, and how.
+#[derive(Debug, Clone)]
+pub struct ScriptStep {
+    /// Index into [`Script::transactions`].
+    pub txn: usize,
+    /// The action.
+    pub action: ScriptAction,
+}
+
+/// A deterministic multi-transaction interleaving.
+#[derive(Debug, Clone)]
+pub struct Script {
+    /// Script name ("figure3", ...).
+    pub name: &'static str,
+    /// Profiles of the participating transactions.
+    pub transactions: Vec<TxnProfile>,
+    /// Steps in global order.
+    pub steps: Vec<ScriptStep>,
+    /// Granules that must exist (seeded to the given values) before the
+    /// script runs.
+    pub setup: Vec<(GranuleId, Value)>,
+}
+
+impl Script {
+    /// Convenience step constructor.
+    pub fn step(txn: usize, action: ScriptAction) -> ScriptStep {
+        ScriptStep { txn, action }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txn_model::{ClassId, SegmentId};
+
+    #[test]
+    fn script_construction() {
+        let g = GranuleId::new(SegmentId(0), 1);
+        let s = Script {
+            name: "demo",
+            transactions: vec![TxnProfile::update(ClassId(0), vec![SegmentId(0)])],
+            steps: vec![
+                Script::step(0, ScriptAction::Begin),
+                Script::step(0, ScriptAction::Read(g)),
+                Script::step(0, ScriptAction::Commit),
+            ],
+            setup: vec![(g, Value::Int(1))],
+        };
+        assert_eq!(s.steps.len(), 3);
+        assert_eq!(s.steps[1].txn, 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Time walls (Section 5, Figure 9): how an ad-hoc read-only transaction
+//! whose read set spans two branches of the hierarchy gets a consistent
+//! snapshot without ever registering a read.
+//!
+//! ```text
+//! cargo run --example timewall
+//! ```
+
+use hdd::analysis::{AccessSpec, Hierarchy};
+use hdd::protocol::{HddConfig, HddScheduler};
+use mvstore::MvStore;
+use std::sync::Arc;
+use txn_model::{
+    ClassId, DependencyGraph, GranuleId, LogicalClock, ReadOutcome, Scheduler, SegmentId,
+    TxnProfile, Value,
+};
+
+fn main() {
+    let s = SegmentId;
+    // A branching hierarchy: two derivation branches over a shared event
+    // log.   1 → 0 ← 2
+    let hierarchy = Arc::new(
+        Hierarchy::build(
+            3,
+            &[
+                AccessSpec::new("log", vec![s(0)], vec![]),
+                AccessSpec::new("branch-a", vec![s(1)], vec![s(0), s(1)]),
+                AccessSpec::new("branch-b", vec![s(2)], vec![s(0), s(2)]),
+            ],
+        )
+        .unwrap(),
+    );
+
+    let store = Arc::new(MvStore::new());
+    let log_g = GranuleId::new(s(0), 1);
+    let a_g = GranuleId::new(s(1), 1);
+    let b_g = GranuleId::new(s(2), 1);
+    store.seed(log_g, Value::Int(0));
+    store.seed(a_g, Value::Int(0));
+    store.seed(b_g, Value::Int(0));
+
+    let sched = HddScheduler::new(
+        hierarchy,
+        Arc::clone(&store),
+        Arc::new(LogicalClock::new()),
+        HddConfig::default(),
+    );
+
+    // Some update traffic in both branches.
+    for round in 1..=3i64 {
+        let t0 = sched.begin(&TxnProfile::update(ClassId(0), vec![]));
+        sched.write(&t0, log_g, Value::Int(round));
+        sched.commit(&t0);
+        for (class, g) in [(ClassId(1), a_g), (ClassId(2), b_g)] {
+            let t = sched.begin(&TxnProfile::update(class, vec![s(0), g.segment]));
+            let base = match sched.read(&t, log_g) {
+                ReadOutcome::Value(v) => v.as_int(),
+                other => panic!("{other:?}"),
+            };
+            sched.read(&t, g);
+            sched.write(&t, g, Value::Int(base * 10));
+            sched.commit(&t);
+        }
+    }
+
+    // Release a wall: the vector of E_s^i(m) per class.
+    assert!(sched.try_release_wall(), "idle instant: wall computable");
+    let wall = sched.walls().latest().expect("just released");
+    println!("time wall released at ts {}:", wall.released_at);
+    println!("  anchor time m = {}", wall.anchor_time);
+    for (i, comp) in wall.components.iter().enumerate() {
+        println!("  E_s^{i}(m) = {comp}");
+    }
+
+    // An audit reading BOTH branches — segments 1 and 2 are not on one
+    // critical path, so Protocol C pins the transaction to the wall.
+    let audit = sched.begin(&TxnProfile::read_only(vec![s(1), s(2)]));
+    let va = match sched.read(&audit, a_g) {
+        ReadOutcome::Value(v) => v.as_int(),
+        other => panic!("{other:?}"),
+    };
+    let vb = match sched.read(&audit, b_g) {
+        ReadOutcome::Value(v) => v.as_int(),
+        other => panic!("{other:?}"),
+    };
+    sched.commit(&audit);
+    println!("audit read branch-a = {va}, branch-b = {vb}");
+    // Both branches derive from the same log rounds: a consistent
+    // snapshot sees the same round in both (here: the final state).
+    assert_eq!(va, vb, "Theorem 2: the wall is a consistent cut");
+
+    let m = sched.metrics().snapshot();
+    println!(
+        "audit cost: wall_reads = {}, read registrations = {}, blocks = {}",
+        m.wall_reads, m.read_registrations - 6, m.blocks
+    );
+    assert!(DependencyGraph::from_log(sched.log()).is_serializable());
+    println!("serializable: true");
+}

@@ -1,0 +1,22 @@
+//! # hdd-repro — reproduction of Hsu's Hierarchical Database Decomposition
+//!
+//! Umbrella crate: re-exports the workspace members so the examples and
+//! integration tests have a single import root.
+//!
+//! * [`hdd`] — the paper's concurrency-control technique (Protocols A/B/C,
+//!   activity-link functions, time walls, decomposition algorithms);
+//! * [`txn_model`] — shared transaction vocabulary and the serializability
+//!   checker;
+//! * [`mvstore`] — the multi-version storage substrate;
+//! * [`baselines`] — 2PL, TSO, MVTO, MV2PL, SDD-1-style and no-control
+//!   comparators;
+//! * [`workloads`] — the paper's banking and inventory applications plus
+//!   synthetic hierarchies and scripted anomalies;
+//! * [`sim`] — drivers and the per-figure experiment harness.
+
+pub use baselines;
+pub use hdd;
+pub use mvstore;
+pub use sim;
+pub use txn_model;
+pub use workloads;

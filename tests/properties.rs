@@ -1,0 +1,284 @@
+//! Property-based tests of the paper's formal claims.
+//!
+//! * Theorems 1 & 2 — every HDD schedule over a random TST hierarchy,
+//!   random programs and a random interleaving has an acyclic
+//!   multi-version dependency graph;
+//! * Properties 2.1 & 2.2 — `A(B(m)) ≥ m` and `A(B(m) − ε) < m` over
+//!   random activity histories;
+//! * Property 1.1/1.2 — `⇒` is anti-symmetric and critical-path
+//!   transitive over random histories and time grids;
+//! * graph laws — reduction preserves reachability; semi-tree unique
+//!   undirected paths; TST ⇒ every DHG arc is covered by a critical
+//!   path.
+
+use hdd::activity::{topologically_follows, ActivityFuncs, ActivityRegistry, CLate, TxnCoord};
+use hdd::analysis::{AccessSpec, Hierarchy};
+use hdd::graph::{check_transitive_semi_tree, Digraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim::driver::{run_interleaved, DriverConfig};
+use sim::factory::{build_scheduler, SchedulerKind};
+use txn_model::{ClassId, SegmentId, Timestamp};
+use workloads::synthetic::{Synthetic, SyntheticConfig};
+use workloads::Workload;
+
+/// Strategy: a random activity history for `classes` classes. All
+/// transactions end (so `C_late` is computable everywhere), with starts
+/// and durations drawn small to force overlap.
+fn history_strategy(
+    classes: usize,
+) -> impl Strategy<Value = Vec<(usize, u64, u64, bool)>> {
+    prop::collection::vec(
+        (0..classes, 1u64..60, 1u64..25, prop::bool::ANY),
+        1..25,
+    )
+}
+
+fn build_registry(classes: usize, history: &[(usize, u64, u64, bool)]) -> ActivityRegistry {
+    let registry = ActivityRegistry::new(classes);
+    // Starts must be unique: offset duplicates deterministically.
+    let mut used = std::collections::HashSet::new();
+    for (i, &(class, start, dur, committed)) in history.iter().enumerate() {
+        let mut s = start * 100 + i as u64; // unique-ify
+        while !used.insert(s) {
+            s += 1;
+        }
+        let class = ClassId(class as u32);
+        registry.begin(class, Timestamp(s));
+        let end = Timestamp(s + dur * 100);
+        if committed {
+            registry.commit(class, Timestamp(s), end);
+        } else {
+            registry.abort(class, Timestamp(s), end);
+        }
+    }
+    registry
+}
+
+fn chain(depth: usize) -> Hierarchy {
+    let specs: Vec<AccessSpec> = (0..depth)
+        .map(|i| {
+            let reads: Vec<SegmentId> = (0..i).map(|j| SegmentId(j as u32)).collect();
+            AccessSpec::new(format!("c{i}"), vec![SegmentId(i as u32)], reads)
+        })
+        .collect();
+    Hierarchy::build(depth, &specs).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property 2.1 and 2.2 over random (fully ended) histories.
+    #[test]
+    fn a_b_inverse_properties(history in history_strategy(3), m in 1u64..8000) {
+        let h = chain(3);
+        let registry = build_registry(3, &history);
+        let funcs = ActivityFuncs::new(&h, &registry);
+        let m = Timestamp(m);
+        let low = ClassId(2);
+        let top = ClassId(0);
+        if let CLate::Time(b) = funcs.b_fn(top, low, m) {
+            prop_assert!(
+                funcs.a_fn(low, top, b) >= m,
+                "Property 2.1: A(B({m})) = A({b}) < {m}"
+            );
+            if b > Timestamp::ZERO {
+                prop_assert!(
+                    funcs.a_fn(low, top, b.pred()) < m,
+                    "Property 2.2: A(B({m}) - ε) >= {m}"
+                );
+            }
+        }
+    }
+
+    /// I_old never exceeds its argument; C_late never undercuts it.
+    #[test]
+    fn i_old_c_late_bounds(history in history_strategy(2), m in 1u64..8000) {
+        let registry = build_registry(2, &history);
+        let m = Timestamp(m);
+        for c in 0..2u32 {
+            prop_assert!(registry.i_old(ClassId(c), m) <= m);
+            if let CLate::Time(t) = registry.c_late(ClassId(c), m) {
+                prop_assert!(t >= m);
+            }
+        }
+    }
+
+    /// Property 1.1 (anti-symmetry) and 1.2 (transitivity on a critical
+    /// path) of ⇒ over random histories.
+    #[test]
+    fn follows_properties(history in history_strategy(3), times in prop::collection::vec(1u64..5000, 3)) {
+        let h = chain(3);
+        let registry = build_registry(3, &history);
+        let funcs = ActivityFuncs::new(&h, &registry);
+        let t1 = TxnCoord::new(ClassId(2), Timestamp(times[0]));
+        let t2 = TxnCoord::new(ClassId(1), Timestamp(times[1]));
+        let t3 = TxnCoord::new(ClassId(0), Timestamp(times[2]));
+        for (a, b) in [(t1, t2), (t2, t3), (t1, t3)] {
+            let ab = topologically_follows(&funcs, a, b).unwrap();
+            let ba = topologically_follows(&funcs, b, a).unwrap();
+            prop_assert!(!(ab && ba), "anti-symmetry violated: {a:?} {b:?}");
+        }
+        let ab = topologically_follows(&funcs, t1, t2).unwrap();
+        let bc = topologically_follows(&funcs, t2, t3).unwrap();
+        if ab && bc {
+            prop_assert!(
+                topologically_follows(&funcs, t1, t3).unwrap(),
+                "transitivity violated"
+            );
+        }
+    }
+
+    /// Data-analysis decomposition (Section 7.2.2) always yields a legal
+    /// hierarchy under which every observed shape validates.
+    #[test]
+    fn decompose_always_legalizes(
+        accesses in prop::collection::vec(
+            (
+                prop::collection::vec(0u64..12, 1..3), // writes
+                prop::collection::vec(0u64..12, 0..4), // reads
+            ),
+            1..8,
+        )
+    ) {
+        use hdd::decompose::{decompose, ItemAccess};
+        let shapes: Vec<ItemAccess> = accesses
+            .iter()
+            .enumerate()
+            .map(|(i, (w, r))| ItemAccess::new(format!("s{i}"), w.clone(), r.clone()))
+            .collect();
+        let d = decompose(&shapes).expect("non-empty write sets always decompose");
+        for shape in &shapes {
+            let class = d.class_of_item(shape.writes[0]);
+            let profile = txn_model::TxnProfile {
+                class: Some(class),
+                read_segments: shape.reads.iter().map(|i| d.segment_of_item[i]).collect(),
+                write_segments: shape.writes.iter().map(|i| d.segment_of_item[i]).collect(),
+            };
+            prop_assert!(
+                d.hierarchy.validate_profile(&profile).is_ok(),
+                "shape {:?} must validate under the derived hierarchy",
+                shape.name
+            );
+        }
+    }
+
+    /// Transitive reduction preserves the closure; the reduction of a
+    /// TST is a semi-tree whose closure covers every original arc.
+    #[test]
+    fn reduction_laws(arcs in prop::collection::vec((0usize..8, 0usize..8), 0..20)) {
+        // Arcs forced downward (u > v) to guarantee a DAG.
+        let mut g = Digraph::new(8);
+        for (a, b) in arcs {
+            if a != b {
+                let (u, v) = if a > b { (a, b) } else { (b, a) };
+                g.add_arc(u, v);
+            }
+        }
+        let r = g.transitive_reduction();
+        prop_assert_eq!(
+            r.transitive_closure().arcs(),
+            g.transitive_closure().arcs()
+        );
+        if let Ok(red) = check_transitive_semi_tree(&g) {
+            // Every arc of a TST is covered by a critical path.
+            let cover = red.transitive_closure();
+            for (u, v) in g.arcs() {
+                prop_assert!(cover.has_arc(u, v), "arc ({u},{v}) not covered");
+            }
+        }
+    }
+}
+
+proptest! {
+    // Heavier end-to-end cases: fewer iterations.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Theorem 1 + Theorem 2, end to end: random tree hierarchies,
+    /// random programs (updates + on/off-chain read-only), random
+    /// interleavings — the HDD schedule is always serializable.
+    #[test]
+    fn hdd_schedules_are_always_serializable(
+        depth in 1usize..4,
+        fanout in 1usize..3,
+        ro_share in 0.0f64..0.6,
+        wl_seed in 0u64..10_000,
+        drv_seed in 0u64..10_000,
+    ) {
+        let mut w = Synthetic::new(SyntheticConfig {
+            depth,
+            fanout,
+            granules_per_segment: 12, // hot granules → real conflicts
+            read_only_share: ro_share,
+            off_chain_share: 0.5,
+            theta: 1.0,
+            ..SyntheticConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(wl_seed);
+        let programs: Vec<_> = (0..60).map(|_| w.generate(&mut rng)).collect();
+        let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+        let cfg = DriverConfig { seed: drv_seed, ..DriverConfig::default() };
+        let stats = run_interleaved(sched.as_ref(), programs, &cfg);
+        prop_assert_eq!(stats.stalled, 0, "stalled under seed {}", drv_seed);
+        prop_assert_eq!(
+            stats.serializable, Some(true),
+            "Theorem 1/2 violated: cycle {:?}", stats.cycle
+        );
+    }
+
+    /// A serialization order extracted from an acyclic dependency graph
+    /// places every transaction after everything it depends on.
+    #[test]
+    fn serialization_order_respects_dependencies(
+        wl_seed in 0u64..10_000,
+        drv_seed in 0u64..10_000,
+    ) {
+        use txn_model::DependencyGraph;
+        let mut w = Synthetic::new(SyntheticConfig {
+            depth: 3,
+            fanout: 2,
+            granules_per_segment: 8,
+            ..SyntheticConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(wl_seed);
+        let programs: Vec<_> = (0..40).map(|_| w.generate(&mut rng)).collect();
+        let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+        let cfg = DriverConfig { seed: drv_seed, ..DriverConfig::default() };
+        let _ = run_interleaved(sched.as_ref(), programs, &cfg);
+        let dg = DependencyGraph::from_log(sched.log());
+        let order = dg.serialization_order().expect("HDD schedules are acyclic");
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        for &t in dg.transactions() {
+            for d in dg.depends_on(t) {
+                prop_assert!(
+                    pos[&d] < pos[&t],
+                    "{d:?} must precede {t:?} in the serialization order"
+                );
+            }
+        }
+    }
+
+    /// The same end-to-end guarantee for the dependency checker's other
+    /// customers: MVTO and MV2PL runs must also verify (checker is not
+    /// HDD-specific).
+    #[test]
+    fn baseline_schedules_verify_too(
+        kind_idx in 0usize..2,
+        wl_seed in 0u64..10_000,
+    ) {
+        let kind = [SchedulerKind::Mvto, SchedulerKind::Mv2pl][kind_idx];
+        let mut w = Synthetic::new(SyntheticConfig {
+            depth: 2,
+            fanout: 2,
+            granules_per_segment: 10,
+            ..SyntheticConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(wl_seed);
+        let programs: Vec<_> = (0..50).map(|_| w.generate(&mut rng)).collect();
+        let (sched, _store) = build_scheduler(kind, &w);
+        let stats = run_interleaved(sched.as_ref(), programs, &DriverConfig::default());
+        prop_assert_eq!(stats.serializable, Some(true), "{} cycle {:?}", kind.name(), stats.cycle);
+    }
+}

@@ -1,0 +1,117 @@
+//! Crash recovery, end to end: run a real workload under HDD, crash at
+//! arbitrary log prefixes, recover into a fresh store, and verify
+//! atomicity and state equivalence independently of the recovery code.
+
+use mvstore::{recover, MvStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim::driver::{run_interleaved, DriverConfig};
+use sim::factory::{build_scheduler, SchedulerKind};
+use std::collections::HashMap;
+use txn_model::{GranuleId, ScheduleEvent, Timestamp, TxnId, Value};
+use workloads::inventory::{Inventory, InventoryConfig};
+use workloads::Workload;
+
+/// Independent oracle: the expected latest committed value per granule
+/// for a given log prefix.
+fn expected_state(events: &[ScheduleEvent]) -> HashMap<GranuleId, (Timestamp, Value)> {
+    let committed: std::collections::HashSet<TxnId> = events
+        .iter()
+        .filter_map(|e| match e {
+            ScheduleEvent::Commit { txn, .. } => Some(*txn),
+            _ => None,
+        })
+        .collect();
+    let mut state: HashMap<GranuleId, (Timestamp, Value)> = HashMap::new();
+    for e in events {
+        if let ScheduleEvent::Write {
+            txn,
+            granule,
+            version,
+            value,
+        } = e
+        {
+            if committed.contains(txn) {
+                let entry = state.entry(*granule).or_insert((*version, value.clone()));
+                if *version >= entry.0 {
+                    *entry = (*version, value.clone());
+                }
+            }
+        }
+    }
+    state
+}
+
+#[test]
+fn recovery_at_any_crash_point_is_atomic_and_exact() {
+    let mut w = Inventory::new(InventoryConfig {
+        items: 8,
+        ..InventoryConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(61);
+    let programs: Vec<_> = (0..120).map(|_| w.generate(&mut rng)).collect();
+    let (sched, _live_store) = build_scheduler(SchedulerKind::Hdd, &w);
+    let stats = run_interleaved(sched.as_ref(), programs, &DriverConfig::default());
+    assert_eq!(stats.serializable, Some(true));
+
+    let events = sched.log().events();
+    assert!(events.len() > 100);
+
+    // Crash at a spread of prefixes, including mid-transaction points.
+    let points = [
+        0,
+        1,
+        events.len() / 7,
+        events.len() / 3,
+        events.len() / 2,
+        events.len() - 1,
+        events.len(),
+    ];
+    for &crash in &points {
+        let prefix = &events[..crash];
+        let recovered = MvStore::new();
+        w.seed(&recovered); // reload the initial image
+        let report = recover(&recovered, prefix);
+
+        let expected = expected_state(prefix);
+        for (g, (_, v)) in &expected {
+            assert_eq!(
+                &recovered.latest_value(*g),
+                v,
+                "crash at {crash}: granule {g} diverged"
+            );
+        }
+        // Atomicity: no value from an uncommitted transaction surfaced.
+        // (expected_state only admits committed writers; equality above
+        // plus this spot check on version counts covers it.)
+        assert_eq!(report.versions_installed >= expected.len(), true);
+    }
+}
+
+#[test]
+fn recovered_store_supports_time_slices() {
+    // After recovery, historical reads still work (version history is
+    // rebuilt with original timestamps).
+    let mut w = Inventory::new(InventoryConfig {
+        items: 2,
+        ..InventoryConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(62);
+    let programs: Vec<_> = (0..60).map(|_| w.generate(&mut rng)).collect();
+    let (sched, live_store) = build_scheduler(SchedulerKind::Hdd, &w);
+    let _ = run_interleaved(sched.as_ref(), programs, &DriverConfig::default());
+    let events = sched.log().events();
+
+    let recovered = MvStore::new();
+    w.seed(&recovered);
+    recover(&recovered, &events);
+
+    // Latest values agree with the live store for every seeded granule.
+    for item in 0..2 {
+        let g = Inventory::inventory_level(item);
+        assert_eq!(recovered.latest_value(g), live_store.latest_value(g));
+        // And an arbitrary historical slice agrees too.
+        let mid = Timestamp(50);
+        assert_eq!(recovered.value_as_of(g, mid), live_store.value_as_of(g, mid));
+    }
+}
