@@ -101,7 +101,7 @@ impl Base {
     }
 
     /// Record a write in the schedule log and count it.
-    pub fn log_write(&self, txn: TxnId, g: GranuleId, version: Timestamp, value: Value) {
+    pub fn log_write(&self, txn: TxnId, g: GranuleId, version: Timestamp, value: Arc<Value>) {
         Metrics::bump(&self.metrics.writes);
         self.log.record(ScheduleEvent::Write {
             txn,
@@ -143,9 +143,9 @@ impl Base {
     pub fn commit_buffered(&self, id: TxnId, info: &TxnInfo) -> Timestamp {
         for &g in &info.buffer_order {
             let ts = self.clock.tick();
-            let value = info.buffer[&g].clone();
+            let value = Arc::new(info.buffer[&g].clone());
             self.store.with_chain(g, |c| {
-                let ok = c.install(ts, value.clone(), id, true);
+                let ok = c.install(ts, Arc::clone(&value), id, true);
                 debug_assert!(ok, "commit ticks are unique");
             });
             self.log_write(id, g, ts, value);

@@ -36,12 +36,13 @@ impl Mv2pl {
     }
 
     fn snapshot_read(&self, h: &TxnHandle, g: GranuleId) -> ReadOutcome {
-        let (value, version, writer) = self.base.store.with_chain(g, |c| {
-            match c.latest_committed_before(h.start_ts) {
-                Some(v) => (v.value.clone(), v.ts, v.writer),
-                None => (Value::Absent, Timestamp::ZERO, TxnId(0)),
-            }
-        });
+        let (value, version, writer) =
+            self.base
+                .store
+                .with_chain(g, |c| match c.latest_committed_before(h.start_ts) {
+                    Some(v) => (v.value.clone(), v.ts, v.writer),
+                    None => (Arc::new(Value::Absent), Timestamp::ZERO, TxnId(0)),
+                });
         self.base.log_read(h.id, g, version, writer);
         ReadOutcome::Value(value)
     }
@@ -52,16 +53,17 @@ impl Mv2pl {
             if let Some(info) = txns.get(&h.id) {
                 if let Some(v) = info.buffer.get(&g) {
                     Metrics::bump(&self.base.metrics.reads);
-                    return ReadOutcome::Value(v.clone());
+                    return ReadOutcome::Value(Arc::new(v.clone()));
                 }
             }
         }
-        let (value, version, writer) = self.base.store.with_chain(g, |c| {
-            match c.latest_committed() {
-                Some(v) => (v.value.clone(), v.ts, v.writer),
-                None => (Value::Absent, Timestamp::ZERO, TxnId(0)),
-            }
-        });
+        let (value, version, writer) =
+            self.base
+                .store
+                .with_chain(g, |c| match c.latest_committed() {
+                    Some(v) => (v.value.clone(), v.ts, v.writer),
+                    None => (Arc::new(Value::Absent), Timestamp::ZERO, TxnId(0)),
+                });
         self.base.log_read(h.id, g, version, writer);
         ReadOutcome::Value(value)
     }
@@ -188,10 +190,10 @@ mod tests {
         // Reader starts while the write lock is held: no block, sees the
         // pre-write snapshot.
         let r = s.begin(&readonly());
-        assert!(matches!(s.read(&r, g(1)), ReadOutcome::Value(Value::Int(10))));
+        assert!(matches!(s.read(&r, g(1)), ReadOutcome::Value(ref v) if **v == Value::Int(10)));
         assert!(matches!(s.commit(&w), CommitOutcome::Committed(_)));
         // Still the snapshot from its start.
-        assert!(matches!(s.read(&r, g(1)), ReadOutcome::Value(Value::Int(10))));
+        assert!(matches!(s.read(&r, g(1)), ReadOutcome::Value(ref v) if **v == Value::Int(10)));
         assert!(matches!(s.commit(&r), CommitOutcome::Committed(_)));
         let m = s.metrics().snapshot();
         assert_eq!(m.blocks, 0);
@@ -210,8 +212,8 @@ mod tests {
         s.write(&w, g(2), Value::Int(21));
         assert!(matches!(s.commit(&w), CommitOutcome::Committed(_)));
         // r sees neither write.
-        assert!(matches!(s.read(&r, g(1)), ReadOutcome::Value(Value::Int(10))));
-        assert!(matches!(s.read(&r, g(2)), ReadOutcome::Value(Value::Int(20))));
+        assert!(matches!(s.read(&r, g(1)), ReadOutcome::Value(ref v) if **v == Value::Int(10)));
+        assert!(matches!(s.read(&r, g(2)), ReadOutcome::Value(ref v) if **v == Value::Int(20)));
         assert!(matches!(s.commit(&r), CommitOutcome::Committed(_)));
         assert!(DependencyGraph::from_log(s.log()).is_serializable());
     }

@@ -58,10 +58,12 @@ impl Scheduler for Mvto {
     }
 
     fn write(&self, h: &TxnHandle, g: GranuleId, v: Value) -> WriteOutcome {
+        let v = Arc::new(v);
+        let value = Arc::clone(&v);
         let r = self
             .base
             .store
-            .with_chain(g, |c| c.mvto_write(h.start_ts, v.clone(), h.id));
+            .with_chain(g, |c| c.mvto_write(h.start_ts, value, h.id));
         match r {
             MvtoWriteResult::Installed => {
                 Metrics::bump(&self.base.metrics.write_registrations);
@@ -134,7 +136,7 @@ mod tests {
         assert_eq!(s.write(&new, g(1), Value::Int(20)), WriteOutcome::Done);
         assert!(matches!(s.commit(&new), CommitOutcome::Committed(_)));
         // Unlike basic TSO, the old reader is served the old version.
-        assert!(matches!(s.read(&old, g(1)), ReadOutcome::Value(Value::Int(10))));
+        assert!(matches!(s.read(&old, g(1)), ReadOutcome::Value(ref v) if **v == Value::Int(10)));
         assert!(matches!(s.commit(&old), CommitOutcome::Committed(_)));
         assert!(DependencyGraph::from_log(s.log()).is_serializable());
     }
@@ -169,7 +171,7 @@ mod tests {
         let r = s.begin(&profile());
         assert_eq!(s.read(&r, g(1)), ReadOutcome::Block);
         assert!(matches!(s.commit(&w), CommitOutcome::Committed(_)));
-        assert!(matches!(s.read(&r, g(1)), ReadOutcome::Value(Value::Int(99))));
+        assert!(matches!(s.read(&r, g(1)), ReadOutcome::Value(ref v) if **v == Value::Int(99)));
         assert!(matches!(s.commit(&r), CommitOutcome::Committed(_)));
         assert!(DependencyGraph::from_log(s.log()).is_serializable());
     }

@@ -44,16 +44,17 @@ impl Scheduler for NoControl {
             if let Some(info) = txns.get(&h.id) {
                 if let Some(v) = info.buffer.get(&g) {
                     Metrics::bump(&self.base.metrics.reads);
-                    return ReadOutcome::Value(v.clone());
+                    return ReadOutcome::Value(Arc::new(v.clone()));
                 }
             }
         }
-        let (value, version, writer) = self.base.store.with_chain(g, |c| {
-            match c.latest_committed() {
-                Some(v) => (v.value.clone(), v.ts, v.writer),
-                None => (Value::Absent, Timestamp::ZERO, TxnId(0)),
-            }
-        });
+        let (value, version, writer) =
+            self.base
+                .store
+                .with_chain(g, |c| match c.latest_committed() {
+                    Some(v) => (v.value.clone(), v.ts, v.writer),
+                    None => (Arc::new(Value::Absent), Timestamp::ZERO, TxnId(0)),
+                });
         self.base.log_read(h.id, g, version, writer);
         ReadOutcome::Value(value)
     }

@@ -152,16 +152,17 @@ impl Scheduler for Sdd1Pipeline {
             if let Some(info) = txns.get(&h.id) {
                 if let Some(v) = info.buffer.get(&g) {
                     Metrics::bump(&self.base.metrics.reads);
-                    return ReadOutcome::Value(v.clone());
+                    return ReadOutcome::Value(Arc::new(v.clone()));
                 }
             }
         }
-        let (value, version, writer) = self.base.store.with_chain(g, |c| {
-            match c.latest_committed() {
-                Some(v) => (v.value.clone(), v.ts, v.writer),
-                None => (Value::Absent, Timestamp::ZERO, TxnId(0)),
-            }
-        });
+        let (value, version, writer) =
+            self.base
+                .store
+                .with_chain(g, |c| match c.latest_committed() {
+                    Some(v) => (v.value.clone(), v.ts, v.writer),
+                    None => (Arc::new(Value::Absent), Timestamp::ZERO, TxnId(0)),
+                });
         self.base.log_read(h.id, g, version, writer);
         ReadOutcome::Value(value)
     }
@@ -258,7 +259,9 @@ mod tests {
         assert_eq!(s.write(&older, g(0, 1), Value::Int(7)), WriteOutcome::Done);
         assert!(matches!(s.commit(&older), CommitOutcome::Committed(_)));
         // Pipeline cleared.
-        assert!(matches!(s.read(&newer, g(0, 1)), ReadOutcome::Value(Value::Int(7))));
+        assert!(
+            matches!(s.read(&newer, g(0, 1)), ReadOutcome::Value(ref v) if **v == Value::Int(7))
+        );
         assert_eq!(s.write(&newer, g(1, 1), Value::Int(1)), WriteOutcome::Done);
         assert!(matches!(s.commit(&newer), CommitOutcome::Committed(_)));
         assert!(s.metrics().snapshot().blocks >= 1);
@@ -289,7 +292,7 @@ mod tests {
         assert_eq!(s.read(&ro, g(0, 1)), ReadOutcome::Block);
         s.write(&w, g(0, 1), Value::Int(3));
         assert!(matches!(s.commit(&w), CommitOutcome::Committed(_)));
-        assert!(matches!(s.read(&ro, g(0, 1)), ReadOutcome::Value(Value::Int(3))));
+        assert!(matches!(s.read(&ro, g(0, 1)), ReadOutcome::Value(ref v) if **v == Value::Int(3)));
         assert!(matches!(s.commit(&ro), CommitOutcome::Committed(_)));
     }
 

@@ -44,7 +44,7 @@ pub struct BasicTso {
 }
 
 enum TsoRead {
-    Value(Value, Timestamp, TxnId),
+    Value(Arc<Value>, Timestamp, TxnId),
     Block,
     Reject,
 }
@@ -82,7 +82,7 @@ impl Scheduler for BasicTso {
                 // committed value, no registration, no checks.
                 return match c.latest_committed() {
                     Some(v) => TsoRead::Value(v.value.clone(), v.ts, v.writer),
-                    None => TsoRead::Value(Value::Absent, Timestamp::ZERO, TxnId(0)),
+                    None => TsoRead::Value(Arc::new(Value::Absent), Timestamp::ZERO, TxnId(0)),
                 };
             }
             let (value, ts, writer, committed) = match c.latest() {
@@ -92,7 +92,7 @@ impl Scheduler for BasicTso {
                     latest.writer,
                     latest.committed,
                 ),
-                None => return TsoRead::Value(Value::Absent, Timestamp::ZERO, TxnId(0)),
+                None => return TsoRead::Value(Arc::new(Value::Absent), Timestamp::ZERO, TxnId(0)),
             };
             if writer == h.id {
                 return TsoRead::Value(value, ts, writer);
@@ -131,6 +131,7 @@ impl Scheduler for BasicTso {
     }
 
     fn write(&self, h: &TxnHandle, g: GranuleId, v: Value) -> WriteOutcome {
+        let v = Arc::new(v);
         enum W {
             Done,
             Block,
@@ -139,7 +140,7 @@ impl Scheduler for BasicTso {
         let r = self.base.store.with_chain(g, |c| {
             // Re-write of own pending version.
             if c.version_by_writer(h.id).map(|ver| ver.ts) == Some(h.start_ts) {
-                c.mvto_write(h.start_ts, v.clone(), h.id);
+                c.mvto_write(h.start_ts, Arc::clone(&v), h.id);
                 return W::Done;
             }
             if c.max_rts > h.start_ts {
@@ -149,7 +150,7 @@ impl Scheduler for BasicTso {
                 Some(latest) if latest.ts > h.start_ts => W::Reject,
                 Some(latest) if !latest.committed && latest.writer != h.id => W::Block,
                 _ => {
-                    let ok = c.install(h.start_ts, v.clone(), h.id, false);
+                    let ok = c.install(h.start_ts, Arc::clone(&v), h.id, false);
                     debug_assert!(ok);
                     W::Done
                 }
@@ -260,7 +261,7 @@ mod tests {
         let r = s.begin(&profile(0));
         assert_eq!(s.read(&r, g(0, 1)), ReadOutcome::Block);
         assert!(matches!(s.commit(&w), CommitOutcome::Committed(_)));
-        assert!(matches!(s.read(&r, g(0, 1)), ReadOutcome::Value(Value::Int(5))));
+        assert!(matches!(s.read(&r, g(0, 1)), ReadOutcome::Value(ref v) if **v == Value::Int(5)));
         assert!(matches!(s.commit(&r), CommitOutcome::Committed(_)));
     }
 

@@ -84,16 +84,21 @@ impl TwoPhaseLocking {
                     // meaningless for the dependency graph, so serve it
                     // without a log entry.
                     Metrics::bump(&self.base.metrics.reads);
-                    return ReadOutcome::Value(v.clone());
+                    return ReadOutcome::Value(Arc::new(v.clone()));
                 }
             }
         }
-        let (value, version, writer) = self.base.store.with_chain(g, |c| {
-            match c.latest_committed() {
-                Some(v) => (v.value.clone(), v.ts, v.writer),
-                None => (Value::Absent, txn_model::Timestamp::ZERO, txn_model::TxnId(0)),
-            }
-        });
+        let (value, version, writer) =
+            self.base
+                .store
+                .with_chain(g, |c| match c.latest_committed() {
+                    Some(v) => (v.value.clone(), v.ts, v.writer),
+                    None => (
+                        Arc::new(Value::Absent),
+                        txn_model::Timestamp::ZERO,
+                        txn_model::TxnId(0),
+                    ),
+                });
         self.base.log_read(h.id, g, version, writer);
         ReadOutcome::Value(value)
     }
@@ -196,10 +201,10 @@ mod tests {
     fn read_write_commit_cycle() {
         let s = setup(true);
         let t = s.begin(&update(0));
-        assert!(matches!(s.read(&t, g(0, 1)), ReadOutcome::Value(Value::Int(100))));
+        assert!(matches!(s.read(&t, g(0, 1)), ReadOutcome::Value(ref v) if **v == Value::Int(100)));
         assert_eq!(s.write(&t, g(0, 1), Value::Int(150)), WriteOutcome::Done);
         // Own write visible before commit.
-        assert!(matches!(s.read(&t, g(0, 1)), ReadOutcome::Value(Value::Int(150))));
+        assert!(matches!(s.read(&t, g(0, 1)), ReadOutcome::Value(ref v) if **v == Value::Int(150)));
         assert!(matches!(s.commit(&t), CommitOutcome::Committed(_)));
         assert_eq!(s.base.store.latest_value(g(0, 1)), Value::Int(150));
         assert!(DependencyGraph::from_log(s.log()).is_serializable());
@@ -273,7 +278,10 @@ mod tests {
         // t2 upgrade now deadlocks; t2 aborts and retries later.
         assert_eq!(s.write(&t2, g(0, 1), Value::Int(0)), WriteOutcome::Abort);
         s.abort(&t2);
-        assert_eq!(s.write(&t1, g(0, 1), Value::Int(v1 + 50)), WriteOutcome::Done);
+        assert_eq!(
+            s.write(&t1, g(0, 1), Value::Int(v1 + 50)),
+            WriteOutcome::Done
+        );
         assert!(matches!(s.commit(&t1), CommitOutcome::Committed(_)));
         assert_eq!(s.base.store.latest_value(g(0, 1)), Value::Int(150));
         assert!(DependencyGraph::from_log(s.log()).is_serializable());

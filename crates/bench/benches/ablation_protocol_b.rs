@@ -15,7 +15,10 @@ use workloads::inventory::{Inventory, InventoryConfig};
 fn ablation_protocol_b(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_protocol_b");
     group.sample_size(10);
-    for (name, mode) in [("mvto", ProtocolBMode::Mvto), ("basic_to", ProtocolBMode::BasicTo)] {
+    for (name, mode) in [
+        ("mvto", ProtocolBMode::Mvto),
+        ("basic_to", ProtocolBMode::BasicTo),
+    ] {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter_batched(
                 || {

@@ -16,19 +16,27 @@ fn figure07(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("figure07_follows");
     let cases = [
-        ("same-class", TxnCoord::new(ClassId(1), Timestamp(50)), TxnCoord::new(ClassId(1), Timestamp(20))),
-        ("t1-higher", TxnCoord::new(ClassId(0), Timestamp(50)), TxnCoord::new(ClassId(2), Timestamp(20))),
-        ("t2-higher", TxnCoord::new(ClassId(2), Timestamp(50)), TxnCoord::new(ClassId(0), Timestamp(20))),
+        (
+            "same-class",
+            TxnCoord::new(ClassId(1), Timestamp(50)),
+            TxnCoord::new(ClassId(1), Timestamp(20)),
+        ),
+        (
+            "t1-higher",
+            TxnCoord::new(ClassId(0), Timestamp(50)),
+            TxnCoord::new(ClassId(2), Timestamp(20)),
+        ),
+        (
+            "t2-higher",
+            TxnCoord::new(ClassId(2), Timestamp(50)),
+            TxnCoord::new(ClassId(0), Timestamp(20)),
+        ),
     ];
     for (name, t1, t2) in cases {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             let funcs = ActivityFuncs::new(&h, &registry);
             b.iter(|| {
-                topologically_follows(
-                    &funcs,
-                    std::hint::black_box(t1),
-                    std::hint::black_box(t2),
-                )
+                topologically_follows(&funcs, std::hint::black_box(t1), std::hint::black_box(t2))
             })
         });
     }

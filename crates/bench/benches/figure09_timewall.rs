@@ -20,9 +20,10 @@ fn wall_release_cost(c: &mut Criterion) {
             ..SyntheticConfig::default()
         });
         let (sched, _store, _h) = build_hdd_with_config(&w, HddConfig::default());
-        group.bench_function(BenchmarkId::new("idle_release", format!("depth{depth}")), |b| {
-            b.iter(|| sched.try_release_wall())
-        });
+        group.bench_function(
+            BenchmarkId::new("idle_release", format!("depth{depth}")),
+            |b| b.iter(|| sched.try_release_wall()),
+        );
     }
     group.finish();
 }

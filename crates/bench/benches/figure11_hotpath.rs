@@ -1,0 +1,70 @@
+//! **Figure 11 (extension): hot-path throughput** — multi-threaded
+//! closed-loop runs over the inventory workload, sweeping worker count
+//! for HDD against the strongest baselines. This is the wall-clock
+//! companion to `figure10_comparison` (which counts protocol work under
+//! the deterministic driver): it exercises the concurrent driver's
+//! atomic work-claiming cursor, the striped schedule log (disabled
+//! here, as in every bench), the sharded transaction table and the
+//! registry's settled-cursor fast path under real thread interleaving.
+//!
+//! The companion experiment (`cargo run --release -p sim --bin
+//! experiments -- hotpath`) reports absolute committed-txns/sec for the
+//! same sweep; this bench exists for regression tracking via criterion.
+
+use bench::programs;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim::concurrent::{run_concurrent, ConcurrentConfig};
+use sim::factory::{build_scheduler, SchedulerKind};
+use std::time::Duration;
+use workloads::inventory::{Inventory, InventoryConfig};
+
+fn figure11_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure11_hotpath");
+    group.sample_size(10);
+    for kind in [
+        SchedulerKind::Hdd,
+        SchedulerKind::Mvto,
+        SchedulerKind::TwoPl,
+    ] {
+        for workers in [1usize, 2, 4, 8] {
+            group.bench_function(
+                BenchmarkId::new(kind.name(), format!("workers{workers}")),
+                |b| {
+                    b.iter_batched(
+                        || {
+                            let mut w = Inventory::new(InventoryConfig {
+                                items: 64,
+                                ..InventoryConfig::default()
+                            });
+                            let batch = programs(&mut w, 400, 0x0F16_0011);
+                            let (sched, _store) = build_scheduler(kind, &w);
+                            (sched, batch)
+                        },
+                        |(sched, batch)| {
+                            let cfg = ConcurrentConfig {
+                                workers,
+                                verify: false,
+                                capture_log: false,
+                                maintenance_interval: Duration::from_micros(50),
+                                ..ConcurrentConfig::default()
+                            };
+                            run_concurrent(sched.as_ref(), batch, &cfg).stats.committed
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(2000))
+        .sample_size(10);
+    targets = figure11_hotpath
+}
+criterion_main!(benches);

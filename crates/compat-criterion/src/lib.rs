@@ -1,0 +1,320 @@
+//! Offline minimal stand-in for the subset of the `criterion` 0.5 API
+//! this workspace's benches use: `Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::{iter, iter_batched}`, `BenchmarkId`,
+//! `BatchSize`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment has no crates.io access, so external
+//! dependencies are replaced by in-workspace shims. This shim is a
+//! real (if unsophisticated) harness: it warms up, auto-scales the
+//! per-sample iteration count to the configured measurement time,
+//! collects `sample_size` samples, and prints mean / median / min
+//! ns-per-iteration to stdout. No HTML reports, no statistics beyond
+//! that.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// routine call regardless; the variant only exists for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Measurement state handed to each benchmark closure.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Mean ns per iteration over all samples, filled by `iter*`.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, auto-scaling iterations per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + estimate a single-iteration cost.
+        let warm_deadline = Instant::now() + self.config.warm_up;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        let per_sample =
+            self.config.measurement.as_nanos() as f64 / self.config.sample_size.max(1) as f64;
+        let iters = ((per_sample / est_ns) as u64).clamp(1, 1 << 24);
+
+        self.samples_ns.clear();
+        for _ in 0..self.config.sample_size.max(1) {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.config.warm_up;
+        let mut warm_iters: u64 = 0;
+        let mut warm_ns: u128 = 0;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            warm_ns += start.elapsed().as_nanos();
+            warm_iters += 1;
+        }
+        let est_ns = (warm_ns as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        let per_sample =
+            self.config.measurement.as_nanos() as f64 / self.config.sample_size.max(1) as f64;
+        let iters = ((per_sample / est_ns) as u64).clamp(1, 1 << 20);
+
+        self.samples_ns.clear();
+        for _ in 0..self.config.sample_size.max(1) {
+            let mut elapsed: u128 = 0;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                elapsed += start.elapsed().as_nanos();
+            }
+            self.samples_ns.push(elapsed as f64 / iters as f64);
+        }
+    }
+}
+
+fn report(group: Option<&str>, id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    println!("bench {name:<48} mean {mean:>12.1} ns/iter  median {median:>12.1}  min {min:>12.1}");
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Set the total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Run one free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher {
+            config: &self.config,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        report(None, id, &b.samples_ns);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Override the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            config: &self.config,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        report(Some(&self.name), &id.label, &b.samples_ns);
+        self
+    }
+
+    /// Finish the group (no-op beyond API parity).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, in either criterion macro form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3)
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        quick().bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+    }
+
+    #[test]
+    fn group_runs_with_ids() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function(BenchmarkId::from_parameter(8), |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.bench_function(BenchmarkId::new("f", 4), |b| b.iter(|| 2 + 2));
+        g.finish();
+    }
+}

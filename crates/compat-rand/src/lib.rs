@@ -1,0 +1,241 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: `SeedableRng::seed_from_u64`, `rngs::StdRng`, and the `Rng`
+//! extension methods `gen`, `gen_range`, `gen_bool`.
+//!
+//! The build environment has no crates.io access, so external
+//! dependencies are replaced by in-workspace shims. Determinism per
+//! seed is the property the simulators rely on; the generator here is
+//! SplitMix64, which passes BigCrush and is more than adequate for
+//! workload generation (we make no cryptographic claims). Streams are
+//! deterministic for a given seed but do NOT match upstream `rand`'s
+//! ChaCha-based `StdRng` output.
+
+#![warn(missing_docs)]
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit output.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values samplable uniformly from the generator's full output domain.
+pub trait Standard {
+    /// Sample one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+mod sealed {
+    /// Integer types usable with `gen_range`. `base` maps to an
+    /// order-preserving u64 so one uniform routine covers signed and
+    /// unsigned types.
+    pub trait RangeInt: Copy + PartialOrd {
+        fn to_base(self) -> u64;
+        fn from_base(v: u64) -> Self;
+    }
+
+    macro_rules! unsigned_range_int {
+        ($($t:ty),*) => {$(
+            impl RangeInt for $t {
+                fn to_base(self) -> u64 { self as u64 }
+                fn from_base(v: u64) -> Self { v as $t }
+            }
+        )*};
+    }
+    macro_rules! signed_range_int {
+        ($($t:ty : $u:ty),*) => {$(
+            impl RangeInt for $t {
+                fn to_base(self) -> u64 { (self as $u ^ (1 << (<$u>::BITS - 1))) as u64 }
+                fn from_base(v: u64) -> Self { ((v as $u) ^ (1 << (<$u>::BITS - 1))) as $t }
+            }
+        )*};
+    }
+    unsigned_range_int!(u8, u16, u32, u64, usize);
+    signed_range_int!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Inclusive bounds `(low, high)`; panics if empty.
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: sealed::RangeInt> SampleRange<T> for std::ops::Range<T> {
+    fn bounds(self) -> (T, T) {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let hi = T::from_base(self.end.to_base() - 1);
+        (self.start, hi)
+    }
+}
+
+impl<T: sealed::RangeInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        (lo, hi)
+    }
+}
+
+/// Extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform integer in `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: sealed::RangeInt,
+        R: SampleRange<T>,
+    {
+        let (lo, hi) = range.bounds();
+        let (lo_b, hi_b) = (lo.to_base(), hi.to_base());
+        let span = hi_b - lo_b; // inclusive span - 1
+        if span == u64::MAX {
+            return T::from_base(self.next_u64());
+        }
+        let n = span + 1;
+        // Debiased multiply-based bounded sampling (Lemire).
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return T::from_base(lo_b + v % n);
+            }
+        }
+    }
+
+    /// Bernoulli sample: true with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of [0,1]: {p}");
+        let x: f64 = self.gen();
+        x < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeded deterministic generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded RNG (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Common imports, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(0..10u64);
+            assert!(v < 10);
+            let w: i64 = r.gen_range(-5i64..=10);
+            assert!((-5..=10).contains(&w));
+            let u = r.gen_range(0..3usize);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+    }
+}

@@ -132,10 +132,22 @@ mod tests {
         r.begin(ClassId(0), ts(2));
         let f = ActivityFuncs::new(&h, &r);
         let pairs = [
-            (TxnCoord::new(ClassId(2), ts(7)), TxnCoord::new(ClassId(1), ts(4))),
-            (TxnCoord::new(ClassId(2), ts(7)), TxnCoord::new(ClassId(0), ts(2))),
-            (TxnCoord::new(ClassId(1), ts(4)), TxnCoord::new(ClassId(0), ts(2))),
-            (TxnCoord::new(ClassId(1), ts(1)), TxnCoord::new(ClassId(1), ts(6))),
+            (
+                TxnCoord::new(ClassId(2), ts(7)),
+                TxnCoord::new(ClassId(1), ts(4)),
+            ),
+            (
+                TxnCoord::new(ClassId(2), ts(7)),
+                TxnCoord::new(ClassId(0), ts(2)),
+            ),
+            (
+                TxnCoord::new(ClassId(1), ts(4)),
+                TxnCoord::new(ClassId(0), ts(2)),
+            ),
+            (
+                TxnCoord::new(ClassId(1), ts(1)),
+                TxnCoord::new(ClassId(1), ts(6)),
+            ),
         ];
         for (a, b) in pairs {
             let ab = topologically_follows(&f, a, b).unwrap();

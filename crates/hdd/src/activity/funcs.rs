@@ -48,14 +48,13 @@ impl<'a> ActivityFuncs<'a> {
     /// # Panics
     /// If no critical path `CP_i^j` exists.
     pub fn a_fn(&self, i: ClassId, j: ClassId, m: Timestamp) -> Timestamp {
-        let path = self
+        let hops = self
             .hierarchy
             .paths()
-            .critical_path(i.index(), j.index())
+            .a_hops(i.index(), j.index())
             .unwrap_or_else(|| panic!("A_{i}^{j} undefined: no critical path"));
-        path[1..]
-            .iter()
-            .fold(m, |cur, &c| self.registry.i_old(ClassId(c as u32), cur))
+        hops.iter()
+            .fold(m, |cur, &c| self.registry.i_old(ClassId(c), cur))
     }
 
     /// `A` anchored at a *fictitious class below `c`* (Section 5.0: a
@@ -64,13 +63,13 @@ impl<'a> ActivityFuncs<'a> {
     /// that path). Folds `I_old` over the path from `c` to `j`
     /// **including `c` itself**.
     pub fn a_fn_from_below(&self, c: ClassId, j: ClassId, m: Timestamp) -> Timestamp {
-        let path = self
+        let hops = self
             .hierarchy
             .paths()
-            .critical_path(c.index(), j.index())
+            .a_hops_inclusive(c.index(), j.index())
             .unwrap_or_else(|| panic!("A-from-below undefined: no critical path {c} → {j}"));
-        path.iter()
-            .fold(m, |cur, &cl| self.registry.i_old(ClassId(cl as u32), cur))
+        hops.iter()
+            .fold(m, |cur, &cl| self.registry.i_old(ClassId(cl), cur))
     }
 
     /// `B_j^i(m)`: fold `C_late` down the critical path from `j` to `i`,
@@ -79,14 +78,14 @@ impl<'a> ActivityFuncs<'a> {
     /// # Panics
     /// If no critical path `CP_i^j` exists.
     pub fn b_fn(&self, j: ClassId, i: ClassId, m: Timestamp) -> CLate {
-        let path = self
+        let hops = self
             .hierarchy
             .paths()
-            .critical_path(i.index(), j.index())
+            .a_hops(i.index(), j.index())
             .unwrap_or_else(|| panic!("B_{j}^{i} undefined: no critical path"));
         let mut cur = m;
-        for &c in path[1..].iter().rev() {
-            match self.registry.c_late(ClassId(c as u32), cur) {
+        for &c in hops.iter().rev() {
+            match self.registry.c_late(ClassId(c), cur) {
                 CLate::Time(t) => cur = t,
                 CLate::NotComputable => return CLate::NotComputable,
             }
@@ -102,21 +101,17 @@ impl<'a> ActivityFuncs<'a> {
     /// # Panics
     /// If `i` and `j` are in different components (no UCP).
     pub fn e_fn(&self, i: ClassId, j: ClassId, m: Timestamp) -> CLate {
-        let path = self
+        let steps = self
             .hierarchy
             .paths()
-            .undirected_critical_path(i.index(), j.index())
+            .e_steps(i.index(), j.index())
             .unwrap_or_else(|| panic!("E_{i}^{j} undefined: no UCP (different components)"));
         let mut cur = m;
-        for w in path.windows(2) {
-            let (a, b) = (w[0], w[1]);
-            if self.hierarchy.paths().is_critical_arc(a, b) {
-                // Upward step a → b: b is the higher class.
-                cur = self.registry.i_old(ClassId(b as u32), cur);
+        for &(is_up, c) in steps {
+            if is_up {
+                cur = self.registry.i_old(ClassId(c), cur);
             } else {
-                // Downward step: arc b → a, a is the higher class.
-                debug_assert!(self.hierarchy.paths().is_critical_arc(b, a));
-                match self.registry.c_late(ClassId(a as u32), cur) {
+                match self.registry.c_late(ClassId(c), cur) {
                     CLate::Time(t) => cur = t,
                     CLate::NotComputable => return CLate::NotComputable,
                 }

@@ -11,10 +11,34 @@
 //! issued with `m ≤ now`: a transaction still running at evaluation time
 //! has `C(t) > now ≥ m`, so its activity at `m` is already determined.
 //!
+//! # Hot-path structure
+//!
+//! Initiation timestamps come from a monotonic clock, so under
+//! [`ActivityRegistry::begin_with`] (which draws the timestamp *inside*
+//! the class lock) inserts are pure appends — no binary search, no
+//! memmove. Drawing the timestamp under the lock is also a correctness
+//! requirement, not just a fast path: it makes `I_old(m)` immutable for
+//! every `m ≤ now` (no transaction can later surface with a start below
+//! an already-evaluated bound), which is what Protocol A's bound proof
+//! assumes. A begin whose timestamp was drawn outside the lock could be
+//! observed by a concurrent bound evaluation *after* the tick but
+//! *before* the insert, yielding a bound above the newcomer's start —
+//! and with it, reads that straddle another transaction's commit.
+//!
+//! Queries exploit a lazily-advanced **settled cursor**: the longest
+//! prefix of (start-sorted) intervals in which every transaction has
+//! ended, together with the maximum end time inside that prefix. For a
+//! query at `m` at or above that maximum, no settled interval can still
+//! be active at `m` (its end is ≤ the maximum ≤ `m`), so the scan starts
+//! at the cursor and touches only the *active window* — O(active), not
+//! O(total history). The instrumented scan counter keeps this claim
+//! testable.
+//!
 //! History is pruned by garbage collection: an interval that ended before
 //! the GC watermark can never again satisfy `end > m` for future queries.
 
 use parking_lot::Mutex;
+use std::cell::Cell;
 use txn_model::{ClassId, Timestamp};
 
 /// Outcome of a `C_late` evaluation.
@@ -44,6 +68,15 @@ struct Interval {
 pub struct ClassActivity {
     /// Sorted ascending by `start` (starts are unique clock ticks).
     entries: Vec<Interval>,
+    /// Length of the longest all-ended prefix of `entries`.
+    settled: usize,
+    /// Maximum end time within the settled prefix (`ZERO` when empty).
+    settled_max_end: Timestamp,
+    /// Number of entries still running (`end == None`).
+    running: usize,
+    /// Intervals examined by `i_old`/`c_late` since construction
+    /// (instrumentation; `Cell` is fine — the struct lives in a mutex).
+    scans: Cell<u64>,
 }
 
 impl ClassActivity {
@@ -51,18 +84,69 @@ impl ClassActivity {
         self.entries.binary_search_by_key(&start, |e| e.start)
     }
 
+    /// Advance the settled cursor over every ended entry it now covers.
+    fn advance_settled(&mut self) {
+        while let Some(e) = self.entries.get(self.settled) {
+            match e.end {
+                Some(end) => {
+                    if end > self.settled_max_end {
+                        self.settled_max_end = end;
+                    }
+                    self.settled += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Recompute all cursors from scratch (cold paths: prune/absorb).
+    fn rebuild_cursors(&mut self) {
+        self.settled = 0;
+        self.settled_max_end = Timestamp::ZERO;
+        self.running = self.entries.iter().filter(|e| e.end.is_none()).count();
+        self.advance_settled();
+    }
+
+    /// First entry index a query at `m` must examine: entries below the
+    /// settled cursor have all ended at or before `settled_max_end`, so
+    /// for `m ≥ settled_max_end` none can satisfy `end > m`.
+    fn scan_start(&self, m: Timestamp) -> usize {
+        if m >= self.settled_max_end {
+            self.settled
+        } else {
+            0
+        }
+    }
+
     /// Record a transaction beginning at `start`.
     pub fn begin(&mut self, start: Timestamp) {
+        self.running += 1;
+        // Monotonic-clock fast path: strictly newer than everything seen.
+        if self.entries.last().is_none_or(|l| start > l.start) {
+            self.entries.push(Interval {
+                start,
+                end: None,
+                committed: false,
+            });
+            return;
+        }
+        // Out-of-order insert (absorbed histories, tests).
         match self.position(start) {
             Ok(_) => panic!("duplicate initiation timestamp {start}"),
-            Err(i) => self.entries.insert(
-                i,
-                Interval {
-                    start,
-                    end: None,
-                    committed: false,
-                },
-            ),
+            Err(i) => {
+                self.entries.insert(
+                    i,
+                    Interval {
+                        start,
+                        end: None,
+                        committed: false,
+                    },
+                );
+                if i < self.settled {
+                    // A running entry appeared inside the settled prefix.
+                    self.rebuild_cursors();
+                }
+            }
         }
     }
 
@@ -73,6 +157,10 @@ impl ClassActivity {
             debug_assert!(self.entries[i].end.is_none(), "transaction ended twice");
             self.entries[i].end = Some(end);
             self.entries[i].committed = committed;
+            self.running -= 1;
+            if i == self.settled {
+                self.advance_settled();
+            }
         } else {
             debug_assert!(false, "ending unknown transaction {start}");
         }
@@ -81,14 +169,18 @@ impl ClassActivity {
     /// `I_old(m)`: the initiation time of the oldest transaction active at
     /// `m`, or `m` itself when none is active.
     pub fn i_old(&self, m: Timestamp) -> Timestamp {
-        for e in &self.entries {
+        let mut scanned = 0u64;
+        for e in &self.entries[self.scan_start(m)..] {
+            scanned += 1;
             if e.start >= m {
                 break; // sorted: no further entry can have start < m
             }
             if e.end.is_none_or(|end| end > m) {
+                self.scans.set(self.scans.get() + scanned);
                 return e.start;
             }
         }
+        self.scans.set(self.scans.get() + scanned);
         m
     }
 
@@ -105,12 +197,17 @@ impl ClassActivity {
     /// the point where the (version-less) aborted transaction is gone.
     pub fn c_late(&self, m: Timestamp) -> CLate {
         let mut max_end = m;
-        for e in &self.entries {
+        let mut scanned = 0u64;
+        for e in &self.entries[self.scan_start(m)..] {
+            scanned += 1;
             if e.start > m {
                 break;
             }
             match e.end {
-                None => return CLate::NotComputable,
+                None => {
+                    self.scans.set(self.scans.get() + scanned);
+                    return CLate::NotComputable;
+                }
                 Some(end) => {
                     if e.start < m && end > m && end > max_end {
                         max_end = end;
@@ -118,13 +215,20 @@ impl ClassActivity {
                 }
             }
         }
+        self.scans.set(self.scans.get() + scanned);
         CLate::Time(max_end)
     }
 
     /// The initiation time of the oldest transaction still running, if
     /// any (GC watermark input).
     pub fn oldest_running(&self) -> Option<Timestamp> {
-        self.entries.iter().find(|e| e.end.is_none()).map(|e| e.start)
+        if self.running == 0 {
+            return None;
+        }
+        self.entries[self.settled..]
+            .iter()
+            .find(|e| e.end.is_none())
+            .map(|e| e.start)
     }
 
     /// Drop intervals that ended before `wm`; they can never satisfy
@@ -132,7 +236,11 @@ impl ClassActivity {
     pub fn prune_ended_before(&mut self, wm: Timestamp) -> usize {
         let before = self.entries.len();
         self.entries.retain(|e| e.end.is_none_or(|end| end >= wm));
-        before - self.entries.len()
+        let dropped = before - self.entries.len();
+        if dropped > 0 {
+            self.rebuild_cursors();
+        }
+        dropped
     }
 
     /// Number of retained intervals.
@@ -147,7 +255,12 @@ impl ClassActivity {
 
     /// True while any transaction of the class is running.
     pub fn has_running(&self) -> bool {
-        self.entries.iter().any(|e| e.end.is_none())
+        self.running > 0
+    }
+
+    /// Intervals examined by `i_old`/`c_late` since construction.
+    pub fn scan_count(&self) -> u64 {
+        self.scans.get()
     }
 
     /// Export all intervals as `(start, end, committed)` tuples
@@ -176,6 +289,7 @@ impl ClassActivity {
                 ),
             }
         }
+        self.rebuild_cursors();
     }
 }
 
@@ -205,14 +319,59 @@ impl ActivityRegistry {
         self.classes[class.index()].lock().begin(start);
     }
 
+    /// Draw an initiation timestamp from `tick` **while holding the class
+    /// lock**, record the begin, and return the timestamp.
+    ///
+    /// This is the only begin entry point safe under concurrency: any
+    /// bound evaluation (`i_old`) that could observe a time at or above
+    /// the new start is serialized after the insert by the class lock, so
+    /// `I_old(m)` stays immutable for `m ≤ now`. It also guarantees
+    /// per-class monotone starts, making the insert a pure append.
+    pub fn begin_with(&self, class: ClassId, tick: impl FnOnce() -> Timestamp) -> Timestamp {
+        let mut c = self.classes[class.index()].lock();
+        let start = tick();
+        c.begin(start);
+        start
+    }
+
     /// Record a commit in `class`.
     pub fn commit(&self, class: ClassId, start: Timestamp, commit_ts: Timestamp) {
-        self.classes[class.index()].lock().end(start, commit_ts, true);
+        self.classes[class.index()]
+            .lock()
+            .end(start, commit_ts, true);
     }
 
     /// Record an abort in `class`.
     pub fn abort(&self, class: ClassId, start: Timestamp, abort_ts: Timestamp) {
-        self.classes[class.index()].lock().end(start, abort_ts, false);
+        self.classes[class.index()]
+            .lock()
+            .end(start, abort_ts, false);
+    }
+
+    /// Draw a termination timestamp from `tick` **while holding the
+    /// class lock**, record the end, and return the timestamp.
+    ///
+    /// The end-side twin of [`begin_with`](Self::begin_with), and just as
+    /// load-bearing: if the end timestamp is drawn *outside* the lock,
+    /// there is a window where a transaction has terminated (its end
+    /// timestamp exists, possibly below some `m`) but the registry still
+    /// reports it active — so `I_old(m)` evaluates low now and high
+    /// later, and two readers bounding off the *same* `m` pick versions
+    /// in incompatible orders (a real dependency cycle at 8 workers).
+    /// Ticking under the lock guarantees every entry an evaluator counts
+    /// as "running, hence active at `m`" really does end at some
+    /// `e > m`, making `I_old`/`C_late` exact functions of `m`.
+    pub fn end_with(
+        &self,
+        class: ClassId,
+        start: Timestamp,
+        committed: bool,
+        tick: impl FnOnce() -> Timestamp,
+    ) -> Timestamp {
+        let mut c = self.classes[class.index()].lock();
+        let end = tick();
+        c.end(start, end, committed);
+        end
     }
 
     /// `I_old` of `class` at `m`.
@@ -246,6 +405,12 @@ impl ActivityRegistry {
         self.classes.iter().map(|c| c.lock().len()).sum()
     }
 
+    /// Total intervals examined by `i_old`/`c_late` across all classes
+    /// since construction (instrumentation for the O(active) claim).
+    pub fn scan_count(&self) -> u64 {
+        self.classes.iter().map(|c| c.lock().scan_count()).sum()
+    }
+
     /// True while any transaction of `class` is running.
     pub fn class_has_running(&self, class: ClassId) -> bool {
         self.classes[class.index()].lock().has_running()
@@ -257,11 +422,7 @@ impl ActivityRegistry {
     }
 
     /// Absorb intervals into `class`.
-    pub fn absorb_class(
-        &self,
-        class: ClassId,
-        intervals: &[(Timestamp, Option<Timestamp>, bool)],
-    ) {
+    pub fn absorb_class(&self, class: ClassId, intervals: &[(Timestamp, Option<Timestamp>, bool)]) {
         self.classes[class.index()].lock().absorb(intervals);
     }
 
@@ -329,7 +490,7 @@ mod tests {
         let mut a = ClassActivity::default();
         a.begin(ts(5));
         a.end(ts(5), ts(9), false); // aborted at 9
-        // Active for i_old purposes during (5, 9).
+                                    // Active for i_old purposes during (5, 9).
         assert_eq!(a.i_old(ts(7)), ts(5));
         assert_eq!(a.i_old(ts(10)), ts(10));
         // The abort end bounds C_late exactly like a commit would:
@@ -433,5 +594,65 @@ mod tests {
         assert_eq!(r.c_late(ClassId(0), ts(3)), CLate::Time(ts(5)));
         assert_eq!(r.interval_count(), 2);
         assert_eq!(r.prune_ended_before(ts(100)), 2);
+    }
+
+    #[test]
+    fn begin_with_draws_monotone_starts_under_the_lock() {
+        let r = ActivityRegistry::new(1);
+        let clock = txn_model::LogicalClock::new();
+        let mut starts = Vec::new();
+        for _ in 0..100 {
+            starts.push(r.begin_with(ClassId(0), || clock.tick()));
+        }
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(r.interval_count(), 100);
+    }
+
+    /// The O(active) acceptance criterion: after histories settle (or are
+    /// pruned), `i_old` cost is independent of how many transactions ever
+    /// began — the scan touches only the active window.
+    #[test]
+    fn i_old_scan_cost_independent_of_history_length() {
+        let probe = |total: u64| -> u64 {
+            let mut a = ClassActivity::default();
+            // `total` fully-ended transactions...
+            for i in 0..total {
+                let s = ts(2 * i + 1);
+                a.begin(s);
+                a.end(s, ts(2 * i + 2), true);
+            }
+            // ...plus a small live window.
+            let now = 2 * total + 10;
+            for k in 0..3 {
+                a.begin(ts(now + k));
+            }
+            let before = a.scan_count();
+            a.i_old(ts(now + 5));
+            a.scan_count() - before
+        };
+        let small = probe(100);
+        let large = probe(10_000);
+        assert_eq!(
+            small, large,
+            "i_old must not rescan the ended prefix (scan cost {small} vs {large})"
+        );
+        assert!(small <= 4, "scan bounded by the active window, got {small}");
+    }
+
+    /// Same independence claim via the registry + prune path.
+    #[test]
+    fn prune_resets_scan_window() {
+        let r = ActivityRegistry::new(1);
+        let c = ClassId(0);
+        for i in 0..1000u64 {
+            let s = ts(2 * i + 1);
+            r.begin(c, s);
+            r.commit(c, s, ts(2 * i + 2));
+        }
+        r.prune_ended_before(ts(5000));
+        assert_eq!(r.interval_count(), 0);
+        let before = r.scan_count();
+        assert_eq!(r.i_old(c, ts(5001)), ts(5001));
+        assert_eq!(r.scan_count() - before, 0, "nothing left to scan");
     }
 }

@@ -59,11 +59,7 @@ impl AccessSpec {
 /// Build the data hierarchy graph `DHG(P, T^u)` at **class** granularity:
 /// arcs between the classes of the written/accessed segments under
 /// `class_of` (identity grouping ⇒ the textbook segment-level DHG).
-pub fn build_dhg_grouped(
-    n_classes: usize,
-    specs: &[AccessSpec],
-    class_of: &[ClassId],
-) -> Digraph {
+pub fn build_dhg_grouped(n_classes: usize, specs: &[AccessSpec], class_of: &[ClassId]) -> Digraph {
     let mut g = Digraph::new(n_classes);
     for spec in specs {
         let accesses = spec.accesses();
@@ -189,9 +185,7 @@ impl Hierarchy {
         class_of: Vec<ClassId>,
         n_classes: usize,
     ) -> Result<Hierarchy, HierarchyError> {
-        if class_of.len() != n_segments
-            || class_of.iter().any(|c| c.index() >= n_classes)
-        {
+        if class_of.len() != n_segments || class_of.iter().any(|c| c.index() >= n_classes) {
             return Err(HierarchyError::BadGrouping);
         }
         for spec in specs {
@@ -433,13 +427,8 @@ mod tests {
             AccessSpec::new("w01", vec![s(0), s(1)], vec![s(2)]),
             AccessSpec::new("w2", vec![s(2)], vec![]),
         ];
-        let h = Hierarchy::build_grouped(
-            3,
-            &specs,
-            vec![ClassId(0), ClassId(0), ClassId(1)],
-            2,
-        )
-        .expect("grouped partition is a TST");
+        let h = Hierarchy::build_grouped(3, &specs, vec![ClassId(0), ClassId(0), ClassId(1)], 2)
+            .expect("grouped partition is a TST");
         assert_eq!(h.class_count(), 2);
         assert_eq!(h.class_of(s(1)), ClassId(0));
         assert_eq!(h.segments_of(ClassId(0)), vec![s(0), s(1)]);

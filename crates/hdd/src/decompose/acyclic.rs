@@ -124,9 +124,7 @@ pub fn repartition_to_tst_from(dhg: &Digraph, initial_merges: &[(usize, usize)])
         // loop re-checks).
         if let Some(cycle) = contracted.find_cycle() {
             // Map dense indices back to original representatives.
-            let originals: Vec<usize> = (0..n)
-                .filter(|&v| cycle.contains(&index_of[v]))
-                .collect();
+            let originals: Vec<usize> = (0..n).filter(|&v| cycle.contains(&index_of[v])).collect();
             let first = originals[0];
             for &v in &originals[1..] {
                 merges.push((first, v));
@@ -199,15 +197,21 @@ mod tests {
         // K2,2-ish mess plus extra arcs.
         let g = Digraph::from_arcs(
             6,
-            &[(0, 2), (1, 2), (0, 3), (1, 3), (4, 0), (4, 1), (5, 4), (5, 2)],
+            &[
+                (0, 2),
+                (1, 2),
+                (0, 3),
+                (1, 3),
+                (4, 0),
+                (4, 1),
+                (5, 4),
+                (5, 2),
+            ],
         );
         let plan = repartition_to_tst(&g);
         assert!(is_transitive_semi_tree(&plan.contracted));
         // Grouping is a function onto 0..n_classes.
-        assert!(plan
-            .group_of
-            .iter()
-            .all(|c| (c.index()) < plan.n_classes));
+        assert!(plan.group_of.iter().all(|c| (c.index()) < plan.n_classes));
         for cls in 0..plan.n_classes {
             assert!(plan.group_of.iter().any(|c| c.index() == cls));
         }

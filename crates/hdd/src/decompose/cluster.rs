@@ -165,12 +165,8 @@ pub fn decompose(accesses: &[ItemAccess]) -> Result<Decomposition, HierarchyErro
 
     // 4. Legalize by merging.
     let plan = repartition_to_tst(&dhg);
-    let hierarchy = Hierarchy::build_grouped(
-        n_prelim,
-        &specs,
-        plan.group_of.clone(),
-        plan.n_classes,
-    )?;
+    let hierarchy =
+        Hierarchy::build_grouped(n_prelim, &specs, plan.group_of.clone(), plan.n_classes)?;
 
     Ok(Decomposition {
         segment_of_item: prelim,

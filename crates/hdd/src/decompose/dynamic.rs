@@ -333,9 +333,12 @@ impl AdaptiveScheduler {
         if let Some((old, class_map)) = &e.old {
             if Arc::ptr_eq(old, sched) {
                 if let Some(class) = h.class {
-                    e.current
-                        .registry()
-                        .mirror_end(class_map[class.index()], h.start_ts, end, committed);
+                    e.current.registry().mirror_end(
+                        class_map[class.index()],
+                        h.start_ts,
+                        end,
+                        committed,
+                    );
                 }
             }
         }
@@ -640,7 +643,10 @@ mod tests {
         assert!(a2.is_restructuring()); // old epoch still draining
 
         // The unaffected txn commits in the old epoch and is mirrored.
-        assert!(matches!(a2.commit(&unaffected), CommitOutcome::Committed(_)));
+        assert!(matches!(
+            a2.commit(&unaffected),
+            CommitOutcome::Committed(_)
+        ));
         a2.maintenance();
         assert!(!a2.is_restructuring());
 

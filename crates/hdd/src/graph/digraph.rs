@@ -276,10 +276,7 @@ mod tests {
         let r = g.transitive_reduction();
         assert_eq!(r.arcs(), vec![(0, 1), (1, 2), (2, 3)]);
         // Reduction preserves reachability.
-        assert_eq!(
-            r.transitive_closure().arcs(),
-            g.transitive_closure().arcs()
-        );
+        assert_eq!(r.transitive_closure().arcs(), g.transitive_closure().arcs());
     }
 
     #[test]

@@ -15,6 +15,10 @@
 
 use super::digraph::Digraph;
 
+/// One `E_i^j` step: `(is_up, higher_class)` for a UCP arc — upward
+/// steps apply the class's `I_old`, downward steps its `C_late`.
+pub type UcpStep = (bool, u32);
+
 /// Precomputed path tables over a semi-tree reduction.
 #[derive(Debug, Clone)]
 pub struct PathTables {
@@ -24,6 +28,18 @@ pub struct PathTables {
     /// `ucp[i][j]` = the undirected critical path i ... j (inclusive), if
     /// i and j are in the same component.
     ucp: Vec<Vec<Option<Vec<usize>>>>,
+    /// Hot-path hop table: `cp_hops[i*n + j]` = the classes of `CP_i^j`
+    /// **excluding `i`**, as dense `u32`s — exactly the fold order of
+    /// `A_i^j` (and, reversed, of `B_j^i`). One pointer chase per
+    /// activity-link evaluation instead of nested `Vec` indexing.
+    cp_hops: Vec<Option<Box<[u32]>>>,
+    /// Like `cp_hops` but **including `i`** — the fold order of
+    /// `A`-from-below (read-only transactions on a chain).
+    cp_hops_incl: Vec<Option<Box<[u32]>>>,
+    /// Hot-path step table for `E_i^j`: for each UCP arc, `(is_up,
+    /// class)` where `class` is the *higher* class of the arc — upward
+    /// steps apply its `I_old`, downward steps its `C_late`.
+    ucp_steps: Vec<Option<Box<[UcpStep]>>>,
 }
 
 impl PathTables {
@@ -66,7 +82,42 @@ impl PathTables {
             }
         }
 
-        PathTables { reduction, cp, ucp }
+        // Derive the dense hop/step tables the activity-link functions
+        // fold over (see field docs).
+        let mut cp_hops = vec![None; n * n];
+        let mut cp_hops_incl = vec![None; n * n];
+        let mut ucp_steps = vec![None; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if let Some(path) = cp[i][j].as_deref() {
+                    cp_hops[i * n + j] = Some(path[1..].iter().map(|&c| c as u32).collect());
+                    cp_hops_incl[i * n + j] = Some(path.iter().map(|&c| c as u32).collect());
+                }
+                if let Some(path) = ucp[i][j].as_deref() {
+                    ucp_steps[i * n + j] = Some(
+                        path.windows(2)
+                            .map(|w| {
+                                if reduction.has_arc(w[0], w[1]) {
+                                    (true, w[1] as u32) // up into w[1]
+                                } else {
+                                    debug_assert!(reduction.has_arc(w[1], w[0]));
+                                    (false, w[0] as u32) // down out of w[0]
+                                }
+                            })
+                            .collect(),
+                    );
+                }
+            }
+        }
+
+        PathTables {
+            reduction,
+            cp,
+            ucp,
+            cp_hops,
+            cp_hops_incl,
+            ucp_steps,
+        }
     }
 
     /// Number of nodes.
@@ -87,6 +138,25 @@ impl PathTables {
     /// The critical path `CP_i^j` (nodes `i ... j` inclusive), if any.
     pub fn critical_path(&self, i: usize, j: usize) -> Option<&[usize]> {
         self.cp[i][j].as_deref()
+    }
+
+    /// The classes `A_i^j` folds `I_old` over, in order (the critical
+    /// path excluding `i`). `None` when no critical path exists.
+    pub fn a_hops(&self, i: usize, j: usize) -> Option<&[u32]> {
+        self.cp_hops[i * self.node_count() + j].as_deref()
+    }
+
+    /// Like [`a_hops`](Self::a_hops) but including `i` itself (the
+    /// `A`-from-below fold order).
+    pub fn a_hops_inclusive(&self, i: usize, j: usize) -> Option<&[u32]> {
+        self.cp_hops_incl[i * self.node_count() + j].as_deref()
+    }
+
+    /// The `(is_up, class)` steps `E_i^j` walks over `UCP_i^j`, where
+    /// `class` is the higher class of each arc. `None` when `i` and `j`
+    /// are in different components.
+    pub fn e_steps(&self, i: usize, j: usize) -> Option<&[UcpStep]> {
+        self.ucp_steps[i * self.node_count() + j].as_deref()
     }
 
     /// `T_j ↑ T_i`: node `j` is strictly higher than node `i`.
@@ -217,6 +287,24 @@ mod tests {
         assert_eq!(t.undirected_critical_path(3, 4).unwrap(), &[3, 1, 4]);
         assert_eq!(t.undirected_critical_path(3, 2).unwrap(), &[3, 1, 0, 2]);
         assert_eq!(t.undirected_critical_path(3, 0).unwrap(), &[3, 1, 0]);
+    }
+
+    #[test]
+    fn hop_tables_match_paths() {
+        let t = tree();
+        // a_hops = CP minus the base; inclusive keeps the base.
+        assert_eq!(t.a_hops(3, 0).unwrap(), &[1, 0]);
+        assert_eq!(t.a_hops_inclusive(3, 0).unwrap(), &[3, 1, 0]);
+        assert_eq!(t.a_hops(2, 2).unwrap(), &[] as &[u32]);
+        assert!(t.a_hops(0, 3).is_none());
+        // e_steps: 3 → 1 → 4 is up into 1 then down out of 1.
+        assert_eq!(t.e_steps(3, 4).unwrap(), &[(true, 1), (false, 1)]);
+        // 3 → 1 → 0 → 2: up, up, down out of 0.
+        assert_eq!(
+            t.e_steps(3, 2).unwrap(),
+            &[(true, 1), (true, 0), (false, 0)]
+        );
+        assert_eq!(t.e_steps(4, 4).unwrap(), &[] as &[(bool, u32)]);
     }
 
     #[test]

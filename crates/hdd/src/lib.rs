@@ -61,7 +61,7 @@
 //! let t = sched.begin(&TxnProfile::update(ClassId(1), vec![s(0)]));
 //! // Cross-class read: served without any read registration.
 //! match sched.read(&t, GranuleId::new(s(0), 1)) {
-//!     ReadOutcome::Value(v) => assert_eq!(v, Value::Int(7)),
+//!     ReadOutcome::Value(v) => assert_eq!(*v, Value::Int(7)),
 //!     other => panic!("{other:?}"),
 //! }
 //! sched.commit(&t);

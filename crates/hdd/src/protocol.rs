@@ -33,8 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use txn_model::{
     ClassId, CommitOutcome, GranuleId, LogicalClock, Metrics, ReadOutcome, ScheduleEvent,
-    ScheduleLog, Scheduler, Timestamp, TxnHandle, TxnId, TxnProfile, Value,
-    WriteOutcome,
+    ScheduleLog, Scheduler, Timestamp, TxnHandle, TxnId, TxnProfile, Value, WriteOutcome,
 };
 
 /// Intra-class (Protocol B) synchronization flavor.
@@ -64,6 +63,54 @@ struct TxnState {
     start: Timestamp,
     write_set: Vec<GranuleId>,
     ro_mode: Option<RoMode>,
+}
+
+/// Power-of-two shard count for the live-transaction table.
+const TXN_SHARDS: usize = 16;
+
+/// Live-transaction state, sharded by transaction id so concurrent
+/// workers touching different transactions never contend (ids are
+/// allocated sequentially, so `id & mask` spreads neighbors across
+/// shards). Mirrors how `MvStore` shards its chain map.
+#[derive(Debug)]
+struct TxnTable {
+    shards: Vec<Mutex<HashMap<TxnId, TxnState>>>,
+}
+
+impl TxnTable {
+    fn new() -> Self {
+        TxnTable {
+            shards: (0..TXN_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, id: TxnId) -> &Mutex<HashMap<TxnId, TxnState>> {
+        &self.shards[(id.0 as usize) & (TXN_SHARDS - 1)]
+    }
+
+    fn insert(&self, id: TxnId, st: TxnState) {
+        self.shard(id).lock().insert(id, st);
+    }
+
+    fn remove(&self, id: TxnId) -> Option<TxnState> {
+        self.shard(id).lock().remove(&id)
+    }
+
+    /// Run `f` on the transaction's state (if live) under its shard lock.
+    fn with<R>(&self, id: TxnId, f: impl FnOnce(Option<&mut TxnState>) -> R) -> R {
+        f(self.shard(id).lock().get_mut(&id))
+    }
+
+    /// Visit every live transaction (shard at a time; GC watermark scan).
+    fn for_each(&self, mut f: impl FnMut(&TxnState)) {
+        for shard in &self.shards {
+            for st in shard.lock().values() {
+                f(st);
+            }
+        }
+    }
 }
 
 /// Configuration for [`HddScheduler`].
@@ -125,7 +172,7 @@ pub struct HddScheduler {
     core: SchedulerCore,
     registry: ActivityRegistry,
     walls: TimeWallService,
-    txns: Mutex<HashMap<TxnId, TxnState>>,
+    txns: TxnTable,
     config: HddConfig,
     maintenance_calls: AtomicU64,
 }
@@ -151,7 +198,7 @@ impl HddScheduler {
             core,
             registry: ActivityRegistry::new(n),
             walls: TimeWallService::new(),
-            txns: Mutex::new(HashMap::new()),
+            txns: TxnTable::new(),
             config,
             maintenance_calls: AtomicU64::new(0),
         }
@@ -247,18 +294,15 @@ impl HddScheduler {
         if let Some(anchor) = self.walls.pending_anchor() {
             f = f.min(anchor);
         }
-        {
-            let txns = self.txns.lock();
-            for st in txns.values() {
-                if let Some(ro) = &st.ro_mode {
-                    let floor = match ro {
-                        RoMode::Wall { wall: Some(w) } => w.floor().min(w.anchor_time),
-                        _ => st.start,
-                    };
-                    f = f.min(floor);
-                }
+        self.txns.for_each(|st| {
+            if let Some(ro) = &st.ro_mode {
+                let floor = match ro {
+                    RoMode::Wall { wall: Some(w) } => w.floor().min(w.anchor_time),
+                    _ => st.start,
+                };
+                f = f.min(floor);
             }
-        }
+        });
         // Bounded descent: one round per class (the longest critical
         // path / UCP visits each class at most once).
         for _ in 0..self.hierarchy.class_count() {
@@ -281,7 +325,10 @@ impl HddScheduler {
     /// Protocol A read: serve the latest committed version below `bound`
     /// without registering anything.
     fn read_unregistered(&self, h: &TxnHandle, g: GranuleId, bound: Timestamp) -> ReadOutcome {
-        let r = self.core.store.with_chain(g, |c| c.read_before_unregistered(bound));
+        let r = self
+            .core
+            .store
+            .with_chain(g, |c| c.read_before_unregistered(bound));
         match r {
             MvtoReadResult::Value {
                 value,
@@ -395,7 +442,6 @@ impl Scheduler for HddScheduler {
             );
         }
         let id = TxnId(self.core.txn_ids.fetch_add(1, Ordering::Relaxed));
-        let start = self.core.clock.tick();
         Metrics::bump(&self.core.metrics.begins);
 
         let ro_mode = if profile.is_read_only() {
@@ -419,15 +465,25 @@ impl Scheduler for HddScheduler {
             None
         };
 
-        if let Some(class) = profile.class {
-            self.registry.begin(class, start);
-        }
+        // Classed transactions draw their initiation timestamp *inside*
+        // the class registry lock (`begin_with`): any concurrent
+        // activity-link evaluation either runs before the tick (and its
+        // bound cannot reach the new start) or after the insert (and
+        // sees the transaction as active). Ticking outside the lock
+        // opens a window where a bound computed from the registry
+        // overshoots a ticked-but-unregistered transaction, breaking
+        // the immutability of `I_old(m)` for `m ≤ now` that Protocol
+        // A's proof rests on.
+        let start = match profile.class {
+            Some(class) => self.registry.begin_with(class, || self.core.clock.tick()),
+            None => self.core.clock.tick(),
+        };
         self.core.log.record(ScheduleEvent::Begin {
             txn: id,
             start_ts: start,
             class: profile.class,
         });
-        self.txns.lock().insert(
+        self.txns.insert(
             id,
             TxnState {
                 class: profile.class,
@@ -446,16 +502,17 @@ impl Scheduler for HddScheduler {
     fn read(&self, h: &TxnHandle, g: GranuleId) -> ReadOutcome {
         let seg = g.segment;
         // Read-only transactions.
-        let ro = {
-            let txns = self.txns.lock();
-            txns.get(&h.id).and_then(|st| st.ro_mode.clone())
-        };
+        let ro = self
+            .txns
+            .with(h.id, |st| st.and_then(|s| s.ro_mode.clone()));
         if let Some(mode) = ro {
             return match mode {
                 RoMode::OnChain { base } => {
-                    let bound =
-                        self.funcs()
-                            .a_fn_from_below(base, self.hierarchy.class_of(seg), h.start_ts);
+                    let bound = self.funcs().a_fn_from_below(
+                        base,
+                        self.hierarchy.class_of(seg),
+                        h.start_ts,
+                    );
                     Metrics::bump(&self.core.metrics.cross_class_reads);
                     self.read_unregistered(h, g, bound)
                 }
@@ -469,11 +526,13 @@ impl Scheduler for HddScheduler {
                                 .or_else(|| self.walls.earliest());
                             match picked {
                                 Some(w) => {
-                                    if let Some(st) = self.txns.lock().get_mut(&h.id) {
-                                        st.ro_mode = Some(RoMode::Wall {
-                                            wall: Some(Arc::clone(&w)),
-                                        });
-                                    }
+                                    self.txns.with(h.id, |st| {
+                                        if let Some(st) = st {
+                                            st.ro_mode = Some(RoMode::Wall {
+                                                wall: Some(Arc::clone(&w)),
+                                            });
+                                        }
+                                    });
                                     w
                                 }
                                 None => {
@@ -514,15 +573,17 @@ impl Scheduler for HddScheduler {
             class,
             "update transactions write only inside their root class"
         );
+        // Wrap the payload once; the chain and the schedule log share it.
+        let v = Arc::new(v);
         let result = match self.config.protocol_b {
             ProtocolBMode::Mvto => {
-                let value = v.clone();
+                let value = Arc::clone(&v);
                 self.core
                     .store
                     .with_chain(g, |c| c.mvto_write(h.start_ts, value, h.id))
             }
             ProtocolBMode::BasicTo => {
-                let value = v.clone();
+                let value = Arc::clone(&v);
                 self.core.store.with_chain(g, |c| {
                     // Re-write of own pending version.
                     if c.version_by_writer(h.id).map(|ver| ver.ts) == Some(h.start_ts) {
@@ -559,12 +620,13 @@ impl Scheduler for HddScheduler {
                     version: h.start_ts,
                     value: v,
                 });
-                let mut txns = self.txns.lock();
-                if let Some(st) = txns.get_mut(&h.id) {
-                    if !st.write_set.contains(&g) {
-                        st.write_set.push(g);
+                self.txns.with(h.id, |st| {
+                    if let Some(st) = st {
+                        if !st.write_set.contains(&g) {
+                            st.write_set.push(g);
+                        }
                     }
-                }
+                });
                 WriteOutcome::Done
             }
             MvtoWriteResult::Rejected => {
@@ -575,16 +637,24 @@ impl Scheduler for HddScheduler {
     }
 
     fn commit(&self, h: &TxnHandle) -> CommitOutcome {
-        let st = self.txns.lock().remove(&h.id);
+        let st = self.txns.remove(h.id);
         let Some(st) = st else {
             return CommitOutcome::Aborted; // unknown / already finished
         };
-        // Chains first, then the registry (see module docs).
+        // Chains first, then the registry (see module docs). The commit
+        // timestamp is drawn *inside* the class registry lock
+        // (`end_with`), the end-side twin of `begin_with`: ticking
+        // outside the lock leaves a window where a terminated
+        // transaction still looks active, so `I_old(m)` evaluates low
+        // for one reader and high for another at the same `m` —
+        // incompatible version choices, a dependency cycle.
         self.core.store.commit_writes(h.id, &st.write_set);
-        let commit_ts = self.core.clock.tick();
-        if let Some(class) = st.class {
-            self.registry.commit(class, st.start, commit_ts);
-        }
+        let commit_ts = match st.class {
+            Some(class) => self
+                .registry
+                .end_with(class, st.start, true, || self.core.clock.tick()),
+            None => self.core.clock.tick(),
+        };
         self.core.log.record(ScheduleEvent::Commit {
             txn: h.id,
             commit_ts,
@@ -594,12 +664,19 @@ impl Scheduler for HddScheduler {
     }
 
     fn abort(&self, h: &TxnHandle) {
-        let st = self.txns.lock().remove(&h.id);
+        let st = self.txns.remove(h.id);
         let Some(st) = st else { return };
         self.core.store.abort_writes(h.id, &st.write_set);
-        let abort_ts = self.core.clock.tick();
-        if let Some(class) = st.class {
-            self.registry.abort(class, st.start, abort_ts);
+        // Abort timestamps are drawn under the class lock for the same
+        // reason as commit timestamps (see `commit` above).
+        match st.class {
+            Some(class) => {
+                self.registry
+                    .end_with(class, st.start, false, || self.core.clock.tick());
+            }
+            None => {
+                self.core.clock.tick();
+            }
         }
         self.core.log.record(ScheduleEvent::Abort { txn: h.id });
         Metrics::bump(&self.core.metrics.aborts);
@@ -679,13 +756,16 @@ mod tests {
         let sched = setup(ProtocolBMode::Mvto);
         // t1 writes an event record and commits.
         let t1 = sched.begin(&profile_t1());
-        assert_eq!(sched.write(&t1, g(0, 1), Value::Int(42)), WriteOutcome::Done);
+        assert_eq!(
+            sched.write(&t1, g(0, 1), Value::Int(42)),
+            WriteOutcome::Done
+        );
         assert!(matches!(sched.commit(&t1), CommitOutcome::Committed(_)));
 
         // t2 reads the event cross-class without registration.
         let t2 = sched.begin(&profile_t2());
         match sched.read(&t2, g(0, 1)) {
-            ReadOutcome::Value(v) => assert_eq!(v, Value::Int(42)),
+            ReadOutcome::Value(v) => assert_eq!(*v, Value::Int(42)),
             other => panic!("expected value, got {other:?}"),
         }
         assert!(matches!(sched.commit(&t2), CommitOutcome::Committed(_)));
@@ -706,7 +786,7 @@ mod tests {
         // initial version, and never blocks.
         let t2 = sched.begin(&profile_t2());
         match sched.read(&t2, g(0, 1)) {
-            ReadOutcome::Value(v) => assert_eq!(v, Value::Int(0)),
+            ReadOutcome::Value(v) => assert_eq!(*v, Value::Int(0)),
             other => panic!("expected initial value, got {other:?}"),
         }
         assert!(matches!(sched.commit(&t2), CommitOutcome::Committed(_)));
@@ -737,7 +817,10 @@ mod tests {
         let ta = sched.begin(&profile_t1());
         let tb = sched.begin(&profile_t1());
         assert!(matches!(sched.read(&tb, g(0, 1)), ReadOutcome::Value(_)));
-        assert_eq!(sched.write(&ta, g(0, 1), Value::Int(1)), WriteOutcome::Abort);
+        assert_eq!(
+            sched.write(&ta, g(0, 1), Value::Int(1)),
+            WriteOutcome::Abort
+        );
         sched.abort(&ta);
         assert!(matches!(sched.commit(&tb), CommitOutcome::Committed(_)));
         let m = sched.metrics().snapshot();
@@ -807,17 +890,17 @@ mod tests {
         // after the release use it directly.
         assert!(sched.try_release_wall());
         match sched.read(&ro, g(1, 1)) {
-            ReadOutcome::Value(v) => assert_eq!(v, Value::Int(11)),
+            ReadOutcome::Value(v) => assert_eq!(*v, Value::Int(11)),
             other => panic!("expected value after wall release, got {other:?}"),
         }
         assert!(matches!(sched.commit(&ro), CommitOutcome::Committed(_)));
         let ro2 = sched.begin(&TxnProfile::read_only(vec![s(1), s(2)]));
         match sched.read(&ro2, g(1, 1)) {
-            ReadOutcome::Value(v) => assert_eq!(v, Value::Int(11)),
+            ReadOutcome::Value(v) => assert_eq!(*v, Value::Int(11)),
             other => panic!("expected value, got {other:?}"),
         }
         match sched.read(&ro2, g(2, 1)) {
-            ReadOutcome::Value(v) => assert_eq!(v, Value::Int(22)),
+            ReadOutcome::Value(v) => assert_eq!(*v, Value::Int(22)),
             other => panic!("expected value, got {other:?}"),
         }
         assert!(matches!(sched.commit(&ro2), CommitOutcome::Committed(_)));

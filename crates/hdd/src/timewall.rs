@@ -44,7 +44,11 @@ impl TimeWall {
     /// The smallest component (garbage-collection floor for readers
     /// pinned to this wall).
     pub fn floor(&self) -> Timestamp {
-        self.components.iter().copied().min().unwrap_or(Timestamp::MAX)
+        self.components
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Timestamp::MAX)
     }
 }
 
@@ -260,7 +264,9 @@ mod tests {
         let w2 = svc.try_release(&h, &f, ts(20), || clock.tick()).unwrap();
         assert!(svc.latest_released_before(w1.released_at).is_none());
         assert_eq!(
-            svc.latest_released_before(w1.released_at.succ()).unwrap().anchor_time,
+            svc.latest_released_before(w1.released_at.succ())
+                .unwrap()
+                .anchor_time,
             w1.anchor_time
         );
         assert_eq!(

@@ -13,6 +13,7 @@
 //!
 //! Chains also expose pruning for time-wall-driven garbage collection.
 
+use std::sync::Arc;
 use txn_model::{Timestamp, TxnId, Value};
 
 /// One version of a granule.
@@ -22,8 +23,9 @@ pub struct Version {
     /// transaction under timestamp ordering, or the commit sequence number
     /// under locking protocols. Unique within a chain.
     pub ts: Timestamp,
-    /// The value.
-    pub value: Value,
+    /// The value (shared with readers and the schedule log: serving a
+    /// committed read bumps a reference count, never copies the payload).
+    pub value: Arc<Value>,
     /// Creating transaction.
     pub writer: TxnId,
     /// Whether the creating transaction has committed.
@@ -38,8 +40,8 @@ pub struct Version {
 pub enum MvtoReadResult {
     /// Read served: value plus the version's identity (ts, writer).
     Value {
-        /// The version's value.
-        value: Value,
+        /// The version's value (shared, not copied).
+        value: Arc<Value>,
         /// The version's write timestamp.
         version: Timestamp,
         /// The version's creator.
@@ -64,6 +66,12 @@ pub enum MvtoWriteResult {
     Blocked,
 }
 
+/// The shared `Absent` payload served for never-written granules.
+fn absent() -> Arc<Value> {
+    static ABSENT: std::sync::OnceLock<Arc<Value>> = std::sync::OnceLock::new();
+    Arc::clone(ABSENT.get_or_init(|| Arc::new(Value::Absent)))
+}
+
 /// A granule's versions, ordered by write timestamp.
 #[derive(Debug, Default, Clone)]
 pub struct VersionChain {
@@ -85,7 +93,7 @@ impl VersionChain {
         let mut c = Self::new();
         c.versions.push(Version {
             ts: Timestamp::ZERO,
-            value,
+            value: Arc::new(value),
             writer: TxnId(0),
             committed: true,
             rts: Timestamp::ZERO,
@@ -115,7 +123,13 @@ impl VersionChain {
     /// Install a version with write timestamp `ts`. Returns `false` if a
     /// version with this timestamp already exists (caller bug under
     /// unique-timestamp protocols).
-    pub fn install(&mut self, ts: Timestamp, value: Value, writer: TxnId, committed: bool) -> bool {
+    pub fn install(
+        &mut self,
+        ts: Timestamp,
+        value: Arc<Value>,
+        writer: TxnId,
+        committed: bool,
+    ) -> bool {
         match self.insertion_point(ts) {
             Ok(_) => false,
             Err(i) => {
@@ -164,11 +178,7 @@ impl VersionChain {
     /// skipped — skipping one would let the reader miss a write it must be
     /// ordered after); record `rts`.
     pub fn mvto_read(&mut self, ts: Timestamp) -> MvtoReadResult {
-        let candidate = self
-            .versions
-            .iter_mut()
-            .rev()
-            .find(|v| v.ts < ts);
+        let candidate = self.versions.iter_mut().rev().find(|v| v.ts < ts);
         match candidate {
             Some(v) if !v.committed => MvtoReadResult::BlockOn(v.writer),
             Some(v) => {
@@ -185,7 +195,7 @@ impl VersionChain {
             // implicit initial version (chains are normally seeded, so
             // this arises only for never-seeded granules).
             None => MvtoReadResult::Value {
-                value: Value::Absent,
+                value: absent(),
                 version: Timestamp::ZERO,
                 writer: TxnId(0),
             },
@@ -206,7 +216,7 @@ impl VersionChain {
                 writer: v.writer,
             },
             None => MvtoReadResult::Value {
-                value: Value::Absent,
+                value: absent(),
                 version: Timestamp::ZERO,
                 writer: TxnId(0),
             },
@@ -217,7 +227,12 @@ impl VersionChain {
     /// version with write ts `< ts`; if `v.rts > ts`, a younger
     /// transaction already read `v` and would be invalidated — reject.
     /// Otherwise install a pending version at `ts`.
-    pub fn mvto_write(&mut self, ts: Timestamp, value: Value, writer: TxnId) -> MvtoWriteResult {
+    pub fn mvto_write(
+        &mut self,
+        ts: Timestamp,
+        value: Arc<Value>,
+        writer: TxnId,
+    ) -> MvtoWriteResult {
         // Re-writes by the same transaction overwrite its pending version.
         if let Ok(i) = self.insertion_point(ts) {
             debug_assert_eq!(self.versions[i].writer, writer);
@@ -292,7 +307,12 @@ mod tests {
     fn chain_with(tss: &[(u64, i64, u64, bool)]) -> VersionChain {
         let mut c = VersionChain::new();
         for &(ts, val, writer, committed) in tss {
-            assert!(c.install(Timestamp(ts), Value::Int(val), TxnId(writer), committed));
+            assert!(c.install(
+                Timestamp(ts),
+                Arc::new(Value::Int(val)),
+                TxnId(writer),
+                committed
+            ));
         }
         c
     }
@@ -302,7 +322,7 @@ mod tests {
         let mut c = chain_with(&[(5, 50, 1, true), (2, 20, 2, true), (9, 90, 3, true)]);
         let tss: Vec<u64> = c.versions().iter().map(|v| v.ts.raw()).collect();
         assert_eq!(tss, vec![2, 5, 9]);
-        assert!(!c.install(Timestamp(5), Value::Int(0), TxnId(9), true));
+        assert!(!c.install(Timestamp(5), Arc::new(Value::Int(0)), TxnId(9), true));
     }
 
     #[test]
@@ -321,7 +341,7 @@ mod tests {
         let c = VersionChain::seeded(Value::Int(100));
         let v = c.latest_committed_before(Timestamp(1)).unwrap();
         assert_eq!(v.ts, Timestamp::ZERO);
-        assert_eq!(v.value, Value::Int(100));
+        assert_eq!(*v.value, Value::Int(100));
         assert_eq!(v.writer, TxnId(0));
     }
 
@@ -331,7 +351,7 @@ mod tests {
         assert_eq!(
             c.mvto_read(Timestamp(10)),
             MvtoReadResult::Value {
-                value: Value::Int(1),
+                value: Arc::new(Value::Int(1)),
                 version: Timestamp::ZERO,
                 writer: TxnId(0)
             }
@@ -342,22 +362,25 @@ mod tests {
         assert_eq!(c.versions()[0].rts, Timestamp(10));
 
         // Pending version in range blocks.
-        c.install(Timestamp(7), Value::Int(7), TxnId(3), false);
-        assert_eq!(c.mvto_read(Timestamp(10)), MvtoReadResult::BlockOn(TxnId(3)));
+        c.install(Timestamp(7), Arc::new(Value::Int(7)), TxnId(3), false);
+        assert_eq!(
+            c.mvto_read(Timestamp(10)),
+            MvtoReadResult::BlockOn(TxnId(3))
+        );
     }
 
     #[test]
     fn mvto_write_rejected_by_younger_read() {
         let mut c = VersionChain::seeded(Value::Int(1));
         c.mvto_read(Timestamp(10)); // rts of v0 = 10
-        // Writer with ts 5 would invalidate the ts-10 read of v0.
+                                    // Writer with ts 5 would invalidate the ts-10 read of v0.
         assert_eq!(
-            c.mvto_write(Timestamp(5), Value::Int(5), TxnId(2)),
+            c.mvto_write(Timestamp(5), Arc::new(Value::Int(5)), TxnId(2)),
             MvtoWriteResult::Rejected
         );
         // Writer with ts 11 is fine.
         assert_eq!(
-            c.mvto_write(Timestamp(11), Value::Int(11), TxnId(3)),
+            c.mvto_write(Timestamp(11), Arc::new(Value::Int(11)), TxnId(3)),
             MvtoWriteResult::Installed
         );
         assert!(!c.versions().last().unwrap().committed);
@@ -367,25 +390,25 @@ mod tests {
     fn mvto_rewrite_by_same_txn_overwrites_pending() {
         let mut c = VersionChain::seeded(Value::Int(1));
         assert_eq!(
-            c.mvto_write(Timestamp(5), Value::Int(5), TxnId(2)),
+            c.mvto_write(Timestamp(5), Arc::new(Value::Int(5)), TxnId(2)),
             MvtoWriteResult::Installed
         );
         assert_eq!(
-            c.mvto_write(Timestamp(5), Value::Int(6), TxnId(2)),
+            c.mvto_write(Timestamp(5), Arc::new(Value::Int(6)), TxnId(2)),
             MvtoWriteResult::Installed
         );
-        assert_eq!(c.version_by_writer(TxnId(2)).unwrap().value, Value::Int(6));
+        assert_eq!(*c.version_by_writer(TxnId(2)).unwrap().value, Value::Int(6));
         assert_eq!(c.len(), 2);
     }
 
     #[test]
     fn commit_and_abort_cleanup() {
         let mut c = VersionChain::seeded(Value::Int(1));
-        c.mvto_write(Timestamp(5), Value::Int(5), TxnId(2));
+        c.mvto_write(Timestamp(5), Arc::new(Value::Int(5)), TxnId(2));
         c.commit_writer(TxnId(2));
         assert!(c.versions().last().unwrap().committed);
 
-        c.mvto_write(Timestamp(8), Value::Int(8), TxnId(3));
+        c.mvto_write(Timestamp(8), Arc::new(Value::Int(8)), TxnId(3));
         c.remove_writer_pending(TxnId(3));
         assert_eq!(c.len(), 2);
         assert!(c.version_by_writer(TxnId(3)).is_none());
@@ -397,13 +420,13 @@ mod tests {
     #[test]
     fn unregistered_read_leaves_no_rts() {
         let mut c = VersionChain::seeded(Value::Int(1));
-        c.mvto_write(Timestamp(5), Value::Int(5), TxnId(2));
+        c.mvto_write(Timestamp(5), Arc::new(Value::Int(5)), TxnId(2));
         c.commit_writer(TxnId(2));
         let r = c.read_before_unregistered(Timestamp(6));
         assert_eq!(
             r,
             MvtoReadResult::Value {
-                value: Value::Int(5),
+                value: Arc::new(Value::Int(5)),
                 version: Timestamp(5),
                 writer: TxnId(2)
             }
@@ -426,34 +449,37 @@ mod tests {
         let tss: Vec<u64> = c.versions().iter().map(|v| v.ts.raw()).collect();
         assert_eq!(tss, vec![3, 4, 9]);
         // Snapshot below the watermark still served correctly.
-        assert_eq!(c.latest_committed_before(Timestamp(4)).unwrap().ts, Timestamp(3));
+        assert_eq!(
+            c.latest_committed_before(Timestamp(4)).unwrap().ts,
+            Timestamp(3)
+        );
     }
 
     #[test]
     fn mvto_read_bound_is_strict() {
         let mut c = VersionChain::new();
-        c.install(Timestamp(5), Value::Int(5), TxnId(1), true);
+        c.install(Timestamp(5), Arc::new(Value::Int(5)), TxnId(1), true);
         // A reader AT ts 5 must not see the ts-5 version (strict <).
         assert_eq!(
             c.mvto_read(Timestamp(5)),
             MvtoReadResult::Value {
-                value: Value::Absent,
+                value: absent(),
                 version: Timestamp::ZERO,
                 writer: TxnId(0)
             }
         );
         assert!(matches!(
             c.mvto_read(Timestamp(6)),
-            MvtoReadResult::Value { value: Value::Int(5), .. }
+            MvtoReadResult::Value { ref value, .. } if **value == Value::Int(5)
         ));
     }
 
     #[test]
     fn version_by_writer_returns_newest_of_that_writer() {
         let mut c = VersionChain::new();
-        c.install(Timestamp(1), Value::Int(1), TxnId(7), true);
-        c.install(Timestamp(3), Value::Int(3), TxnId(8), true);
-        c.install(Timestamp(5), Value::Int(5), TxnId(7), true);
+        c.install(Timestamp(1), Arc::new(Value::Int(1)), TxnId(7), true);
+        c.install(Timestamp(3), Arc::new(Value::Int(3)), TxnId(8), true);
+        c.install(Timestamp(5), Arc::new(Value::Int(5)), TxnId(7), true);
         assert_eq!(c.version_by_writer(TxnId(7)).unwrap().ts, Timestamp(5));
         assert_eq!(c.version_by_writer(TxnId(8)).unwrap().ts, Timestamp(3));
         assert!(c.version_by_writer(TxnId(9)).is_none());
@@ -462,7 +488,7 @@ mod tests {
     #[test]
     fn unregistered_read_blocks_on_misused_pending_bound() {
         let mut c = VersionChain::seeded(Value::Int(1));
-        c.install(Timestamp(5), Value::Int(5), TxnId(2), false);
+        c.install(Timestamp(5), Arc::new(Value::Int(5)), TxnId(2), false);
         // A bound that admits the pending version blocks defensively.
         assert_eq!(
             c.read_before_unregistered(Timestamp(10)),
@@ -471,15 +497,15 @@ mod tests {
         // A bound below it reads through.
         assert!(matches!(
             c.read_before_unregistered(Timestamp(5)),
-            MvtoReadResult::Value { value: Value::Int(1), .. }
+            MvtoReadResult::Value { ref value, .. } if **value == Value::Int(1)
         ));
     }
 
     #[test]
     fn prune_with_only_pending_keeps_everything() {
         let mut c = VersionChain::new();
-        c.install(Timestamp(1), Value::Int(1), TxnId(1), false);
-        c.install(Timestamp(2), Value::Int(2), TxnId(2), false);
+        c.install(Timestamp(1), Arc::new(Value::Int(1)), TxnId(1), false);
+        c.install(Timestamp(2), Arc::new(Value::Int(2)), TxnId(2), false);
         assert_eq!(c.prune_before(Timestamp(10)), 0);
         assert_eq!(c.len(), 2);
     }
@@ -488,7 +514,7 @@ mod tests {
     fn prune_on_empty_or_all_newer_is_noop() {
         let mut c = VersionChain::new();
         assert_eq!(c.prune_before(Timestamp(5)), 0);
-        c.install(Timestamp(9), Value::Int(9), TxnId(1), true);
+        c.install(Timestamp(9), Arc::new(Value::Int(9)), TxnId(1), true);
         assert_eq!(c.prune_before(Timestamp(5)), 0);
         assert_eq!(c.len(), 1);
     }

@@ -292,7 +292,7 @@ mod tests {
         assert_eq!(lt.try_acquire(c, g(2), Shared), Granted);
         assert_eq!(lt.try_acquire(b, g(1), Exclusive), Waiting);
         assert_eq!(lt.try_acquire(c, g(1), Shared), Waiting); // queued behind B
-        // A closing the cycle must be told, not left waiting forever.
+                                                              // A closing the cycle must be told, not left waiting forever.
         assert_eq!(lt.try_acquire(a, g(2), Exclusive), Deadlock);
         lt.release_all(a);
         // The remaining waiters drain.

@@ -96,7 +96,7 @@ mod tests {
             txn: TxnId(t),
             granule: g(key),
             version: Timestamp(ts),
-            value: Value::Int(val),
+            value: std::sync::Arc::new(Value::Int(val)),
         }
     }
 
@@ -157,7 +157,14 @@ mod tests {
         let store = MvStore::new();
         store.seed(g(1), Value::Int(7));
         let report = recover(&store, &[]);
-        assert_eq!(report, RecoveryReport { redone: 0, rolled_back: 0, versions_installed: 0 });
+        assert_eq!(
+            report,
+            RecoveryReport {
+                redone: 0,
+                rolled_back: 0,
+                versions_installed: 0
+            }
+        );
         assert_eq!(store.latest_value(g(1)), Value::Int(7));
     }
 }

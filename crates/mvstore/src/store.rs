@@ -8,12 +8,24 @@
 
 use crate::chain::VersionChain;
 use parking_lot::Mutex;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use txn_model::{GranuleId, Timestamp, TxnId, Value};
 
+/// Power-of-two shard count, indexed by mask instead of `%`.
 const SHARDS: usize = 64;
+
+/// Fibonacci multiply-shift mixer over the granule's raw bits. A
+/// `GranuleId` is `(segment, key)` with low entropy in both words;
+/// multiplying by the 64-bit golden-ratio constant diffuses that into
+/// the high bits, which the shift then selects. No hasher state is
+/// constructed per access (the previous `DefaultHasher`-per-call did a
+/// full SipHash setup and finalization on every chain touch).
+#[inline]
+fn shard_index(g: GranuleId) -> usize {
+    let raw = (g.segment.0 as u64) << 48 ^ g.key;
+    let mixed = raw.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (mixed >> (64 - SHARDS.trailing_zeros())) as usize & (SHARDS - 1)
+}
 
 /// A concurrent granule → version-chain map.
 #[derive(Debug)]
@@ -30,9 +42,7 @@ impl MvStore {
     }
 
     fn shard(&self, g: GranuleId) -> &Mutex<HashMap<GranuleId, VersionChain>> {
-        let mut h = DefaultHasher::new();
-        g.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+        &self.shards[shard_index(g)]
     }
 
     /// Seed `g` with a committed initial version (write timestamp ZERO).
@@ -96,7 +106,7 @@ impl MvStore {
     pub fn latest_value(&self, g: GranuleId) -> Value {
         self.with_chain(g, |c| {
             c.latest_committed()
-                .map(|v| v.value.clone())
+                .map(|v| (*v.value).clone())
                 .unwrap_or(Value::Absent)
         })
     }
@@ -111,7 +121,7 @@ impl MvStore {
     pub fn value_as_of(&self, g: GranuleId, ts: Timestamp) -> Value {
         self.with_chain(g, |c| {
             c.latest_committed_before(ts)
-                .map(|v| v.value.clone())
+                .map(|v| (*v.value).clone())
                 .unwrap_or(Value::Absent)
         })
     }
@@ -126,6 +136,7 @@ impl Default for MvStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use txn_model::SegmentId;
 
     fn g(seg: u32, key: u64) -> GranuleId {
@@ -147,7 +158,7 @@ mod tests {
         let gs = [g(0, 1), g(0, 2)];
         for &gr in &gs {
             s.with_chain(gr, |c| {
-                c.mvto_write(Timestamp(5), Value::Int(5), TxnId(7));
+                c.mvto_write(Timestamp(5), Arc::new(Value::Int(5)), TxnId(7));
             });
         }
         s.commit_writes(TxnId(7), &gs);
@@ -155,7 +166,7 @@ mod tests {
 
         for &gr in &gs {
             s.with_chain(gr, |c| {
-                c.mvto_write(Timestamp(8), Value::Int(8), TxnId(9));
+                c.mvto_write(Timestamp(8), Arc::new(Value::Int(8)), TxnId(9));
             });
         }
         s.abort_writes(TxnId(9), &gs);
@@ -169,7 +180,7 @@ mod tests {
             s.seed(g(0, key), Value::Int(0));
             for ts in 1..5u64 {
                 s.with_chain(g(0, key), |c| {
-                    c.mvto_write(Timestamp(ts), Value::Int(ts as i64), TxnId(ts));
+                    c.mvto_write(Timestamp(ts), Arc::new(Value::Int(ts as i64)), TxnId(ts));
                     c.commit_writer(TxnId(ts));
                 });
             }
@@ -191,7 +202,12 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for k in 0..100 {
                     s.with_chain(g(0, k % 10), |c| {
-                        c.install(Timestamp(t * 1000 + k + 1), Value::Int(1), TxnId(t + 1), true);
+                        c.install(
+                            Timestamp(t * 1000 + k + 1),
+                            Arc::new(Value::Int(1)),
+                            TxnId(t + 1),
+                            true,
+                        );
                     });
                 }
             }));

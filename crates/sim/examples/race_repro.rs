@@ -1,0 +1,39 @@
+//! Hunt for the intermittent 8-worker HDD serializability failure.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim::concurrent::{run_concurrent, ConcurrentConfig};
+use sim::factory::{build_scheduler, SchedulerKind};
+use workloads::inventory::{Inventory, InventoryConfig};
+use workloads::Workload;
+
+fn main() {
+    for round in 0..200 {
+        let mut w = Inventory::new(InventoryConfig {
+            items: 64,
+            ..InventoryConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(0x00F1_6011 + round);
+        let programs: Vec<_> = (0..20_000).map(|_| w.generate(&mut rng)).collect();
+        let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+        let cfg = ConcurrentConfig {
+            workers: 8,
+            ..ConcurrentConfig::default()
+        };
+        let out = run_concurrent(sched.as_ref(), programs, &cfg);
+        if out.stats.serializable == Some(false) {
+            println!("round {round}: CYCLE {:?}", out.stats.cycle);
+            let cyc = out.stats.cycle.clone().unwrap();
+            let evs = sched.log().events();
+            for ev in &evs {
+                if cyc.contains(&ev.txn()) {
+                    println!("{ev:?}");
+                }
+            }
+            return;
+        }
+        if round % 10 == 0 {
+            println!("round {round}: ok");
+        }
+    }
+    println!("no failure in 200 rounds");
+}

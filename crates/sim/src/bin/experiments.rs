@@ -1,12 +1,19 @@
 //! Regenerate every figure of the paper as a measured table.
 //!
 //! ```text
-//! cargo run --release -p sim --bin experiments          # full sizes
-//! cargo run --release -p sim --bin experiments -- quick # CI sizes
+//! cargo run --release -p sim --bin experiments            # full sizes
+//! cargo run --release -p sim --bin experiments -- quick   # CI sizes
+//! cargo run --release -p sim --bin experiments -- hotpath # E13 only,
+//!                                                         # emits BENCH_hotpath.json
 //! ```
 
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
+    let hotpath_only = std::env::args().any(|a| a == "hotpath");
+    if hotpath_only {
+        println!("{}", sim::experiments::e13_hotpath::run(quick));
+        return;
+    }
     println!(
         "Hierarchical Database Decomposition (Hsu 1982/83) — experiment suite ({} mode)",
         if quick { "quick" } else { "full" }

@@ -17,11 +17,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use txn_model::program::ReadCtx;
 use txn_model::{
     CommitOutcome, DependencyGraph, MetricsSnapshot, ReadOutcome, Scheduler, Step, TxnHandle,
     TxnId, TxnProgram, WriteOutcome,
 };
-use txn_model::program::ReadCtx;
 
 /// Driver configuration.
 #[derive(Debug, Clone)]

@@ -61,7 +61,10 @@ mod tests {
     #[test]
     fn figure3_shape_holds() {
         let t = run();
-        assert_eq!(t.cell("2pl-no-cross-read-locks", "serializable"), Some("false"));
+        assert_eq!(
+            t.cell("2pl-no-cross-read-locks", "serializable"),
+            Some("false")
+        );
         assert_eq!(t.cell("2pl-no-cross-read-locks", "cycle_len"), Some("3"));
         assert_eq!(t.cell("2pl", "serializable"), Some("true"));
         assert_eq!(t.cell("hdd", "serializable"), Some("true"));

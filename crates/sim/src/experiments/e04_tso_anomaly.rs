@@ -59,7 +59,10 @@ mod tests {
     #[test]
     fn figure4_shape_holds() {
         let t = run();
-        assert_eq!(t.cell("tso-no-cross-read-ts", "serializable"), Some("false"));
+        assert_eq!(
+            t.cell("tso-no-cross-read-ts", "serializable"),
+            Some("false")
+        );
         assert_eq!(t.cell("tso-no-cross-read-ts", "cycle_len"), Some("3"));
         assert_eq!(t.cell("tso", "serializable"), Some("true"));
         // Correct TSO pays with a rejection (the oldest txn aborts).

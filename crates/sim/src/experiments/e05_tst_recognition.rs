@@ -51,7 +51,11 @@ pub fn random_dag(n: usize, p: f64, rng: &mut StdRng) -> Digraph {
 
 /// Run E5.
 pub fn run(quick: bool) -> Table {
-    let sizes: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 64, 128] };
+    let sizes: &[usize] = if quick {
+        &[8, 16]
+    } else {
+        &[8, 16, 32, 64, 128]
+    };
     let trials = if quick { 50 } else { 200 };
     let mut table = Table::new(
         "E5 / Figure 5 — TST recognition over random graphs",
@@ -63,13 +67,17 @@ pub fn run(quick: bool) -> Table {
         for (family, gen) in [
             (
                 "tree+induced",
-                Box::new(|rng: &mut StdRng| random_tst(n, rng)) as Box<dyn Fn(&mut StdRng) -> Digraph>,
+                Box::new(|rng: &mut StdRng| random_tst(n, rng))
+                    as Box<dyn Fn(&mut StdRng) -> Digraph>,
             ),
             ("sparse-dag(p=2/n)", {
                 let p = (2.0 / n as f64).min(1.0);
                 Box::new(move |rng: &mut StdRng| random_dag(n, p, rng))
             }),
-            ("dense-dag(p=0.3)", Box::new(move |rng: &mut StdRng| random_dag(n, 0.3, rng))),
+            (
+                "dense-dag(p=0.3)",
+                Box::new(move |rng: &mut StdRng| random_dag(n, 0.3, rng)),
+            ),
         ] {
             let graphs: Vec<Digraph> = (0..trials).map(|_| gen(&mut rng)).collect();
             let start = Instant::now();

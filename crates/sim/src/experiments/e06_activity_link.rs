@@ -42,7 +42,13 @@ pub fn run(quick: bool) -> Table {
 
     let mut table = Table::new(
         "E6 / Figure 6 — activity link function evaluation cost",
-        &["depth", "active_per_class", "evals", "ns_per_eval", "result_ts"],
+        &[
+            "depth",
+            "active_per_class",
+            "evals",
+            "ns_per_eval",
+            "result_ts",
+        ],
     );
     for &depth in depths {
         for &active in actives {

@@ -17,12 +17,7 @@ pub fn run(quick: bool) -> Table {
     let grid = if quick { 12u64 } else { 30 };
     let mut table = Table::new(
         "E7 / Figure 7 — the ⇒ relation: property checks and cost",
-        &[
-            "check",
-            "cases",
-            "violations",
-            "ns_per_eval",
-        ],
+        &["check", "cases", "violations", "ns_per_eval"],
     );
 
     let h = chain_hierarchy(3);

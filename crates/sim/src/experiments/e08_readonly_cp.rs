@@ -93,7 +93,12 @@ mod tests {
         // HDD: reports + cross-class reads all unregistered; only
         // root-segment Protocol B reads register. 2PL/TSO/MVTO register
         // every read including all report reads.
-        assert!(regs("hdd") < regs("2pl") / 2, "hdd {} vs 2pl {}", regs("hdd"), regs("2pl"));
+        assert!(
+            regs("hdd") < regs("2pl") / 2,
+            "hdd {} vs 2pl {}",
+            regs("hdd"),
+            regs("2pl")
+        );
         assert!(regs("hdd") < regs("mvto") / 2);
         // MV2PL also spares read-only transactions, but still registers
         // update transactions' cross-class reads — HDD registers fewer.

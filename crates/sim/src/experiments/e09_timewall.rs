@@ -100,12 +100,7 @@ mod tests {
             let serial = &row[t.headers.iter().position(|h| h == "serializable").unwrap()];
             assert_eq!(serial, "true");
         }
-        let walls = |k: &str| {
-            t.cell(k, "walls_released")
-                .unwrap()
-                .parse::<u64>()
-                .unwrap()
-        };
+        let walls = |k: &str| t.cell(k, "walls_released").unwrap().parse::<u64>().unwrap();
         // Shorter interval → more walls.
         assert!(walls("2") > walls("16"));
         // Audits actually used the walls.

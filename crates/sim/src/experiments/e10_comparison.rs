@@ -56,10 +56,7 @@ pub fn run(quick: bool) -> Table {
             "serializable",
         ],
     );
-    for (workload_name, make) in [
-        ("inventory", true),
-        ("synthetic-d4", false),
-    ] {
+    for (workload_name, make) in [("inventory", true), ("synthetic-d4", false)] {
         for &kind in ALL_KINDS {
             let stats = if make {
                 let (w, programs) = inventory_batch(n_txns);

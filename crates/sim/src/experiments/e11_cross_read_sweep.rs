@@ -57,7 +57,11 @@ pub fn run(quick: bool) -> Table {
             if kind == SchedulerKind::Hdd {
                 hdd_regs = regs;
             } else {
-                let ratio = if hdd_regs > 0.0 { regs / hdd_regs } else { f64::INFINITY };
+                let ratio = if hdd_regs > 0.0 {
+                    regs / hdd_regs
+                } else {
+                    f64::INFINITY
+                };
                 cells.push(f2(hdd_regs));
                 cells.push(f2(regs));
                 cells.push(if ratio.is_finite() {
@@ -97,7 +101,11 @@ mod tests {
         );
         // Even at 0 ancestor reads HDD never registers MORE than MVTO.
         let hdd0: f64 = t.cell("0", "hdd_regs_per_commit").unwrap().parse().unwrap();
-        let mvto0: f64 = t.cell("0", "mvto_regs_per_commit").unwrap().parse().unwrap();
+        let mvto0: f64 = t
+            .cell("0", "mvto_regs_per_commit")
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(hdd0 <= mvto0);
     }
 }

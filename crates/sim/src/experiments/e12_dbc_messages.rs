@@ -120,9 +120,7 @@ pub fn tally(
         }
         SchedulerKind::Tso | SchedulerKind::Mvto => remote_reads + 2 * blocks,
         SchedulerKind::Sdd1 => 2 * blocks,
-        SchedulerKind::Hdd => {
-            2 * blocks + walls_released * hierarchy.class_count() as u64
-        }
+        SchedulerKind::Hdd => 2 * blocks + walls_released * hierarchy.class_count() as u64,
         _ => 2 * remote_registered + 2 * blocks,
     };
     t
@@ -182,12 +180,8 @@ mod tests {
     #[test]
     fn hdd_minimizes_inter_level_sync_traffic() {
         let t = run(true);
-        let sync = |k: &str| -> f64 {
-            t.cell(k, "sync_msgs_per_commit").unwrap().parse().unwrap()
-        };
-        let data = |k: &str| -> f64 {
-            t.cell(k, "data_msgs_per_commit").unwrap().parse().unwrap()
-        };
+        let sync = |k: &str| -> f64 { t.cell(k, "sync_msgs_per_commit").unwrap().parse().unwrap() };
+        let data = |k: &str| -> f64 { t.cell(k, "data_msgs_per_commit").unwrap().parse().unwrap() };
         // Everyone moves (roughly) the same data...
         assert!((data("hdd") - data("2pl")).abs() < data("hdd") * 0.5);
         // ...but HDD's synchronization chatter is the smallest of the

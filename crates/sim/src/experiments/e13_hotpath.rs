@@ -1,0 +1,150 @@
+//! **E13 — hot-path throughput trajectory** (no paper figure; ours).
+//!
+//! Wall-clock committed-transactions-per-second for HDD vs. MVTO vs.
+//! 2PL on the inventory workload at 1/2/4/8 worker threads, driven by
+//! the concurrent driver. Emits `BENCH_hotpath.json` next to the
+//! terminal tables so every future change has a perf trajectory to
+//! compare against:
+//!
+//! ```text
+//! cargo run --release -p sim --bin experiments -- hotpath
+//! ```
+
+use crate::concurrent::{run_concurrent, ConcurrentConfig};
+use crate::experiments::e02_inventory::batch;
+use crate::factory::{build_scheduler, SchedulerKind};
+use crate::report::{f2, Table};
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct HotpathPoint {
+    /// Scheduler measured.
+    pub scheduler: &'static str,
+    /// Worker threads.
+    pub workers: usize,
+    /// Programs offered.
+    pub offered: usize,
+    /// Transactions committed.
+    pub committed: usize,
+    /// Wall-clock seconds.
+    pub elapsed_s: f64,
+    /// Committed transactions per second.
+    pub commits_per_sec: f64,
+    /// Operation attempts per second (reads+writes+commit attempts).
+    pub ops_per_sec: f64,
+    /// Post-hoc dependency-graph verdict.
+    pub serializable: bool,
+}
+
+const SCHEDULERS: &[SchedulerKind] = &[
+    SchedulerKind::Hdd,
+    SchedulerKind::Mvto,
+    SchedulerKind::TwoPl,
+];
+
+/// Run the sweep and return the raw points.
+pub fn sweep(quick: bool) -> Vec<HotpathPoint> {
+    let n_txns = if quick { 200 } else { 20_000 };
+    let worker_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut points = Vec::new();
+    for &kind in SCHEDULERS {
+        for &workers in worker_counts {
+            let (w, programs) = batch(n_txns, 0x00F1_6011);
+            let (sched, _store) = build_scheduler(kind, &w);
+            let cfg = ConcurrentConfig {
+                workers,
+                ..ConcurrentConfig::default()
+            };
+            let out = run_concurrent(sched.as_ref(), programs, &cfg);
+            points.push(HotpathPoint {
+                scheduler: kind.name(),
+                workers,
+                offered: n_txns,
+                committed: out.stats.committed,
+                elapsed_s: out.elapsed.as_secs_f64(),
+                commits_per_sec: out.throughput,
+                ops_per_sec: out.stats.steps as f64 / out.elapsed.as_secs_f64().max(1e-9),
+                serializable: out.stats.serializable.unwrap_or(false),
+            });
+        }
+    }
+    points
+}
+
+/// Serialize the sweep as JSON (hand-rolled; no serde in this build).
+pub fn to_json(points: &[HotpathPoint]) -> String {
+    let mut s = String::from(
+        "{\n  \"experiment\": \"hotpath\",\n  \"workload\": \"inventory\",\n  \"results\": [\n",
+    );
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"scheduler\": \"{}\", \"workers\": {}, \"offered\": {}, \"committed\": {}, \
+             \"elapsed_s\": {:.6}, \"commits_per_sec\": {:.1}, \"ops_per_sec\": {:.1}, \
+             \"serializable\": {}}}{}\n",
+            p.scheduler,
+            p.workers,
+            p.offered,
+            p.committed,
+            p.elapsed_s,
+            p.commits_per_sec,
+            p.ops_per_sec,
+            p.serializable,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Run E13 and return the table. Full runs write `BENCH_hotpath.json`
+/// into the current directory; quick (smoke) runs leave the canonical
+/// artifact alone.
+pub fn run(quick: bool) -> Table {
+    let points = sweep(quick);
+    if !quick {
+        if let Err(e) = std::fs::write("BENCH_hotpath.json", to_json(&points)) {
+            eprintln!("warning: could not write BENCH_hotpath.json: {e}");
+        }
+    }
+    let mut table = Table::new(
+        "E13 — hot-path throughput (inventory, concurrent driver)",
+        &[
+            "scheduler",
+            "workers",
+            "committed",
+            "commits_per_sec",
+            "ops_per_sec",
+            "serializable",
+        ],
+    );
+    for p in &points {
+        table.row(&[
+            p.scheduler.to_string(),
+            p.workers.to_string(),
+            p.committed.to_string(),
+            f2(p.commits_per_sec),
+            f2(p.ops_per_sec),
+            format!("{:?}", p.serializable),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_serializes_and_emits_json() {
+        let points = sweep(true);
+        assert_eq!(points.len(), SCHEDULERS.len() * 2);
+        for p in &points {
+            assert!(p.serializable, "{} at {} workers", p.scheduler, p.workers);
+            assert!(p.committed > 0);
+            assert!(p.commits_per_sec > 0.0);
+        }
+        let json = to_json(&points);
+        assert!(json.contains("\"scheduler\": \"hdd\""));
+        assert!(json.contains("\"workers\": 2"));
+    }
+}

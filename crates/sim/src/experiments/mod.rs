@@ -16,11 +16,13 @@ pub mod e09_timewall;
 pub mod e10_comparison;
 pub mod e11_cross_read_sweep;
 pub mod e12_dbc_messages;
+pub mod e13_hotpath;
 
 use crate::report::Table;
 
-/// Run every experiment (E1–E10 per figure, plus the E11 sweep and the
-/// E12 message analysis) and return the tables in order.
+/// Run every experiment (E1–E10 per figure, plus the E11 sweep, the
+/// E12 message analysis and the E13 hot-path throughput trajectory) and
+/// return the tables in order.
 pub fn run_all(quick: bool) -> Vec<Table> {
     vec![
         e01_lost_update::run(quick),
@@ -35,5 +37,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e10_comparison::run(quick),
         e11_cross_read_sweep::run(quick),
         e12_dbc_messages::run(quick),
+        e13_hotpath::run(quick),
     ]
 }

@@ -1,10 +1,9 @@
 //! ASCII tables for experiment output.
 
-use serde::Serialize;
 use std::fmt;
 
 /// A titled table of string cells.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table title (e.g. "Figure 10 — scheduler comparison").
     pub title: String,

@@ -166,8 +166,8 @@ fn attempt_front(
             let Some(h) = txn.handle.clone() else { return };
             match scheduler.read(&h, *g) {
                 ReadOutcome::Value(v) => {
-                    txn.reads.insert(*g, v.clone());
-                    observed.push((step_idx, v));
+                    txn.reads.insert(*g, (*v).clone());
+                    observed.push((step_idx, (*v).clone()));
                     txn.phase = TxnPhase::Running;
                     txn.pending.pop_front();
                 }

@@ -60,10 +60,14 @@ impl DependencyGraph {
         let mut versions: HashMap<GranuleId, Vec<(Timestamp, TxnId)>> = HashMap::new();
         for ev in events {
             match ev {
-                ScheduleEvent::Write { txn, granule, version, .. }
-                    if committed.contains(txn) => {
-                        versions.entry(*granule).or_default().push((*version, *txn));
-                    }
+                ScheduleEvent::Write {
+                    txn,
+                    granule,
+                    version,
+                    ..
+                } if committed.contains(txn) => {
+                    versions.entry(*granule).or_default().push((*version, *txn));
+                }
                 // Every granule implicitly has an initial version at
                 // Timestamp::ZERO written by the virtual initial writer;
                 // materialize it for any granule that is read, so the
@@ -104,7 +108,13 @@ impl DependencyGraph {
         }
 
         for ev in events {
-            if let ScheduleEvent::Read { txn, granule, version, writer } = ev {
+            if let ScheduleEvent::Read {
+                txn,
+                granule,
+                version,
+                writer,
+            } = ev
+            {
                 if !committed.contains(txn) {
                     continue;
                 }
@@ -331,7 +341,7 @@ mod tests {
             txn: TxnId(t),
             granule: g(key),
             version: Timestamp(v),
-            value: crate::value::Value::Int(v as i64),
+            value: std::sync::Arc::new(crate::value::Value::Int(v as i64)),
         }
     }
 
@@ -396,10 +406,10 @@ mod tests {
         let evs = vec![
             begin(1),
             begin(2),
-            read(1, 0, 0, 0),  // t1 reads x@v0
-            read(2, 1, 0, 0),  // t2 reads z@v0
-            write(2, 0, 4),    // t2 writes x (successor of v0)
-            write(1, 1, 5),    // t1 writes z (successor of v0)
+            read(1, 0, 0, 0), // t1 reads x@v0
+            read(2, 1, 0, 0), // t2 reads z@v0
+            write(2, 0, 4),   // t2 writes x (successor of v0)
+            write(1, 1, 5),   // t1 writes z (successor of v0)
             commit(1, 10),
             commit(2, 11),
         ];
@@ -444,12 +454,7 @@ mod tests {
 
     #[test]
     fn self_reads_produce_no_arcs() {
-        let evs = vec![
-            begin(1),
-            write(1, 0, 1),
-            read(1, 0, 1, 1),
-            commit(1, 5),
-        ];
+        let evs = vec![begin(1), write(1, 0, 1), read(1, 0, 1, 1), commit(1, 5)];
         let dg = DependencyGraph::from_events(&evs);
         assert_eq!(dg.arc_count(), 0);
         assert!(dg.is_serializable());

@@ -7,14 +7,13 @@
 //! so every initiation, commit and version timestamp is unique and totally
 //! ordered — exactly the setting the proofs in the paper assume.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A point in the global logical time domain.
 ///
 /// `Timestamp(0)` is reserved as "the beginning of time"; the clock starts
 /// ticking at 1.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {
@@ -65,7 +64,7 @@ impl fmt::Display for Timestamp {
 /// *initiation timestamp* doubles as its identity-in-time; `TxnId` is kept
 /// separate so that a restarted transaction (after an abort) is a *new*
 /// transaction with a new initiation time, as the paper requires.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId(pub u64);
 
 impl fmt::Debug for TxnId {
@@ -81,7 +80,7 @@ impl fmt::Display for TxnId {
 }
 
 /// Identifier of a data segment `D_i` of the database partition.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SegmentId(pub u32);
 
 impl SegmentId {
@@ -110,7 +109,7 @@ impl fmt::Display for SegmentId {
 /// segment (the class *rooted* in that segment), so `ClassId(i)`
 /// corresponds to `SegmentId(i)`. Read-only transactions are *hosted* by a
 /// fictitious class (Section 5) and carry no `ClassId`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClassId(pub u32);
 
 impl ClassId {
@@ -151,7 +150,7 @@ impl fmt::Display for ClassId {
 ///
 /// A granule lives in exactly one segment; the partition of granules into
 /// segments *is* the database partition `P`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GranuleId {
     /// The segment the granule belongs to.
     pub segment: SegmentId,

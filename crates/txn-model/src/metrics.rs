@@ -11,7 +11,6 @@
 //! * `rejections` — operations refused by a protocol rule (causing abort),
 //! * plus bookkeeping (begins/commits/aborts/reads/writes).
 
-use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 macro_rules! counters {
@@ -23,7 +22,7 @@ macro_rules! counters {
         }
 
         /// A point-in-time copy of [`Metrics`].
-        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
         pub struct MetricsSnapshot {
             $($(#[doc = $doc])* pub $name: u64,)+
         }
@@ -159,7 +158,10 @@ mod tests {
         assert!((s.read_registrations_per_commit() - 4.0).abs() < 1e-9);
         assert!((s.abort_rate() - 0.5).abs() < 1e-9);
         assert_eq!(MetricsSnapshot::default().abort_rate(), 0.0);
-        assert_eq!(MetricsSnapshot::default().read_registrations_per_commit(), 0.0);
+        assert_eq!(
+            MetricsSnapshot::default().read_registrations_per_commit(),
+            0.0
+        );
     }
 
     #[test]

@@ -14,27 +14,32 @@ use std::fmt;
 use std::sync::Arc;
 
 /// The values a transaction has read so far, available to computed writes.
+/// Holds shared references to version payloads — recording a read never
+/// copies the value.
 #[derive(Debug, Default, Clone)]
 pub struct ReadCtx {
-    by_granule: HashMap<GranuleId, Value>,
-    in_order: Vec<(GranuleId, Value)>,
+    by_granule: HashMap<GranuleId, Arc<Value>>,
+    in_order: Vec<(GranuleId, Arc<Value>)>,
 }
 
 impl ReadCtx {
     /// Record a read result.
-    pub fn record(&mut self, g: GranuleId, v: Value) {
-        self.by_granule.insert(g, v.clone());
+    pub fn record(&mut self, g: GranuleId, v: Arc<Value>) {
+        self.by_granule.insert(g, Arc::clone(&v));
         self.in_order.push((g, v));
     }
 
     /// The value read from `g` (last read wins), or [`Value::Absent`].
     pub fn get(&self, g: GranuleId) -> Value {
-        self.by_granule.get(&g).cloned().unwrap_or(Value::Absent)
+        self.by_granule
+            .get(&g)
+            .map(|v| (**v).clone())
+            .unwrap_or(Value::Absent)
     }
 
     /// Integer value read from `g` (0 when absent).
     pub fn int(&self, g: GranuleId) -> i64 {
-        self.get(g).as_int()
+        self.by_granule.get(&g).map(|v| v.as_int()).unwrap_or(0)
     }
 
     /// Sum of all integer values read, in read order (duplicates counted).
@@ -43,7 +48,7 @@ impl ReadCtx {
     }
 
     /// All reads in execution order.
-    pub fn reads(&self) -> &[(GranuleId, Value)] {
+    pub fn reads(&self) -> &[(GranuleId, Arc<Value>)] {
         &self.in_order
     }
 }
@@ -160,7 +165,8 @@ impl TxnProgramBuilder {
 
     /// Append a constant write step.
     pub fn write(mut self, g: GranuleId, v: impl Into<Value>) -> Self {
-        self.steps.push(Step::Write(g, WriteSource::Const(v.into())));
+        self.steps
+            .push(Step::Write(g, WriteSource::Const(v.into())));
         self
     }
 
@@ -170,7 +176,8 @@ impl TxnProgramBuilder {
         g: GranuleId,
         f: impl Fn(&ReadCtx) -> Value + Send + Sync + 'static,
     ) -> Self {
-        self.steps.push(Step::Write(g, WriteSource::Computed(Arc::new(f))));
+        self.steps
+            .push(Step::Write(g, WriteSource::Computed(Arc::new(f))));
         self
     }
 
@@ -192,9 +199,9 @@ mod tests {
     #[test]
     fn read_ctx_tracks_order_and_latest() {
         let mut ctx = ReadCtx::default();
-        ctx.record(g(0, 1), Value::Int(10));
-        ctx.record(g(0, 2), Value::Int(5));
-        ctx.record(g(0, 1), Value::Int(20)); // re-read
+        ctx.record(g(0, 1), Arc::new(Value::Int(10)));
+        ctx.record(g(0, 2), Arc::new(Value::Int(5)));
+        ctx.record(g(0, 1), Arc::new(Value::Int(20))); // re-read
         assert_eq!(ctx.int(g(0, 1)), 20);
         assert_eq!(ctx.sum_ints(), 35);
         assert_eq!(ctx.reads().len(), 3);
@@ -204,10 +211,13 @@ mod tests {
     #[test]
     fn computed_write_sees_reads() {
         let mut ctx = ReadCtx::default();
-        ctx.record(g(0, 1), Value::Int(100));
+        ctx.record(g(0, 1), Arc::new(Value::Int(100)));
         let w = WriteSource::Computed(Arc::new(|c: &ReadCtx| Value::Int(c.int(g(0, 1)) + 50)));
         assert_eq!(w.resolve(&ctx), Value::Int(150));
-        assert_eq!(WriteSource::Const(Value::Int(7)).resolve(&ctx), Value::Int(7));
+        assert_eq!(
+            WriteSource::Const(Value::Int(7)).resolve(&ctx),
+            Value::Int(7)
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::ids::{ClassId, GranuleId, SegmentId, Timestamp, TxnId};
 use crate::metrics::Metrics;
 use crate::schedule::ScheduleLog;
 use crate::value::Value;
+use std::sync::Arc;
 
 /// Static description of a transaction handed to [`Scheduler::begin`]:
 /// which class it belongs to (update transactions) or that it is read-only,
@@ -69,8 +70,10 @@ pub struct TxnHandle {
 /// Result of a read request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReadOutcome {
-    /// The read was served.
-    Value(Value),
+    /// The read was served. The payload is the shared, immutable version
+    /// value — serving a committed read is a reference-count bump, not a
+    /// payload copy.
+    Value(Arc<Value>),
     /// The transaction must wait and retry this read.
     Block,
     /// The protocol rejected the read; the transaction must abort

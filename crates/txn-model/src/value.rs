@@ -6,37 +6,67 @@
 //! covering those. Arithmetic helpers keep read-modify-write transaction
 //! programs terse.
 
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
+
+/// A cheaply-cloneable immutable byte payload (`Arc<[u8]>` under the
+/// hood). Stands in for `bytes::Bytes`, which is unavailable offline.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// Byte length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the payload is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Wrap a static slice (copies once into the shared allocation).
+    pub fn from_static(b: &'static [u8]) -> Self {
+        Bytes(Arc::from(b))
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(b: Vec<u8>) -> Self {
+        Bytes(Arc::from(b.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(b: &[u8]) -> Self {
+        Bytes(Arc::from(b))
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes(len={})", self.len())
+    }
+}
 
 /// A granule value.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub enum Value {
     /// A signed integer (account balance, quantity, inventory level...).
     Int(i64),
     /// An opaque payload (record bodies in the inventory workload).
-    #[serde(with = "serde_bytes_compat")]
     Bytes(Bytes),
     /// Deletion marker; granules start in this state before first write.
     #[default]
     Absent,
-}
-
-mod serde_bytes_compat {
-    //! `bytes::Bytes` does not implement serde traits without the `serde`
-    //! feature; round-trip through `Vec<u8>` instead.
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        b.as_ref().serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        Ok(Bytes::from(Vec::<u8>::deserialize(d)?))
-    }
 }
 
 impl Value {
@@ -67,7 +97,6 @@ impl Value {
         }
     }
 }
-
 
 impl From<i64> for Value {
     fn from(i: i64) -> Self {
@@ -123,18 +152,17 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let vals = vec![Value::Int(-7), Value::from(vec![9u8; 4]), Value::Absent];
-        for v in vals {
-            let json = serde_json_like(&v);
-            assert!(!json.is_empty());
-        }
+    fn bytes_clone_is_shallow() {
+        let v = Bytes::from(vec![9u8; 64]);
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert!(std::ptr::eq(v.as_ref().as_ptr(), w.as_ref().as_ptr()));
     }
 
-    // serde_json is not a dependency; exercise serde through a throwaway
-    // in-memory serializer instead (bincode-style not available either), so
-    // just check the Serialize impl compiles and Debug is stable.
-    fn serde_json_like(v: &Value) -> String {
-        format!("{v:?}")
+    #[test]
+    fn debug_formats_are_stable() {
+        for v in [Value::Int(-7), Value::from(vec![9u8; 4]), Value::Absent] {
+            assert!(!format!("{v:?}").is_empty());
+        }
     }
 }

@@ -288,8 +288,8 @@ impl Workload for Inventory {
 
     fn generate(&mut self, rng: &mut StdRng) -> TxnProgram {
         let c = &self.config;
-        let total = c.w_type1 + c.w_type2 + c.w_type3 + c.w_type4 + c.w_type5 + c.w_report
-            + c.w_audit;
+        let total =
+            c.w_type1 + c.w_type2 + c.w_type3 + c.w_type4 + c.w_type5 + c.w_report + c.w_audit;
         let mut pick = rng.gen_range(0..total);
         let item = self.pick_item(rng);
         for (w, which) in [
@@ -401,18 +401,27 @@ mod tests {
         };
         // Gross level below 20: order 25 more.
         let mut low = ReadCtx::default();
-        low.record(Inventory::inventory_level(0), Value::Int(5));
-        low.record(Inventory::on_order(0), Value::Int(0));
+        low.record(
+            Inventory::inventory_level(0),
+            std::sync::Arc::new(Value::Int(5)),
+        );
+        low.record(Inventory::on_order(0), std::sync::Arc::new(Value::Int(0)));
         assert_eq!(src.resolve(&low), Value::Int(25));
         // Gross level at/above 20: no new order.
         let mut high = ReadCtx::default();
-        high.record(Inventory::inventory_level(0), Value::Int(30));
-        high.record(Inventory::on_order(0), Value::Int(0));
+        high.record(
+            Inventory::inventory_level(0),
+            std::sync::Arc::new(Value::Int(30)),
+        );
+        high.record(Inventory::on_order(0), std::sync::Arc::new(Value::Int(0)));
         assert_eq!(src.resolve(&high), Value::Int(0));
         // Outstanding orders count toward the gross level.
         let mut covered = ReadCtx::default();
-        covered.record(Inventory::inventory_level(0), Value::Int(5));
-        covered.record(Inventory::on_order(0), Value::Int(25));
+        covered.record(
+            Inventory::inventory_level(0),
+            std::sync::Arc::new(Value::Int(5)),
+        );
+        covered.record(Inventory::on_order(0), std::sync::Arc::new(Value::Int(25)));
         assert_eq!(src.resolve(&covered), Value::Int(25));
     }
 

@@ -67,7 +67,10 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((1600..=2400).contains(&c), "uniform bucket out of range: {c}");
+            assert!(
+                (1600..=2400).contains(&c),
+                "uniform bucket out of range: {c}"
+            );
         }
     }
 

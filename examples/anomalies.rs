@@ -20,7 +20,10 @@ fn main() {
     // segment lets the cycle t2 → t1 → t3 → t2 through under 2PL.
     let e3 = e03_2pl_anomaly::run();
     println!("{e3}");
-    assert_eq!(e3.cell("2pl-no-cross-read-locks", "serializable"), Some("false"));
+    assert_eq!(
+        e3.cell("2pl-no-cross-read-locks", "serializable"),
+        Some("false")
+    );
     assert_eq!(e3.cell("hdd", "serializable"), Some("true"));
     println!(
         "2PL needs those read locks; HDD provably does not (zero\n\
@@ -30,7 +33,10 @@ fn main() {
     // Figure 4: same story for timestamp ordering.
     let e4 = e04_tso_anomaly::run();
     println!("{e4}");
-    assert_eq!(e4.cell("tso-no-cross-read-ts", "serializable"), Some("false"));
+    assert_eq!(
+        e4.cell("tso-no-cross-read-ts", "serializable"),
+        Some("false")
+    );
     assert_eq!(e4.cell("tso", "committed"), Some("2")); // prevention by rejection
     assert_eq!(e4.cell("hdd", "committed"), Some("3")); // prevention for free
     println!(

@@ -78,7 +78,10 @@ fn main() {
         read_segments: vec![s(0)],
         write_segments: vec![s(1)],
     });
-    assert!(matches!(adaptive.read(&t, GranuleId::new(s(0), 1)), ReadOutcome::Value(_)));
+    assert!(matches!(
+        adaptive.read(&t, GranuleId::new(s(0), 1)),
+        ReadOutcome::Value(_)
+    ));
     assert_eq!(
         adaptive.write(&t, GranuleId::new(s(1), 1), Value::Int(7)),
         WriteOutcome::Done
@@ -101,10 +104,7 @@ fn main() {
     adaptive.commit(&t);
     adaptive.maintenance();
     let h = adaptive.current_hierarchy();
-    println!(
-        "switched: {} classes now (was 4)",
-        h.class_count()
-    );
+    println!("switched: {} classes now (was 4)", h.class_count());
     assert!(h.class_count() < 4);
 
     // The ad-hoc shape now runs.
@@ -113,7 +113,10 @@ fn main() {
         read_segments: vec![s(2), s(1), s(0)],
         write_segments: vec![s(3)],
     });
-    assert!(matches!(adaptive.read(&adhoc, GranuleId::new(s(2), 1)), ReadOutcome::Value(_)));
+    assert!(matches!(
+        adaptive.read(&adhoc, GranuleId::new(s(2), 1)),
+        ReadOutcome::Value(_)
+    ));
     assert_eq!(
         adaptive.write(&adhoc, GranuleId::new(s(3), 1), Value::Int(1)),
         WriteOutcome::Done

@@ -49,7 +49,12 @@ fn main() {
             m.rejections.to_string(),
             format!("{:?}", stats.serializable.unwrap_or(false)),
         ]);
-        assert_eq!(stats.serializable, Some(true), "{} must serialize", kind.name());
+        assert_eq!(
+            stats.serializable,
+            Some(true),
+            "{} must serialize",
+            kind.name()
+        );
     }
 
     println!("{table}");
@@ -58,8 +63,16 @@ fn main() {
          inventory records from higher segments without a single read lock\n\
          or read timestamp — compare the read_regs/commit column."
     );
-    let hdd: f64 = table.cell("hdd", "read_regs/commit").unwrap().parse().unwrap();
-    let tso: f64 = table.cell("tso", "read_regs/commit").unwrap().parse().unwrap();
+    let hdd: f64 = table
+        .cell("hdd", "read_regs/commit")
+        .unwrap()
+        .parse()
+        .unwrap();
+    let tso: f64 = table
+        .cell("tso", "read_regs/commit")
+        .unwrap()
+        .parse()
+        .unwrap();
     println!("hdd registers {hdd:.2} reads/commit vs {tso:.2} under TSO.");
     assert!(SchedulerKind::Hdd.name() == "hdd" && hdd < tso);
 }

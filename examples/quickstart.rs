@@ -31,7 +31,11 @@ fn main() {
         )
         .expect("a chain is TST-hierarchical"),
     );
-    println!("hierarchy: {} segments, {} classes", hierarchy.segment_count(), hierarchy.class_count());
+    println!(
+        "hierarchy: {} segments, {} classes",
+        hierarchy.segment_count(),
+        hierarchy.class_count()
+    );
 
     // 2. Seed a store and start the scheduler.
     let store = Arc::new(MvStore::new());
@@ -68,7 +72,10 @@ fn main() {
     // 5. The costs, in the paper's terms.
     let m = sched.metrics().snapshot();
     println!("cross-class reads (unregistered): {}", m.cross_class_reads);
-    println!("read registrations (Protocol B only): {}", m.read_registrations);
+    println!(
+        "read registrations (Protocol B only): {}",
+        m.read_registrations
+    );
     println!("blocks: {}, rejections: {}", m.blocks, m.rejections);
 
     // 6. And the correctness criterion of Section 2: the multi-version

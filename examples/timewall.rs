@@ -92,7 +92,9 @@ fn main() {
     let m = sched.metrics().snapshot();
     println!(
         "audit cost: wall_reads = {}, read registrations = {}, blocks = {}",
-        m.wall_reads, m.read_registrations - 6, m.blocks
+        m.wall_reads,
+        m.read_registrations - 6,
+        m.blocks
     );
     assert!(DependencyGraph::from_log(sched.log()).is_serializable());
     println!("serializable: true");

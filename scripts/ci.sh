@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, the full test suite, and a release
+# smoke of the hot-path experiment. Run from the repository root:
+#
+#   scripts/ci.sh
+#
+# Fails fast on the first broken stage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "== tests (tier 1) =="
+cargo build --release -q
+cargo test -q
+
+echo "== tests (workspace) =="
+cargo test -q --workspace
+
+echo "== hot-path smoke (release, quick) =="
+cargo run --release -q -p sim --bin experiments -- hotpath quick
+
+echo "CI OK"

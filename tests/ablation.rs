@@ -35,7 +35,12 @@ fn both_protocol_b_modes_serialize_and_basic_to_rejects_more() {
             },
         );
         let stats = run_interleaved(sched.as_ref(), programs, &DriverConfig::default());
-        assert_eq!(stats.serializable, Some(true), "{mode:?}: {:?}", stats.cycle);
+        assert_eq!(
+            stats.serializable,
+            Some(true),
+            "{mode:?}: {:?}",
+            stats.cycle
+        );
         assert_eq!(stats.stalled, 0, "{mode:?}");
         results.push((mode, stats.metrics.rejections));
     }

@@ -89,7 +89,10 @@ fn prevention_styles_differ_as_figure10_describes() {
         "basic TSO prevents Figure 4 by rejecting"
     );
     assert_eq!(
-        out.statuses.iter().filter(|s| **s == TxnStatus::Aborted).count(),
+        out.statuses
+            .iter()
+            .filter(|s| **s == TxnStatus::Aborted)
+            .count(),
         1
     );
 }

@@ -37,7 +37,11 @@ fn all_sound_schedulers_conserve_money_interleaved() {
 
 #[test]
 fn hdd_and_locking_conserve_money_concurrently() {
-    for kind in [SchedulerKind::Hdd, SchedulerKind::TwoPl, SchedulerKind::Mvto] {
+    for kind in [
+        SchedulerKind::Hdd,
+        SchedulerKind::TwoPl,
+        SchedulerKind::Mvto,
+    ] {
         let (w, programs) = transfer_batch(6, 200, 72);
         let (sched, store) = build_scheduler(kind, &w);
         let out = run_concurrent(sched.as_ref(), programs, &ConcurrentConfig::default());

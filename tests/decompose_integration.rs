@@ -144,7 +144,11 @@ fn adaptive_restructure_under_concurrent_traffic() {
             if !progressed {
                 continue;
             }
-            match a.write(&t, GranuleId::new(s(seg), rng.gen_range(0..4)), Value::Int(1)) {
+            match a.write(
+                &t,
+                GranuleId::new(s(seg), rng.gen_range(0..4)),
+                Value::Int(1),
+            ) {
                 WriteOutcome::Done => {}
                 WriteOutcome::Block => {
                     a.maintenance();
@@ -176,11 +180,7 @@ fn adaptive_restructure_under_concurrent_traffic() {
     }
     // Phase 2: inject the ad-hoc shape.
     assert_eq!(
-        a.submit_shape(AccessSpec::new(
-            "cross",
-            vec![s(3)],
-            vec![s(2), s(1), s(0)]
-        )),
+        a.submit_shape(AccessSpec::new("cross", vec![s(3)], vec![s(2), s(1), s(0)])),
         Ok(true)
     );
     // Phase 3: unaffected traffic only? The whole tree is one component

@@ -2,11 +2,11 @@
 //! bounded while correctness is preserved (Section 7.3's implementation
 //! concerns: "maintaining multiple versions ... and garbage collection").
 
+use hdd::protocol::HddConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sim::driver::{run_interleaved, DriverConfig};
 use sim::factory::build_hdd_with_config;
-use hdd::protocol::HddConfig;
 use txn_model::Scheduler;
 use workloads::inventory::{Inventory, InventoryConfig};
 use workloads::Workload;
@@ -61,7 +61,7 @@ fn gc_bounds_version_growth_without_breaking_serializability() {
 fn gc_never_reclaims_what_a_pinned_reader_needs() {
     // A long-lived read-only transaction pins its wall floor; GC runs
     // underneath; the reader still gets consistent values.
-    use txn_model::{ReadOutcome, TxnProfile, SegmentId, Value, GranuleId};
+    use txn_model::{GranuleId, ReadOutcome, SegmentId, TxnProfile, Value};
     use workloads::inventory::Inventory as Inv;
 
     let w = Inventory::new(InventoryConfig {
@@ -87,7 +87,10 @@ fn gc_never_reclaims_what_a_pinned_reader_needs() {
 
     // Heavy update traffic + constant GC.
     for i in 0..50i64 {
-        let t = sched.begin(&TxnProfile::update(txn_model::ClassId(1), vec![SegmentId(0), SegmentId(1)]));
+        let t = sched.begin(&TxnProfile::update(
+            txn_model::ClassId(1),
+            vec![SegmentId(0), SegmentId(1)],
+        ));
         sched.read(&t, Inv::inventory_level(0));
         sched.write(&t, Inv::inventory_level(0), Value::Int(1000 + i));
         sched.commit(&t);

@@ -10,29 +10,39 @@
 //! * graph laws — reduction preserves reachability; semi-tree unique
 //!   undirected paths; TST ⇒ every DHG arc is covered by a critical
 //!   path.
+//!
+//! Cases are drawn from a seeded RNG in a plain loop (the environment
+//! has no crates.io access, so `proptest` is unavailable); each
+//! assertion failure reports the case index, from which the full case
+//! regenerates deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use hdd::activity::{topologically_follows, ActivityFuncs, ActivityRegistry, CLate, TxnCoord};
 use hdd::analysis::{AccessSpec, Hierarchy};
 use hdd::graph::{check_transitive_semi_tree, Digraph};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sim::driver::{run_interleaved, DriverConfig};
 use sim::factory::{build_scheduler, SchedulerKind};
 use txn_model::{ClassId, SegmentId, Timestamp};
 use workloads::synthetic::{Synthetic, SyntheticConfig};
 use workloads::Workload;
 
-/// Strategy: a random activity history for `classes` classes. All
-/// transactions end (so `C_late` is computable everywhere), with starts
-/// and durations drawn small to force overlap.
-fn history_strategy(
-    classes: usize,
-) -> impl Strategy<Value = Vec<(usize, u64, u64, bool)>> {
-    prop::collection::vec(
-        (0..classes, 1u64..60, 1u64..25, prop::bool::ANY),
-        1..25,
-    )
+/// A random activity history for `classes` classes: `(class, start,
+/// dur, committed)` rows with starts and durations drawn small to force
+/// overlap. All transactions end (so `C_late` is computable everywhere).
+fn random_history(rng: &mut StdRng, classes: usize) -> Vec<(usize, u64, u64, bool)> {
+    let len = rng.gen_range(1..25usize);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0..classes),
+                rng.gen_range(1u64..60),
+                rng.gen_range(1u64..25),
+                rng.gen_bool(0.5),
+            )
+        })
+        .collect()
 }
 
 fn build_registry(classes: usize, history: &[(usize, u64, u64, bool)]) -> ActivityRegistry {
@@ -66,49 +76,61 @@ fn chain(depth: usize) -> Hierarchy {
     Hierarchy::build(depth, &specs).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Property 2.1 and 2.2 over random (fully ended) histories.
-    #[test]
-    fn a_b_inverse_properties(history in history_strategy(3), m in 1u64..8000) {
+/// Property 2.1 and 2.2 over random (fully ended) histories.
+#[test]
+fn a_b_inverse_properties() {
+    let mut rng = StdRng::seed_from_u64(0xA1B2);
+    for case in 0..64 {
+        let history = random_history(&mut rng, 3);
+        let m = Timestamp(rng.gen_range(1u64..8000));
         let h = chain(3);
         let registry = build_registry(3, &history);
         let funcs = ActivityFuncs::new(&h, &registry);
-        let m = Timestamp(m);
         let low = ClassId(2);
         let top = ClassId(0);
         if let CLate::Time(b) = funcs.b_fn(top, low, m) {
-            prop_assert!(
+            assert!(
                 funcs.a_fn(low, top, b) >= m,
-                "Property 2.1: A(B({m})) = A({b}) < {m}"
+                "case {case}: Property 2.1: A(B({m})) = A({b}) < {m}"
             );
             if b > Timestamp::ZERO {
-                prop_assert!(
+                assert!(
                     funcs.a_fn(low, top, b.pred()) < m,
-                    "Property 2.2: A(B({m}) - ε) >= {m}"
+                    "case {case}: Property 2.2: A(B({m}) - ε) >= {m}"
                 );
             }
         }
     }
+}
 
-    /// I_old never exceeds its argument; C_late never undercuts it.
-    #[test]
-    fn i_old_c_late_bounds(history in history_strategy(2), m in 1u64..8000) {
+/// I_old never exceeds its argument; C_late never undercuts it.
+#[test]
+fn i_old_c_late_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x10CB);
+    for case in 0..64 {
+        let history = random_history(&mut rng, 2);
+        let m = Timestamp(rng.gen_range(1u64..8000));
         let registry = build_registry(2, &history);
-        let m = Timestamp(m);
         for c in 0..2u32 {
-            prop_assert!(registry.i_old(ClassId(c), m) <= m);
+            assert!(
+                registry.i_old(ClassId(c), m) <= m,
+                "case {case}: I_old overshoots"
+            );
             if let CLate::Time(t) = registry.c_late(ClassId(c), m) {
-                prop_assert!(t >= m);
+                assert!(t >= m, "case {case}: C_late undercuts");
             }
         }
     }
+}
 
-    /// Property 1.1 (anti-symmetry) and 1.2 (transitivity on a critical
-    /// path) of ⇒ over random histories.
-    #[test]
-    fn follows_properties(history in history_strategy(3), times in prop::collection::vec(1u64..5000, 3)) {
+/// Property 1.1 (anti-symmetry) and 1.2 (transitivity on a critical
+/// path) of ⇒ over random histories.
+#[test]
+fn follows_properties() {
+    let mut rng = StdRng::seed_from_u64(0xF011);
+    for case in 0..64 {
+        let history = random_history(&mut rng, 3);
+        let times: Vec<u64> = (0..3).map(|_| rng.gen_range(1u64..5000)).collect();
         let h = chain(3);
         let registry = build_registry(3, &history);
         let funcs = ActivityFuncs::new(&h, &registry);
@@ -118,31 +140,40 @@ proptest! {
         for (a, b) in [(t1, t2), (t2, t3), (t1, t3)] {
             let ab = topologically_follows(&funcs, a, b).unwrap();
             let ba = topologically_follows(&funcs, b, a).unwrap();
-            prop_assert!(!(ab && ba), "anti-symmetry violated: {a:?} {b:?}");
+            assert!(
+                !(ab && ba),
+                "case {case}: anti-symmetry violated: {a:?} {b:?}"
+            );
         }
         let ab = topologically_follows(&funcs, t1, t2).unwrap();
         let bc = topologically_follows(&funcs, t2, t3).unwrap();
         if ab && bc {
-            prop_assert!(
+            assert!(
                 topologically_follows(&funcs, t1, t3).unwrap(),
-                "transitivity violated"
+                "case {case}: transitivity violated"
             );
         }
     }
+}
 
-    /// Data-analysis decomposition (Section 7.2.2) always yields a legal
-    /// hierarchy under which every observed shape validates.
-    #[test]
-    fn decompose_always_legalizes(
-        accesses in prop::collection::vec(
-            (
-                prop::collection::vec(0u64..12, 1..3), // writes
-                prop::collection::vec(0u64..12, 0..4), // reads
-            ),
-            1..8,
-        )
-    ) {
-        use hdd::decompose::{decompose, ItemAccess};
+/// Data-analysis decomposition (Section 7.2.2) always yields a legal
+/// hierarchy under which every observed shape validates.
+#[test]
+fn decompose_always_legalizes() {
+    use hdd::decompose::{decompose, ItemAccess};
+    let mut rng = StdRng::seed_from_u64(0xDEC0);
+    for case in 0..64 {
+        let n_shapes = rng.gen_range(1..8usize);
+        let accesses: Vec<(Vec<u64>, Vec<u64>)> = (0..n_shapes)
+            .map(|_| {
+                let nw = rng.gen_range(1..3usize);
+                let nr = rng.gen_range(0..4usize);
+                (
+                    (0..nw).map(|_| rng.gen_range(0u64..12)).collect(),
+                    (0..nr).map(|_| rng.gen_range(0u64..12)).collect(),
+                )
+            })
+            .collect();
         let shapes: Vec<ItemAccess> = accesses
             .iter()
             .enumerate()
@@ -156,56 +187,63 @@ proptest! {
                 read_segments: shape.reads.iter().map(|i| d.segment_of_item[i]).collect(),
                 write_segments: shape.writes.iter().map(|i| d.segment_of_item[i]).collect(),
             };
-            prop_assert!(
+            assert!(
                 d.hierarchy.validate_profile(&profile).is_ok(),
-                "shape {:?} must validate under the derived hierarchy",
+                "case {case}: shape {:?} must validate under the derived hierarchy",
                 shape.name
             );
         }
     }
+}
 
-    /// Transitive reduction preserves the closure; the reduction of a
-    /// TST is a semi-tree whose closure covers every original arc.
-    #[test]
-    fn reduction_laws(arcs in prop::collection::vec((0usize..8, 0usize..8), 0..20)) {
+/// Transitive reduction preserves the closure; the reduction of a
+/// TST is a semi-tree whose closure covers every original arc.
+#[test]
+fn reduction_laws() {
+    let mut rng = StdRng::seed_from_u64(0x4EDC);
+    for case in 0..64 {
+        let n_arcs = rng.gen_range(0..20usize);
         // Arcs forced downward (u > v) to guarantee a DAG.
         let mut g = Digraph::new(8);
-        for (a, b) in arcs {
+        for _ in 0..n_arcs {
+            let a = rng.gen_range(0..8usize);
+            let b = rng.gen_range(0..8usize);
             if a != b {
                 let (u, v) = if a > b { (a, b) } else { (b, a) };
                 g.add_arc(u, v);
             }
         }
         let r = g.transitive_reduction();
-        prop_assert_eq!(
+        assert_eq!(
             r.transitive_closure().arcs(),
-            g.transitive_closure().arcs()
+            g.transitive_closure().arcs(),
+            "case {case}: reduction changed the closure"
         );
         if let Ok(red) = check_transitive_semi_tree(&g) {
             // Every arc of a TST is covered by a critical path.
             let cover = red.transitive_closure();
             for (u, v) in g.arcs() {
-                prop_assert!(cover.has_arc(u, v), "arc ({u},{v}) not covered");
+                assert!(
+                    cover.has_arc(u, v),
+                    "case {case}: arc ({u},{v}) not covered"
+                );
             }
         }
     }
 }
 
-proptest! {
-    // Heavier end-to-end cases: fewer iterations.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Theorem 1 + Theorem 2, end to end: random tree hierarchies,
-    /// random programs (updates + on/off-chain read-only), random
-    /// interleavings — the HDD schedule is always serializable.
-    #[test]
-    fn hdd_schedules_are_always_serializable(
-        depth in 1usize..4,
-        fanout in 1usize..3,
-        ro_share in 0.0f64..0.6,
-        wl_seed in 0u64..10_000,
-        drv_seed in 0u64..10_000,
-    ) {
+/// Theorem 1 + Theorem 2, end to end: random tree hierarchies, random
+/// programs (updates + on/off-chain read-only), random interleavings —
+/// the HDD schedule is always serializable.
+#[test]
+fn hdd_schedules_are_always_serializable() {
+    let mut rng = StdRng::seed_from_u64(0x7EE1);
+    for case in 0..12 {
+        let depth = rng.gen_range(1usize..4);
+        let fanout = rng.gen_range(1usize..3);
+        let ro_share = 0.6 * rng.gen::<f64>();
+        let wl_seed = rng.gen_range(0u64..10_000);
+        let drv_seed = rng.gen_range(0u64..10_000);
         let mut w = Synthetic::new(SyntheticConfig {
             depth,
             fanout,
@@ -215,36 +253,49 @@ proptest! {
             theta: 1.0,
             ..SyntheticConfig::default()
         });
-        let mut rng = StdRng::seed_from_u64(wl_seed);
-        let programs: Vec<_> = (0..60).map(|_| w.generate(&mut rng)).collect();
+        let mut wl_rng = StdRng::seed_from_u64(wl_seed);
+        let programs: Vec<_> = (0..60).map(|_| w.generate(&mut wl_rng)).collect();
         let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
-        let cfg = DriverConfig { seed: drv_seed, ..DriverConfig::default() };
+        let cfg = DriverConfig {
+            seed: drv_seed,
+            ..DriverConfig::default()
+        };
         let stats = run_interleaved(sched.as_ref(), programs, &cfg);
-        prop_assert_eq!(stats.stalled, 0, "stalled under seed {}", drv_seed);
-        prop_assert_eq!(
-            stats.serializable, Some(true),
-            "Theorem 1/2 violated: cycle {:?}", stats.cycle
+        assert_eq!(
+            stats.stalled, 0,
+            "case {case}: stalled under seed {drv_seed}"
+        );
+        assert_eq!(
+            stats.serializable,
+            Some(true),
+            "case {case}: Theorem 1/2 violated: cycle {:?}",
+            stats.cycle
         );
     }
+}
 
-    /// A serialization order extracted from an acyclic dependency graph
-    /// places every transaction after everything it depends on.
-    #[test]
-    fn serialization_order_respects_dependencies(
-        wl_seed in 0u64..10_000,
-        drv_seed in 0u64..10_000,
-    ) {
-        use txn_model::DependencyGraph;
+/// A serialization order extracted from an acyclic dependency graph
+/// places every transaction after everything it depends on.
+#[test]
+fn serialization_order_respects_dependencies() {
+    use txn_model::DependencyGraph;
+    let mut rng = StdRng::seed_from_u64(0x5E41);
+    for case in 0..12 {
+        let wl_seed = rng.gen_range(0u64..10_000);
+        let drv_seed = rng.gen_range(0u64..10_000);
         let mut w = Synthetic::new(SyntheticConfig {
             depth: 3,
             fanout: 2,
             granules_per_segment: 8,
             ..SyntheticConfig::default()
         });
-        let mut rng = StdRng::seed_from_u64(wl_seed);
-        let programs: Vec<_> = (0..40).map(|_| w.generate(&mut rng)).collect();
+        let mut wl_rng = StdRng::seed_from_u64(wl_seed);
+        let programs: Vec<_> = (0..40).map(|_| w.generate(&mut wl_rng)).collect();
         let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
-        let cfg = DriverConfig { seed: drv_seed, ..DriverConfig::default() };
+        let cfg = DriverConfig {
+            seed: drv_seed,
+            ..DriverConfig::default()
+        };
         let _ = run_interleaved(sched.as_ref(), programs, &cfg);
         let dg = DependencyGraph::from_log(sched.log());
         let order = dg.serialization_order().expect("HDD schedules are acyclic");
@@ -252,33 +303,40 @@ proptest! {
             order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         for &t in dg.transactions() {
             for d in dg.depends_on(t) {
-                prop_assert!(
+                assert!(
                     pos[&d] < pos[&t],
-                    "{d:?} must precede {t:?} in the serialization order"
+                    "case {case}: {d:?} must precede {t:?} in the serialization order"
                 );
             }
         }
     }
+}
 
-    /// The same end-to-end guarantee for the dependency checker's other
-    /// customers: MVTO and MV2PL runs must also verify (checker is not
-    /// HDD-specific).
-    #[test]
-    fn baseline_schedules_verify_too(
-        kind_idx in 0usize..2,
-        wl_seed in 0u64..10_000,
-    ) {
-        let kind = [SchedulerKind::Mvto, SchedulerKind::Mv2pl][kind_idx];
+/// The same end-to-end guarantee for the dependency checker's other
+/// customers: MVTO and MV2PL runs must also verify (checker is not
+/// HDD-specific).
+#[test]
+fn baseline_schedules_verify_too() {
+    let mut rng = StdRng::seed_from_u64(0xBA5E);
+    for case in 0..12 {
+        let kind = [SchedulerKind::Mvto, SchedulerKind::Mv2pl][rng.gen_range(0usize..2)];
+        let wl_seed = rng.gen_range(0u64..10_000);
         let mut w = Synthetic::new(SyntheticConfig {
             depth: 2,
             fanout: 2,
             granules_per_segment: 10,
             ..SyntheticConfig::default()
         });
-        let mut rng = StdRng::seed_from_u64(wl_seed);
-        let programs: Vec<_> = (0..50).map(|_| w.generate(&mut rng)).collect();
+        let mut wl_rng = StdRng::seed_from_u64(wl_seed);
+        let programs: Vec<_> = (0..50).map(|_| w.generate(&mut wl_rng)).collect();
         let (sched, _store) = build_scheduler(kind, &w);
         let stats = run_interleaved(sched.as_ref(), programs, &DriverConfig::default());
-        prop_assert_eq!(stats.serializable, Some(true), "{} cycle {:?}", kind.name(), stats.cycle);
+        assert_eq!(
+            stats.serializable,
+            Some(true),
+            "case {case}: {} cycle {:?}",
+            kind.name(),
+            stats.cycle
+        );
     }
 }

@@ -140,6 +140,9 @@ fn metrics_are_consistent_after_runs() {
     let stats = run_interleaved(sched.as_ref(), programs, &DriverConfig::default());
     let m = &stats.metrics;
     assert_eq!(m.commits as usize, stats.committed);
-    assert_eq!(m.begins as usize, stats.committed + stats.restarts + stats.gave_up);
+    assert_eq!(
+        m.begins as usize,
+        stats.committed + stats.restarts + stats.gave_up
+    );
     assert!(m.reads >= m.read_registrations);
 }
