@@ -102,7 +102,12 @@ impl Scheduler for Mv2pl {
             }
             LockRequestResult::Deadlock => {
                 Metrics::bump(&self.base.metrics.deadlocks);
-                Metrics::bump(&self.base.metrics.rejections);
+                self.base.metrics.reject(
+                    obs::RejectReason::DeadlockVictim,
+                    h.id.0,
+                    g.segment.0,
+                    g.key,
+                );
                 ReadOutcome::Abort
             }
         }
@@ -127,7 +132,12 @@ impl Scheduler for Mv2pl {
             }
             LockRequestResult::Deadlock => {
                 Metrics::bump(&self.base.metrics.deadlocks);
-                Metrics::bump(&self.base.metrics.rejections);
+                self.base.metrics.reject(
+                    obs::RejectReason::DeadlockVictim,
+                    h.id.0,
+                    g.segment.0,
+                    g.key,
+                );
                 WriteOutcome::Abort
             }
         }

@@ -77,7 +77,12 @@ impl Scheduler for Mvto {
                 WriteOutcome::Done
             }
             MvtoWriteResult::Rejected => {
-                Metrics::bump(&self.base.metrics.rejections);
+                self.base.metrics.reject(
+                    obs::RejectReason::WriteTooLate,
+                    h.id.0,
+                    g.segment.0,
+                    g.key,
+                );
                 WriteOutcome::Abort
             }
             MvtoWriteResult::Blocked => {

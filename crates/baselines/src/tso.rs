@@ -124,7 +124,12 @@ impl Scheduler for BasicTso {
                 ReadOutcome::Block
             }
             TsoRead::Reject => {
-                Metrics::bump(&self.base.metrics.rejections);
+                self.base.metrics.reject(
+                    obs::RejectReason::ReadTooLate,
+                    h.id.0,
+                    g.segment.0,
+                    g.key,
+                );
                 ReadOutcome::Abort
             }
         }
@@ -173,7 +178,12 @@ impl Scheduler for BasicTso {
                 WriteOutcome::Block
             }
             W::Reject => {
-                Metrics::bump(&self.base.metrics.rejections);
+                self.base.metrics.reject(
+                    obs::RejectReason::WriteTooLate,
+                    h.id.0,
+                    g.segment.0,
+                    g.key,
+                );
                 WriteOutcome::Abort
             }
         }

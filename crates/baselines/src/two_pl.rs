@@ -67,7 +67,12 @@ impl TwoPhaseLocking {
             LockRequestResult::Waiting => Metrics::bump(&self.base.metrics.blocks),
             LockRequestResult::Deadlock => {
                 Metrics::bump(&self.base.metrics.deadlocks);
-                Metrics::bump(&self.base.metrics.rejections);
+                self.base.metrics.reject(
+                    obs::RejectReason::DeadlockVictim,
+                    h.id.0,
+                    g.segment.0,
+                    g.key,
+                );
             }
         }
         r

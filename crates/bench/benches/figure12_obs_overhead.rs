@@ -1,0 +1,75 @@
+//! **Figure 12 (extension): observability overhead** — the cost of the
+//! `obs` sidecar on the hot path, measured both ways:
+//!
+//! * `disabled/*` — obs compiled in but switched off (the default).
+//!   This is the configuration every other bench and the recorded
+//!   `BENCH_hotpath.json` trajectory run in; its budget is **< 5%**
+//!   versus the pre-obs hot path (each instrumentation site costs one
+//!   branch on a flag captured at run start, and the driver skips all
+//!   clock reads).
+//! * `enabled/*` — full recording: commit-latency / op-service /
+//!   block-wait / backoff histograms, registry scan lengths and the
+//!   protocol trace ring. This is the price `experiments -- e14` pays.
+//!
+//! The hdd 8-worker `disabled` point is the one the `obs-smoke` CI gate
+//! (scripts/ci.sh) checks against the recorded baseline.
+
+use bench::programs;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim::concurrent::{run_concurrent, ConcurrentConfig};
+use sim::factory::{build_scheduler, SchedulerKind};
+use std::time::Duration;
+use workloads::inventory::{Inventory, InventoryConfig};
+
+fn figure12_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure12_obs_overhead");
+    group.sample_size(10);
+    for (mode, obs) in [("disabled", false), ("enabled", true)] {
+        for kind in [SchedulerKind::Hdd, SchedulerKind::Mvto] {
+            for workers in [1usize, 8] {
+                group.bench_function(
+                    BenchmarkId::new(
+                        format!("{mode}/{}", kind.name()),
+                        format!("workers{workers}"),
+                    ),
+                    |b| {
+                        b.iter_batched(
+                            || {
+                                let mut w = Inventory::new(InventoryConfig {
+                                    items: 64,
+                                    ..InventoryConfig::default()
+                                });
+                                let batch = programs(&mut w, 400, 0x0F16_0012);
+                                let (sched, _store) = build_scheduler(kind, &w);
+                                (sched, batch)
+                            },
+                            |(sched, batch)| {
+                                let cfg = ConcurrentConfig {
+                                    workers,
+                                    obs,
+                                    verify: false,
+                                    capture_log: false,
+                                    maintenance_interval: Duration::from_micros(50),
+                                    ..ConcurrentConfig::default()
+                                };
+                                run_concurrent(sched.as_ref(), batch, &cfg).stats.committed
+                            },
+                            criterion::BatchSize::LargeInput,
+                        )
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(2000))
+        .sample_size(10);
+    targets = figure12_obs_overhead
+}
+criterion_main!(benches);

@@ -57,6 +57,21 @@ impl<'a> ActivityFuncs<'a> {
             .fold(m, |cur, &c| self.registry.i_old(ClassId(c), cur))
     }
 
+    /// [`a_fn`](Self::a_fn) plus the total activity-registry intervals
+    /// examined across every `I_old` hop — the per-evaluation scan
+    /// length recorded into the obs registry-scan histogram.
+    pub fn a_fn_counted(&self, i: ClassId, j: ClassId, m: Timestamp) -> (Timestamp, u64) {
+        let hops = self
+            .hierarchy
+            .paths()
+            .a_hops(i.index(), j.index())
+            .unwrap_or_else(|| panic!("A_{i}^{j} undefined: no critical path"));
+        hops.iter().fold((m, 0), |(cur, scanned), &c| {
+            let (t, s) = self.registry.i_old_counted(ClassId(c), cur);
+            (t, scanned + s)
+        })
+    }
+
     /// `A` anchored at a *fictitious class below `c`* (Section 5.0: a
     /// read-only transaction whose read segments lie on one critical
     /// path obeys the protocol of a class right below the lowest class of
@@ -70,6 +85,25 @@ impl<'a> ActivityFuncs<'a> {
             .unwrap_or_else(|| panic!("A-from-below undefined: no critical path {c} → {j}"));
         hops.iter()
             .fold(m, |cur, &cl| self.registry.i_old(ClassId(cl), cur))
+    }
+
+    /// [`a_fn_from_below`](Self::a_fn_from_below) plus the intervals
+    /// examined (see [`a_fn_counted`](Self::a_fn_counted)).
+    pub fn a_fn_from_below_counted(
+        &self,
+        c: ClassId,
+        j: ClassId,
+        m: Timestamp,
+    ) -> (Timestamp, u64) {
+        let hops = self
+            .hierarchy
+            .paths()
+            .a_hops_inclusive(c.index(), j.index())
+            .unwrap_or_else(|| panic!("A-from-below undefined: no critical path {c} → {j}"));
+        hops.iter().fold((m, 0), |(cur, scanned), &cl| {
+            let (t, s) = self.registry.i_old_counted(ClassId(cl), cur);
+            (t, scanned + s)
+        })
     }
 
     /// `B_j^i(m)`: fold `C_late` down the critical path from `j` to `i`,

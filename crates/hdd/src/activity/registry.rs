@@ -169,6 +169,13 @@ impl ClassActivity {
     /// `I_old(m)`: the initiation time of the oldest transaction active at
     /// `m`, or `m` itself when none is active.
     pub fn i_old(&self, m: Timestamp) -> Timestamp {
+        self.i_old_counted(m).0
+    }
+
+    /// [`i_old`](Self::i_old) plus the number of intervals the
+    /// evaluation examined — the per-call scan length behind the
+    /// O(active) claim, fed to the obs registry-scan histogram.
+    pub fn i_old_counted(&self, m: Timestamp) -> (Timestamp, u64) {
         let mut scanned = 0u64;
         for e in &self.entries[self.scan_start(m)..] {
             scanned += 1;
@@ -177,11 +184,11 @@ impl ClassActivity {
             }
             if e.end.is_none_or(|end| end > m) {
                 self.scans.set(self.scans.get() + scanned);
-                return e.start;
+                return (e.start, scanned);
             }
         }
         self.scans.set(self.scans.get() + scanned);
-        m
+        (m, scanned)
     }
 
     /// `C_late(m)`: the latest *end* time (commit or abort) of
@@ -377,6 +384,11 @@ impl ActivityRegistry {
     /// `I_old` of `class` at `m`.
     pub fn i_old(&self, class: ClassId, m: Timestamp) -> Timestamp {
         self.classes[class.index()].lock().i_old(m)
+    }
+
+    /// `I_old` of `class` at `m`, plus the intervals examined.
+    pub fn i_old_counted(&self, class: ClassId, m: Timestamp) -> (Timestamp, u64) {
+        self.classes[class.index()].lock().i_old_counted(m)
     }
 
     /// `C_late` of `class` at `m`.

@@ -27,6 +27,7 @@ use crate::activity::{ActivityFuncs, ActivityRegistry};
 use crate::analysis::Hierarchy;
 use crate::timewall::{TimeWall, TimeWallService};
 use mvstore::{MvStore, MvtoReadResult, MvtoWriteResult};
+use obs::{RejectReason, TraceEvent};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,6 +56,21 @@ enum RoMode {
     OnChain { base: ClassId },
     /// Protocol C: pinned to a released time wall (lazily bound).
     Wall { wall: Option<Arc<TimeWall>> },
+}
+
+/// Provenance of an unregistered read's bound, for tracing: which rule
+/// produced it and (for activity-link bounds) what it cost to compute.
+#[derive(Debug, Clone, Copy)]
+enum ReadProv {
+    /// Protocol A: activity-link bound anchored at `reader_class` with
+    /// argument `m`; computing it scanned `scanned` registry entries.
+    A {
+        reader_class: ClassId,
+        m: Timestamp,
+        scanned: u64,
+    },
+    /// Protocol C: time-wall component of the wall anchored at `anchor`.
+    Wall { anchor: Timestamp },
 }
 
 #[derive(Debug)]
@@ -246,16 +262,19 @@ impl HddScheduler {
     /// Attempt to release a time wall now; returns true on success.
     pub fn try_release_wall(&self) -> bool {
         let funcs = ActivityFuncs::new(&self.hierarchy, &self.registry);
-        let released = self
-            .walls
-            .try_release(&self.hierarchy, &funcs, self.core.clock.now(), || {
-                self.core.clock.tick()
-            })
-            .is_some();
-        if released {
+        let released =
+            self.walls
+                .try_release(&self.hierarchy, &funcs, self.core.clock.now(), || {
+                    self.core.clock.tick()
+                });
+        if let Some(w) = &released {
             Metrics::bump(&self.core.metrics.timewalls_released);
+            self.core.metrics.obs.emit(TraceEvent::WallRelease {
+                anchor: w.anchor_time.raw(),
+                released_at: w.released_at.raw(),
+            });
         }
-        released
+        released.is_some()
     }
 
     /// Garbage-collect versions and activity history below the safe
@@ -267,6 +286,10 @@ impl HddScheduler {
         self.walls.retire_old(4);
         if reclaimed > 0 {
             Metrics::add(&self.core.metrics.versions_gced, reclaimed as u64);
+            self.core.metrics.obs.emit(TraceEvent::GcReclaim {
+                watermark: wm.raw(),
+                reclaimed: reclaimed as u64,
+            });
         }
         reclaimed
     }
@@ -323,8 +346,16 @@ impl HddScheduler {
     }
 
     /// Protocol A read: serve the latest committed version below `bound`
-    /// without registering anything.
-    fn read_unregistered(&self, h: &TxnHandle, g: GranuleId, bound: Timestamp) -> ReadOutcome {
+    /// without registering anything. `prov` says which rule produced the
+    /// bound, so enabled tracing can record *why* this version was
+    /// picked (and the scan cost of computing the bound).
+    fn read_unregistered(
+        &self,
+        h: &TxnHandle,
+        g: GranuleId,
+        bound: Timestamp,
+        prov: ReadProv,
+    ) -> ReadOutcome {
         let r = self
             .core
             .store
@@ -342,10 +373,47 @@ impl HddScheduler {
                     version,
                     writer,
                 });
+                if self.core.metrics.obs.enabled() {
+                    let target_class = self.hierarchy.class_of(g.segment).0;
+                    match prov {
+                        ReadProv::A {
+                            reader_class,
+                            m,
+                            scanned,
+                        } => {
+                            self.core.metrics.obs.registry_scan.record(scanned);
+                            self.core.metrics.obs.trace.push(TraceEvent::CrossRead {
+                                txn: h.id.0,
+                                reader_class: reader_class.0,
+                                target_class,
+                                segment: g.segment.0,
+                                key: g.key,
+                                m: m.raw(),
+                                bound: bound.raw(),
+                                version: version.raw(),
+                            });
+                        }
+                        ReadProv::Wall { anchor } => {
+                            self.core.metrics.obs.trace.push(TraceEvent::WallRead {
+                                txn: h.id.0,
+                                target_class,
+                                segment: g.segment.0,
+                                key: g.key,
+                                anchor: anchor.raw(),
+                                bound: bound.raw(),
+                                version: version.raw(),
+                            });
+                        }
+                    }
+                }
                 ReadOutcome::Value(value)
             }
-            // Unreachable by the bound proof; block defensively.
+            // Unreachable by the bound proof; block defensively — and
+            // count the violation loudly (`wall_violations`).
             MvtoReadResult::BlockOn(_) => {
+                self.core
+                    .metrics
+                    .reject(RejectReason::WallViolation, h.id.0, g.segment.0, g.key);
                 Metrics::bump(&self.core.metrics.blocks);
                 ReadOutcome::Block
             }
@@ -400,7 +468,9 @@ impl HddScheduler {
                 }
                 if latest.ts > h.start_ts {
                     // Overwritten by a younger transaction: reject.
-                    Metrics::bump(&self.core.metrics.rejections);
+                    self.core
+                        .metrics
+                        .reject(RejectReason::ReadTooLate, h.id.0, g.segment.0, g.key);
                     return ReadOutcome::Abort;
                 }
                 if !latest.committed {
@@ -508,13 +578,18 @@ impl Scheduler for HddScheduler {
         if let Some(mode) = ro {
             return match mode {
                 RoMode::OnChain { base } => {
-                    let bound = self.funcs().a_fn_from_below(
+                    let (bound, scanned) = self.funcs().a_fn_from_below_counted(
                         base,
                         self.hierarchy.class_of(seg),
                         h.start_ts,
                     );
                     Metrics::bump(&self.core.metrics.cross_class_reads);
-                    self.read_unregistered(h, g, bound)
+                    let prov = ReadProv::A {
+                        reader_class: base,
+                        m: h.start_ts,
+                        scanned,
+                    };
+                    self.read_unregistered(h, g, bound, prov)
                 }
                 RoMode::Wall { wall } => {
                     let wall = match wall {
@@ -546,7 +621,10 @@ impl Scheduler for HddScheduler {
                         }
                     };
                     Metrics::bump(&self.core.metrics.wall_reads);
-                    self.read_unregistered(h, g, wall.component(self.hierarchy.class_of(seg)))
+                    let prov = ReadProv::Wall {
+                        anchor: wall.anchor_time,
+                    };
+                    self.read_unregistered(h, g, wall.component(self.hierarchy.class_of(seg)), prov)
                 }
             };
         }
@@ -558,11 +636,17 @@ impl Scheduler for HddScheduler {
         } else {
             // Protocol A: T_seg is higher than T_class (validated at
             // begin); compute the activity-link bound.
-            let bound = self
-                .funcs()
-                .a_fn(class, self.hierarchy.class_of(seg), self.state_start(h));
+            let m = self.state_start(h);
+            let (bound, scanned) =
+                self.funcs()
+                    .a_fn_counted(class, self.hierarchy.class_of(seg), m);
             Metrics::bump(&self.core.metrics.cross_class_reads);
-            self.read_unregistered(h, g, bound)
+            let prov = ReadProv::A {
+                reader_class: class,
+                m,
+                scanned,
+            };
+            self.read_unregistered(h, g, bound, prov)
         }
     }
 
@@ -630,7 +714,9 @@ impl Scheduler for HddScheduler {
                 WriteOutcome::Done
             }
             MvtoWriteResult::Rejected => {
-                Metrics::bump(&self.core.metrics.rejections);
+                self.core
+                    .metrics
+                    .reject(RejectReason::WriteTooLate, h.id.0, g.segment.0, g.key);
                 WriteOutcome::Abort
             }
         }

@@ -1,0 +1,114 @@
+//! Per-worker latency recording: thread-affine histogram stripes.
+//!
+//! `Histogram` recording is already lock-free,
+//! but its summary cells (`count`, `sum`, extrema) are shared cache
+//! lines every recorder would bounce. [`LatencyRecorder`] stripes whole
+//! histograms by thread (round-robin assignment on first use, exactly
+//! like the striped schedule log), so each worker records into its own
+//! cells; [`LatencyRecorder::snapshot`] merges the stripes.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Power-of-two stripe count (worker counts in this workspace are ≤ 16).
+const STRIPES: usize = 8;
+
+/// Allocator of stable per-thread stripe indices (shared by every
+/// recorder; a thread uses the same stripe slot everywhere).
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+/// This thread's stripe index.
+#[inline]
+fn stripe_of_thread() -> usize {
+    thread_local! {
+        static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
+    }
+    STRIPE.with(|s| *s)
+}
+
+/// A set of thread-affine histogram stripes recording one latency (or
+/// length) dimension.
+#[derive(Debug)]
+pub struct LatencyRecorder {
+    stripes: Vec<Histogram>,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        LatencyRecorder {
+            stripes: (0..STRIPES).map(|_| Histogram::new()).collect(),
+        }
+    }
+}
+
+impl LatencyRecorder {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value into the calling thread's stripe.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.stripes[stripe_of_thread()].record(v);
+    }
+
+    /// Total values recorded across stripes.
+    pub fn count(&self) -> u64 {
+        self.stripes.iter().map(|s| s.count()).sum()
+    }
+
+    /// Merge every stripe into one snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::default();
+        for s in &self.stripes {
+            out.merge(&s.snapshot());
+        }
+        out
+    }
+
+    /// Reset every stripe.
+    pub fn reset(&self) {
+        for s in &self.stripes {
+            s.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripes_merge_to_the_full_distribution() {
+        let r = LatencyRecorder::new();
+        for v in 0..100u64 {
+            r.record(v);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(r.count(), 100);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 99);
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let r = LatencyRecorder::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let r = &r;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        r.record(t * 1000 + (i % 7));
+                    }
+                });
+            }
+        });
+        let s = r.snapshot();
+        assert_eq!(s.count, 80_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 80_000);
+    }
+}

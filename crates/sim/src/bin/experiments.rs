@@ -1,17 +1,105 @@
 //! Regenerate every figure of the paper as a measured table.
 //!
 //! ```text
-//! cargo run --release -p sim --bin experiments            # full sizes
-//! cargo run --release -p sim --bin experiments -- quick   # CI sizes
-//! cargo run --release -p sim --bin experiments -- hotpath # E13 only,
-//!                                                         # emits BENCH_hotpath.json
+//! cargo run --release -p sim --bin experiments             # full sizes
+//! cargo run --release -p sim --bin experiments -- quick    # CI sizes
+//! cargo run --release -p sim --bin experiments -- hotpath  # E13 only,
+//!                                                          # emits BENCH_hotpath.json
+//! cargo run --release -p sim --bin experiments -- e14      # E14 only,
+//!                                                          # emits BENCH_obs.json
+//! cargo run --release -p sim --bin experiments -- e14 --obs-json out.json
+//! cargo run --release -p sim --bin experiments -- obs-smoke
+//!     # disabled-obs throughput guard: exits 1 if the hdd 8-worker
+//!     # run regresses >10% vs the BENCH_hotpath.json baseline
 //! ```
 
+use sim::concurrent::{run_concurrent, ConcurrentConfig};
+use sim::experiments::e02_inventory::batch;
+use sim::factory::{build_scheduler, SchedulerKind};
+
+/// Read the recorded hdd 8-worker commits/sec out of
+/// `BENCH_hotpath.json` (hand-rolled scan; no serde in this build).
+fn recorded_hdd_8w_baseline(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    for line in text.lines() {
+        if line.contains("\"scheduler\": \"hdd\"") && line.contains("\"workers\": 8") {
+            let key = "\"commits_per_sec\": ";
+            let at = line.find(key)? + key.len();
+            let rest = &line[at..];
+            let end = rest.find(',').unwrap_or(rest.len());
+            return rest[..end].trim().parse().ok();
+        }
+    }
+    None
+}
+
+/// Best-of-3 hdd 8-worker throughput with obs *disabled*, compared
+/// against the recorded baseline. Returns the process exit code.
+fn obs_smoke() -> i32 {
+    let n_txns = 20_000;
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let (w, programs) = batch(n_txns, 0x00F1_6011);
+        let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+        let cfg = ConcurrentConfig {
+            workers: 8,
+            verify: false,
+            capture_log: false,
+            ..ConcurrentConfig::default()
+        };
+        let out = run_concurrent(sched.as_ref(), programs, &cfg);
+        assert!(
+            !sched.metrics().obs.enabled(),
+            "obs must stay disabled in the smoke run"
+        );
+        best = best.max(out.throughput);
+    }
+    match recorded_hdd_8w_baseline("BENCH_hotpath.json") {
+        Some(baseline) => {
+            let floor = baseline * 0.9;
+            println!(
+                "obs-smoke: hdd 8-worker best-of-3 = {best:.1} commits/sec \
+                 (baseline {baseline:.1}, floor {floor:.1})"
+            );
+            if best < floor {
+                eprintln!("obs-smoke: FAIL — disabled-obs throughput regressed >10%");
+                1
+            } else {
+                println!("obs-smoke: OK");
+                0
+            }
+        }
+        None => {
+            println!(
+                "obs-smoke: no BENCH_hotpath.json baseline found; \
+                 measured {best:.1} commits/sec (not enforced)"
+            );
+            0
+        }
+    }
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "quick");
-    let hotpath_only = std::env::args().any(|a| a == "hotpath");
-    if hotpath_only {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let obs_json = args
+        .iter()
+        .position(|a| a == "--obs-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_obs.json".to_string());
+    if args.iter().any(|a| a == "obs-smoke") {
+        std::process::exit(obs_smoke());
+    }
+    if args.iter().any(|a| a == "hotpath") {
         println!("{}", sim::experiments::e13_hotpath::run(quick));
+        return;
+    }
+    if args.iter().any(|a| a == "e14") {
+        println!(
+            "{}",
+            sim::experiments::e14_obs_profile::run_with_path(quick, &obs_json)
+        );
         return;
     }
     println!(

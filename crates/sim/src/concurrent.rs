@@ -31,6 +31,12 @@ pub struct ConcurrentConfig {
     /// log for the run (pure-throughput mode) and implies no
     /// verification.
     pub capture_log: bool,
+    /// Enable the scheduler's observability sidecar for this run: the
+    /// driver then records commit latency (claim → commit, retries
+    /// included), per-operation service time, block-wait spans and
+    /// backoff sleeps into `scheduler.metrics().obs`. Off by default —
+    /// disabled recording costs one branch per claimed program.
+    pub obs: bool,
 }
 
 impl Default for ConcurrentConfig {
@@ -41,6 +47,7 @@ impl Default for ConcurrentConfig {
             maintenance_interval: Duration::from_micros(50),
             verify: true,
             capture_log: true,
+            obs: false,
         }
     }
 }
@@ -49,12 +56,30 @@ impl Default for ConcurrentConfig {
 /// then sleeps doubling from 1 µs up to a 256 µs ceiling. Keeps blocked
 /// workers off the contended state without unbounded busy-waiting (on
 /// oversubscribed machines, plain `yield_now` thrashes the scheduler).
-fn backoff(spins: u32) {
+/// Returns the requested sleep (ZERO while still spinning) so callers
+/// can account backoff pressure.
+fn backoff(spins: u32) -> Duration {
     if spins <= 3 {
         std::hint::spin_loop();
+        Duration::ZERO
     } else {
         let exp = (spins - 4).min(8); // 1 µs << 8 = 256 µs ceiling
-        std::thread::sleep(Duration::from_micros(1u64 << exp));
+        let d = Duration::from_micros(1u64 << exp);
+        std::thread::sleep(d);
+        d
+    }
+}
+
+/// Run `f`, recording its wall time into `hist` when `on`.
+#[inline]
+fn timed<T>(on: bool, hist: &obs::LatencyRecorder, f: impl FnOnce() -> T) -> T {
+    if on {
+        let t = Instant::now();
+        let r = f();
+        hist.record(t.elapsed().as_nanos() as u64);
+        r
+    } else {
+        f()
     }
 }
 
@@ -92,6 +117,13 @@ pub fn run_concurrent(
     if !cfg.capture_log {
         scheduler.log().set_enabled(false);
     }
+    if cfg.obs {
+        scheduler.metrics().obs.set_enabled(true);
+    }
+    // One load up front: the flag is stable for the whole run, so the
+    // disabled path costs a branch per operation, not an atomic load.
+    let obs_on = scheduler.metrics().obs.enabled();
+    let mobs = &scheduler.metrics().obs;
     let programs = &programs[..];
     let cursor = AtomicUsize::new(0);
     let committed = AtomicUsize::new(0);
@@ -124,16 +156,23 @@ pub fn run_concurrent(
                     let Some(program) = programs.get(idx) else {
                         break;
                     };
+                    // Commit latency spans the whole program: claim to
+                    // commit, across aborts/restarts.
+                    let claimed_at = obs_on.then(Instant::now);
                     let mut tries = 0usize;
                     'retry: loop {
                         let handle = scheduler.begin(&program.profile);
                         let mut ctx = ReadCtx::default();
                         let mut pc = 0usize;
                         let mut spins = 0u32;
+                        // Start of the current contiguous Block streak.
+                        let mut block_since: Option<Instant> = None;
                         while pc < program.steps.len() {
                             attempts.fetch_add(1, Ordering::Relaxed);
                             let outcome_block = match &program.steps[pc] {
-                                Step::Read(g) => match scheduler.read(&handle, *g) {
+                                Step::Read(g) => match timed(obs_on, &mobs.op_service, || {
+                                    scheduler.read(&handle, *g)
+                                }) {
                                     ReadOutcome::Value(v) => {
                                         ctx.record(*g, v);
                                         pc += 1;
@@ -154,7 +193,9 @@ pub fn run_concurrent(
                                 },
                                 Step::Write(g, src) => {
                                     let v = src.resolve(&ctx);
-                                    match scheduler.write(&handle, *g, v) {
+                                    match timed(obs_on, &mobs.op_service, || {
+                                        scheduler.write(&handle, *g, v)
+                                    }) {
                                         WriteOutcome::Done => {
                                             pc += 1;
                                             spins = 0;
@@ -175,22 +216,43 @@ pub fn run_concurrent(
                                 }
                             };
                             if outcome_block {
+                                if obs_on && block_since.is_none() {
+                                    block_since = Some(Instant::now());
+                                }
                                 spins += 1;
-                                backoff(spins);
+                                let slept = backoff(spins);
+                                if obs_on && !slept.is_zero() {
+                                    mobs.backoff_sleep.record(slept.as_nanos() as u64);
+                                }
+                            } else if let Some(t) = block_since.take() {
+                                mobs.block_wait.record(t.elapsed().as_nanos() as u64);
                             }
                         }
                         // Commit loop.
                         let mut commit_spins = 0u32;
+                        let mut commit_block_since: Option<Instant> = None;
                         loop {
                             attempts.fetch_add(1, Ordering::Relaxed);
-                            match scheduler.commit(&handle) {
+                            match timed(obs_on, &mobs.op_service, || scheduler.commit(&handle)) {
                                 CommitOutcome::Committed(_) => {
                                     committed.fetch_add(1, Ordering::Relaxed);
+                                    if let Some(t) = commit_block_since.take() {
+                                        mobs.block_wait.record(t.elapsed().as_nanos() as u64);
+                                    }
+                                    if let Some(t) = claimed_at {
+                                        mobs.commit_latency.record(t.elapsed().as_nanos() as u64);
+                                    }
                                     break 'retry;
                                 }
                                 CommitOutcome::Block => {
+                                    if obs_on && commit_block_since.is_none() {
+                                        commit_block_since = Some(Instant::now());
+                                    }
                                     commit_spins += 1;
-                                    backoff(commit_spins);
+                                    let slept = backoff(commit_spins);
+                                    if obs_on && !slept.is_zero() {
+                                        mobs.backoff_sleep.record(slept.as_nanos() as u64);
+                                    }
                                 }
                                 CommitOutcome::Aborted => {
                                     tries += 1;
@@ -277,6 +339,43 @@ mod tests {
             );
             assert!(out.stats.committed > 0);
         }
+    }
+
+    #[test]
+    fn obs_mode_records_latencies_per_commit() {
+        let mut w = Banking::new(8);
+        let mut rng = StdRng::seed_from_u64(13);
+        let programs: Vec<_> = (0..80).map(|_| w.generate(&mut rng)).collect();
+        let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+        let cfg = ConcurrentConfig {
+            obs: true,
+            ..ConcurrentConfig::default()
+        };
+        let out = run_concurrent(sched.as_ref(), programs, &cfg);
+        let snap = sched.metrics().obs.snapshot();
+        assert_eq!(out.stats.committed, 80);
+        assert_eq!(
+            snap.commit_latency.count, 80,
+            "one commit-latency sample per committed program"
+        );
+        assert!(
+            snap.op_service.count >= out.stats.steps,
+            "every attempted operation is timed"
+        );
+        assert!(snap.commit_latency.p50() > 0);
+    }
+
+    #[test]
+    fn obs_off_by_default_records_nothing() {
+        let mut w = Banking::new(8);
+        let mut rng = StdRng::seed_from_u64(14);
+        let programs: Vec<_> = (0..20).map(|_| w.generate(&mut rng)).collect();
+        let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+        run_concurrent(sched.as_ref(), programs, &ConcurrentConfig::default());
+        let snap = sched.metrics().obs.snapshot();
+        assert_eq!(snap.commit_latency.count, 0);
+        assert_eq!(snap.op_service.count, 0);
+        assert_eq!(snap.trace_recorded, 0);
     }
 
     #[test]

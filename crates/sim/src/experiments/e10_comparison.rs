@@ -52,6 +52,7 @@ pub fn run(quick: bool) -> Table {
             "regs_per_commit",
             "blocks_per_commit",
             "rejections",
+            "rej_breakdown",
             "restarts",
             "serializable",
         ],
@@ -81,6 +82,7 @@ pub fn run(quick: bool) -> Table {
                 f2(m.read_registrations_per_commit()),
                 f2(bpc),
                 m.rejections.to_string(),
+                m.rejection_breakdown(),
                 stats.restarts.to_string(),
                 format!("{:?}", stats.serializable.unwrap_or(false)),
             ]);

@@ -34,6 +34,10 @@ pub struct HotpathPoint {
     pub ops_per_sec: f64,
     /// Post-hoc dependency-graph verdict.
     pub serializable: bool,
+    /// Versions reclaimed by GC during the run (hdd only).
+    pub versions_gced: u64,
+    /// Time walls released during the run (hdd only).
+    pub timewalls_released: u64,
 }
 
 const SCHEDULERS: &[SchedulerKind] = &[
@@ -65,6 +69,8 @@ pub fn sweep(quick: bool) -> Vec<HotpathPoint> {
                 commits_per_sec: out.throughput,
                 ops_per_sec: out.stats.steps as f64 / out.elapsed.as_secs_f64().max(1e-9),
                 serializable: out.stats.serializable.unwrap_or(false),
+                versions_gced: out.stats.metrics.versions_gced,
+                timewalls_released: out.stats.metrics.timewalls_released,
             });
         }
     }
@@ -115,6 +121,8 @@ pub fn run(quick: bool) -> Table {
             "commits_per_sec",
             "ops_per_sec",
             "serializable",
+            "versions_gced",
+            "walls_released",
         ],
     );
     for p in &points {
@@ -125,6 +133,8 @@ pub fn run(quick: bool) -> Table {
             f2(p.commits_per_sec),
             f2(p.ops_per_sec),
             format!("{:?}", p.serializable),
+            p.versions_gced.to_string(),
+            p.timewalls_released.to_string(),
         ]);
     }
     table

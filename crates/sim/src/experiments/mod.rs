@@ -17,12 +17,13 @@ pub mod e10_comparison;
 pub mod e11_cross_read_sweep;
 pub mod e12_dbc_messages;
 pub mod e13_hotpath;
+pub mod e14_obs_profile;
 
 use crate::report::Table;
 
 /// Run every experiment (E1–E10 per figure, plus the E11 sweep, the
-/// E12 message analysis and the E13 hot-path throughput trajectory) and
-/// return the tables in order.
+/// E12 message analysis, the E13 hot-path throughput trajectory and the
+/// E14 observability profile) and return the tables in order.
 pub fn run_all(quick: bool) -> Vec<Table> {
     vec![
         e01_lost_update::run(quick),
@@ -38,5 +39,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e11_cross_read_sweep::run(quick),
         e12_dbc_messages::run(quick),
         e13_hotpath::run(quick),
+        e14_obs_profile::run(quick),
     ]
 }

@@ -19,6 +19,11 @@ macro_rules! counters {
         #[derive(Debug, Default)]
         pub struct Metrics {
             $($(#[doc = $doc])* pub $name: AtomicU64,)+
+            /// Observability sidecar: latency histograms and the protocol
+            /// decision trace ring, all behind one atomic enable flag
+            /// (default off). Not part of [`MetricsSnapshot`] — use
+            /// [`obs::Obs::snapshot`] for the distributions.
+            pub obs: obs::Obs,
         }
 
         /// A point-in-time copy of [`Metrics`].
@@ -51,6 +56,17 @@ macro_rules! counters {
             pub fn values(&self) -> Vec<u64> {
                 vec![$(self.$name,)+]
             }
+
+            /// Counter deltas since `earlier` (saturating, so interval
+            /// reporting over a reset or a re-used scheduler never
+            /// underflows). Interval reports should print
+            /// `now.delta(&at_interval_start)` instead of re-reading
+            /// absolute counters.
+            pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $($name: self.$name.saturating_sub(earlier.$name),)+
+                }
+            }
         }
     };
 }
@@ -74,7 +90,24 @@ counters! {
     /// Operations that returned Block (each wait counted once per attempt).
     blocks,
     /// Operations rejected by a protocol rule, forcing an abort.
+    /// Always equals `rej_write_too_late + rej_read_too_late +
+    /// rej_deadlock_victim` (kept as a total for backward-compatible
+    /// tables).
     rejections,
+    /// Rejected writes: a younger transaction already read or overwrote
+    /// the granule (TO write rule; MVTO, basic TO, HDD Protocol B).
+    rej_write_too_late,
+    /// Rejected reads: a younger transaction already overwrote the
+    /// granule (basic-TO read rule).
+    rej_read_too_late,
+    /// Rejections of transactions chosen as deadlock victims (2PL
+    /// family).
+    rej_deadlock_victim,
+    /// Unregistered (Protocol A / C) reads that found a pending version
+    /// below their activity-link or time-wall bound — a state the bound
+    /// proofs rule out. The read blocks (and recovers) rather than
+    /// aborting, but every occurrence is counted loudly here.
+    wall_violations,
     /// Deadlocks detected (2PL family only).
     deadlocks,
     /// Protocol A reads: cross-class reads served without registration.
@@ -99,6 +132,37 @@ impl Metrics {
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
     }
+
+    /// Count a protocol rejection of `txn`'s access to `segment`/`key`
+    /// under `reason`: bumps the matching per-reason counter, keeps the
+    /// `rejections` total in sync, and (when tracing is enabled) emits a
+    /// [`obs::TraceEvent::Reject`]. [`obs::RejectReason::WallViolation`]
+    /// counts into `wall_violations` only — the access blocks and
+    /// recovers instead of aborting, so it is not a rejection.
+    pub fn reject(&self, reason: obs::RejectReason, txn: u64, segment: u32, key: u64) {
+        use obs::RejectReason::*;
+        match reason {
+            WriteTooLate => {
+                Self::bump(&self.rej_write_too_late);
+                Self::bump(&self.rejections);
+            }
+            ReadTooLate => {
+                Self::bump(&self.rej_read_too_late);
+                Self::bump(&self.rejections);
+            }
+            DeadlockVictim => {
+                Self::bump(&self.rej_deadlock_victim);
+                Self::bump(&self.rejections);
+            }
+            WallViolation => Self::bump(&self.wall_violations),
+        }
+        self.obs.emit(obs::TraceEvent::Reject {
+            txn,
+            segment,
+            key,
+            reason,
+        });
+    }
 }
 
 impl MetricsSnapshot {
@@ -110,6 +174,15 @@ impl MetricsSnapshot {
         } else {
             self.read_registrations as f64 / self.commits as f64
         }
+    }
+
+    /// Compact per-reason rejection breakdown for table cells:
+    /// `w<write-too-late>/r<read-too-late>/d<deadlock-victim>`.
+    pub fn rejection_breakdown(&self) -> String {
+        format!(
+            "w{}/r{}/d{}",
+            self.rej_write_too_late, self.rej_read_too_late, self.rej_deadlock_victim
+        )
     }
 
     /// Fraction of begun transactions that aborted.
@@ -162,6 +235,45 @@ mod tests {
             MetricsSnapshot::default().read_registrations_per_commit(),
             0.0
         );
+    }
+
+    #[test]
+    fn reject_keeps_total_in_sync_and_traces() {
+        let m = Metrics::default();
+        m.obs.set_enabled(true);
+        m.reject(obs::RejectReason::WriteTooLate, 1, 0, 7);
+        m.reject(obs::RejectReason::ReadTooLate, 2, 1, 8);
+        m.reject(obs::RejectReason::DeadlockVictim, 3, 2, 9);
+        m.reject(obs::RejectReason::WallViolation, 4, 0, 1);
+        let s = m.snapshot();
+        assert_eq!(s.rejections, 3, "wall violations are not rejections");
+        assert_eq!(s.rej_write_too_late, 1);
+        assert_eq!(s.rej_read_too_late, 1);
+        assert_eq!(s.rej_deadlock_victim, 1);
+        assert_eq!(s.wall_violations, 1);
+        assert_eq!(
+            s.rejections,
+            s.rej_write_too_late + s.rej_read_too_late + s.rej_deadlock_victim
+        );
+        assert_eq!(s.rejection_breakdown(), "w1/r1/d1");
+        assert_eq!(m.obs.trace.recorded(), 4);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise_and_saturates() {
+        let m = Metrics::default();
+        Metrics::add(&m.commits, 10);
+        let early = m.snapshot();
+        Metrics::add(&m.commits, 5);
+        Metrics::bump(&m.aborts);
+        let late = m.snapshot();
+        let d = late.delta(&early);
+        assert_eq!(d.commits, 5);
+        assert_eq!(d.aborts, 1);
+        assert_eq!(d.begins, 0);
+        // Saturates instead of underflowing (e.g. across a reset).
+        let backwards = early.delta(&late);
+        assert_eq!(backwards.commits, 0);
     }
 
     #[test]

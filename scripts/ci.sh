@@ -21,7 +21,18 @@ cargo test -q
 echo "== tests (workspace) =="
 cargo test -q --workspace
 
+echo "== docs =="
+cargo doc --no-deps -q --workspace
+
 echo "== hot-path smoke (release, quick) =="
 cargo run --release -q -p sim --bin experiments -- hotpath quick
+
+echo "== obs profile smoke (release, quick) =="
+cargo run --release -q -p sim --bin experiments -- e14 quick
+
+echo "== obs overhead smoke (release) =="
+# Best-of-3 hdd 8-worker run with obs *disabled*; fails if throughput
+# regresses >10% against the recorded BENCH_hotpath.json baseline.
+cargo run --release -q -p sim --bin experiments -- obs-smoke
 
 echo "CI OK"
