@@ -2,29 +2,29 @@
 //!
 //! Every scheduler the paper positions HDD against (Figure 10 and the
 //! anomaly constructions of Figures 1, 3 and 4), implemented behind the
-//! same [`Scheduler`](txn_model::Scheduler) interface as the HDD
+//! same `Scheduler` interface as the HDD
 //! scheduler:
 //!
-//! * [`TwoPhaseLocking`](two_pl::TwoPhaseLocking) — strict 2PL with a
+//! * [`two_pl::TwoPhaseLocking`] — strict 2PL with a
 //!   waits-for deadlock detector. Its `cross_segment_read_locks = false`
 //!   variant is the deliberately broken protocol of **Figure 3** (type-3
 //!   transactions skip read locks outside their home segment).
-//! * [`BasicTso`](tso::BasicTso) — basic timestamp ordering. Its
+//! * [`tso::BasicTso`] — basic timestamp ordering. Its
 //!   `register_cross_segment_reads = false` variant is the broken
 //!   protocol of **Figure 4**.
-//! * [`Mvto`](mvto::Mvto) — Reed's multi-version timestamp ordering,
+//! * [`mvto::Mvto`] — Reed's multi-version timestamp ordering,
 //!   applied uniformly to every segment (what HDD's Protocol B uses
 //!   inside the root segment — running it everywhere quantifies exactly
 //!   what Protocol A saves).
-//! * [`Mv2pl`](mv2pl::Mv2pl) — multiversion two-phase locking in the
+//! * [`mv2pl::Mv2pl`] — multiversion two-phase locking in the
 //!   style the paper cites (Bayer 80 / Chan 82): update transactions use
 //!   strict 2PL; read-only transactions read a committed snapshot
 //!   lock-free.
-//! * [`Sdd1Pipeline`](sdd1::Sdd1Pipeline) — a centralized reduction of
+//! * [`sdd1::Sdd1Pipeline`] — a centralized reduction of
 //!   SDD-1's conflict-graph analysis: transactions of conflicting classes
 //!   are pipelined in initiation order (see DESIGN.md for the
 //!   substitution rationale).
-//! * [`NoControl`](nocontrol::NoControl) — no concurrency control at all;
+//! * [`nocontrol::NoControl`] — no concurrency control at all;
 //!   the **Figure 1** lost-update demonstration.
 
 #![warn(missing_docs)]

@@ -84,8 +84,7 @@ impl Scheduler for Mv2pl {
             .txns
             .lock()
             .get(&h.id)
-            .map(|i| i.read_only)
-            .unwrap_or(false);
+            .is_some_and(|i| i.read_only);
         if read_only {
             // Lock-free committed snapshot.
             Metrics::bump(&self.base.metrics.wall_reads);

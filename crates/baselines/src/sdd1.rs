@@ -90,7 +90,7 @@ impl Sdd1Pipeline {
     /// Class index from recorded transaction info.
     fn class_index_of(&self, info: &crate::common::TxnInfo) -> usize {
         info.class
-            .map(|c| c.index())
+            .map(txn_model::ClassId::index)
             .filter(|&c| c < self.classes.len())
             .unwrap_or(self.ro_class())
     }

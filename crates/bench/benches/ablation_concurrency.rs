@@ -3,6 +3,10 @@
 //! conflict rates (and, for HDD, hold `I_old` lower, aging Protocol A
 //! bounds); this bench sweeps the window for HDD and 2PL.
 
+// Bench targets: the criterion_group! macro generates undocumented
+// items, and bench bodies are not a public API.
+#![allow(missing_docs)]
+
 use bench::programs;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim::driver::{run_interleaved, DriverConfig};
@@ -37,7 +41,7 @@ fn ablation_concurrency(c: &mut Criterion) {
                             run_interleaved(sched.as_ref(), batch, &cfg).committed
                         },
                         criterion::BatchSize::LargeInput,
-                    )
+                    );
                 },
             );
         }

@@ -2,6 +2,10 @@
 //! bounded version chains (shorter scans on every read). This bench runs
 //! a long update-heavy batch with GC off, lazy and aggressive.
 
+// Bench targets: the criterion_group! macro generates undocumented
+// items, and bench bodies are not a public API.
+#![allow(missing_docs)]
+
 use bench::{bench_driver_config, programs};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdd::protocol::HddConfig;
@@ -39,7 +43,7 @@ fn ablation_gc(c: &mut Criterion) {
                     (stats.committed, sched.store().version_count())
                 },
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();

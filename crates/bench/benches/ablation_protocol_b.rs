@@ -5,6 +5,10 @@
 //! version storage for fewer restarts; this bench measures the batch
 //! cost of each flavor on the inventory workload.
 
+// Bench targets: the criterion_group! macro generates undocumented
+// items, and bench bodies are not a public API.
+#![allow(missing_docs)]
+
 use bench::{bench_driver_config, programs};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdd::protocol::{HddConfig, ProtocolBMode};
@@ -43,7 +47,7 @@ fn ablation_protocol_b(c: &mut Criterion) {
                     stats.committed
                 },
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();

@@ -3,6 +3,10 @@
 //! under each scheduler (no-control is the paper's broken strawman; the
 //! others pay their respective synchronization costs to avoid it).
 
+// Bench targets: the criterion_group! macro generates undocumented
+// items, and bench bodies are not a public API.
+#![allow(missing_docs)]
+
 use bench::{bench_driver_config, programs};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim::driver::run_interleaved;
@@ -35,7 +39,7 @@ fn figure01(c: &mut Criterion) {
                     stats.committed
                 },
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();

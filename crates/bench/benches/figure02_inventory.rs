@@ -2,6 +2,10 @@
 //! wall time of a 300-transaction mixed batch (events, postings,
 //! reorders, profiles, accounting, reports, audits).
 
+// Bench targets: the criterion_group! macro generates undocumented
+// items, and bench bodies are not a public API.
+#![allow(missing_docs)]
+
 use bench::{bench_driver_config, programs};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim::driver::run_interleaved;
@@ -30,7 +34,7 @@ fn figure02(c: &mut Criterion) {
                     stats.committed
                 },
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();

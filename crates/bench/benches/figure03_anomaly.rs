@@ -2,6 +2,10 @@
 //! (including dependency-graph cycle detection, which is what a
 //! verification-enabled deployment would pay).
 
+// Bench targets: the criterion_group! macro generates undocumented
+// items, and bench bodies are not a public API.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim::factory::{build_scheduler, SchedulerKind};
 use sim::scripts::run_script;
@@ -24,7 +28,7 @@ fn figure03(c: &mut Criterion) {
                 },
                 |sched| run_script(sched.as_ref(), &script).serializable,
                 criterion::BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();

@@ -1,5 +1,9 @@
 //! **Figure 4 bench** — replay cost of the scripted TSO anomaly timing.
 
+// Bench targets: the criterion_group! macro generates undocumented
+// items, and bench bodies are not a public API.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim::factory::{build_scheduler, SchedulerKind};
 use sim::scripts::run_script;
@@ -22,7 +26,7 @@ fn figure04(c: &mut Criterion) {
                 },
                 |sched| run_script(sched.as_ref(), &script).serializable,
                 criterion::BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();

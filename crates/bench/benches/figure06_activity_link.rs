@@ -3,6 +3,10 @@
 //! grow. This is the bookkeeping HDD pays instead of writing a read
 //! timestamp.
 
+// Bench targets: the criterion_group! macro generates undocumented
+// items, and bench bodies are not a public API.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdd::activity::{ActivityFuncs, ActivityRegistry};
 use sim::experiments::e06_activity_link::{chain_hierarchy, populate};
@@ -21,7 +25,7 @@ fn figure06(c: &mut Criterion) {
                 BenchmarkId::new(format!("depth{depth}"), format!("active{active}")),
                 |b| {
                     let funcs = ActivityFuncs::new(&h, &registry);
-                    b.iter(|| funcs.a_fn(leaf, top, std::hint::black_box(Timestamp(1_000_000))))
+                    b.iter(|| funcs.a_fn(leaf, top, std::hint::black_box(Timestamp(1_000_000))));
                 },
             );
         }

@@ -1,6 +1,10 @@
 //! **Figure 7 bench** — evaluation cost of the `⇒` relation across its
 //! three cases (same class, t1 higher, t2 higher).
 
+// Bench targets: the criterion_group! macro generates undocumented
+// items, and bench bodies are not a public API.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdd::activity::{topologically_follows, ActivityFuncs, ActivityRegistry, TxnCoord};
 use sim::experiments::e06_activity_link::chain_hierarchy;
@@ -37,7 +41,7 @@ fn figure07(c: &mut Criterion) {
             let funcs = ActivityFuncs::new(&h, &registry);
             b.iter(|| {
                 topologically_follows(&funcs, std::hint::black_box(t1), std::hint::black_box(t2))
-            })
+            });
         });
     }
     group.finish();

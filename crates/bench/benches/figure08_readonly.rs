@@ -2,6 +2,10 @@
 //! batch cost under HDD (Protocol A, free), MV2PL (snapshot read-only but
 //! locked updates) and 2PL (everything locked).
 
+// Bench targets: the criterion_group! macro generates undocumented
+// items, and bench bodies are not a public API.
+#![allow(missing_docs)]
+
 use bench::{bench_driver_config, programs};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim::driver::run_interleaved;
@@ -44,7 +48,7 @@ fn figure08(c: &mut Criterion) {
                     run_interleaved(sched.as_ref(), batch, &bench_driver_config()).committed
                 },
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();

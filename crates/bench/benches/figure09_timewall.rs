@@ -2,6 +2,10 @@
 //! a wall as the hierarchy grows; (b) batch cost of an audit-heavy
 //! workload as the wall-release interval varies.
 
+// Bench targets: the criterion_group! macro generates undocumented
+// items, and bench bodies are not a public API.
+#![allow(missing_docs)]
+
 use bench::{bench_driver_config, programs};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdd::protocol::HddConfig;
@@ -56,7 +60,7 @@ fn audit_batch_by_interval(c: &mut Criterion) {
                     run_interleaved(sched.as_ref(), batch, &bench_driver_config()).committed
                 },
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();

@@ -2,6 +2,10 @@
 //! of the synthetic deep-hierarchy workload (where cross-class reads
 //! dominate) for every sound scheduler, plus a multi-threaded HDD run.
 
+// Bench targets: the criterion_group! macro generates undocumented
+// items, and bench bodies are not a public API.
+#![allow(missing_docs)]
+
 use bench::{bench_driver_config, programs};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim::concurrent::{run_concurrent, ConcurrentConfig};
@@ -36,7 +40,7 @@ fn comparison(c: &mut Criterion) {
                     run_interleaved(sched.as_ref(), batch, &bench_driver_config()).committed
                 },
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();
@@ -69,7 +73,7 @@ fn concurrent_hdd(c: &mut Criterion) {
                     .committed
                 },
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();

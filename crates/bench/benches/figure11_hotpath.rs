@@ -11,6 +11,10 @@
 //! experiments -- hotpath`) reports absolute committed-txns/sec for the
 //! same sweep; this bench exists for regression tracking via criterion.
 
+// Bench targets: the criterion_group! macro generates undocumented
+// items, and bench bodies are not a public API.
+#![allow(missing_docs)]
+
 use bench::programs;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim::concurrent::{run_concurrent, ConcurrentConfig};
@@ -51,7 +55,7 @@ fn figure11_hotpath(c: &mut Criterion) {
                             run_concurrent(sched.as_ref(), batch, &cfg).stats.committed
                         },
                         criterion::BatchSize::LargeInput,
-                    )
+                    );
                 },
             );
         }

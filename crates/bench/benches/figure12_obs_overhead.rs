@@ -14,6 +14,10 @@
 //! The hdd 8-worker `disabled` point is the one the `obs-smoke` CI gate
 //! (scripts/ci.sh) checks against the recorded baseline.
 
+// Bench targets: the criterion_group! macro generates undocumented
+// items, and bench bodies are not a public API.
+#![allow(missing_docs)]
+
 use bench::programs;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim::concurrent::{run_concurrent, ConcurrentConfig};
@@ -55,7 +59,7 @@ fn figure12_obs_overhead(c: &mut Criterion) {
                                 run_concurrent(sched.as_ref(), batch, &cfg).stats.committed
                             },
                             criterion::BatchSize::LargeInput,
-                        )
+                        );
                     },
                 );
             }

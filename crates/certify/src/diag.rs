@@ -1,0 +1,172 @@
+//! Rustc-style diagnostics with a machine-readable JSON rendering.
+//!
+//! Every linter failure is a [`Diagnostic`]: a stable code (`CERT0xx`),
+//! a headline, a *witness* (the concrete evidence — the two undirected
+//! paths, the doubly-written segments, the offending read), and an
+//! optional *repair* suggestion. The text rendering mimics `rustc`
+//! (`error[CERT004]: ...` with indented notes); the JSON rendering is
+//! hand-rolled (the offline build has no serde).
+
+/// Diagnostic severity, ordered from worst to mildest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The decomposition or schedule is invalid.
+    Error,
+    /// Legal but suspicious (e.g. a read-only shape forced onto the
+    /// time-wall path).
+    Warning,
+    /// Informational.
+    Note,
+}
+
+impl Severity {
+    fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// One linter or certifier finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable machine code (`CERT001`...).
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// One-line headline.
+    pub message: String,
+    /// Concrete evidence lines (paths, segments, inducing specs).
+    pub witness: Vec<String>,
+    /// Suggested repair, when one is known.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Build an error diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            witness: Vec::new(),
+            help: None,
+        }
+    }
+
+    /// Build a warning diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Self::error(code, message)
+        }
+    }
+
+    /// Build a note diagnostic.
+    pub fn note(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Note,
+            ..Self::error(code, message)
+        }
+    }
+
+    /// Append a witness line (builder style).
+    pub fn with_witness(mut self, line: impl Into<String>) -> Self {
+        self.witness.push(line.into());
+        self
+    }
+
+    /// Set the repair suggestion (builder style).
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Rustc-style text rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}[{}]: {}\n",
+            self.severity.as_str(),
+            self.code,
+            self.message
+        );
+        for w in &self.witness {
+            out.push_str("  --> witness: ");
+            out.push_str(w);
+            out.push('\n');
+        }
+        if let Some(h) = &self.help {
+            out.push_str("  = help: ");
+            out.push_str(h);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Hand-rolled JSON object.
+    pub fn to_json(&self) -> String {
+        let witness: Vec<String> = self
+            .witness
+            .iter()
+            .map(|w| format!("\"{}\"", json_escape(w)))
+            .collect();
+        let help = match &self.help {
+            Some(h) => format!("\"{}\"", json_escape(h)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"code\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\", \
+             \"witness\": [{}], \"help\": {}}}",
+            self.code,
+            self.severity.as_str(),
+            json_escape(&self.message),
+            witness.join(", "),
+            help,
+        )
+    }
+}
+
+/// Escape a string for embedding in JSON output.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_code_witness_and_help() {
+        let d = Diagnostic::error("CERT004", "DHG reduction is not a semi-tree")
+            .with_witness("path 1: D3 — D1 — D0")
+            .with_witness("path 2: D3 — D2 — D0")
+            .with_help("merge segments D1 and D2");
+        let text = d.render();
+        assert!(text.starts_with("error[CERT004]:"));
+        assert!(text.contains("path 1"));
+        assert!(text.contains("help: merge"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let d = Diagnostic::note("CERT000", "spec \"a\"\nsecond line");
+        let j = d.to_json();
+        assert!(j.contains("\\\"a\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"help\": null"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Delta-debugging over event subsequences.
+//!
+//! When the certifier finds a violation, the raw schedule may hold
+//! thousands of events of which only a handful matter. [`ddmin`] is the
+//! classic Zeller/Hildebrandt algorithm specialized to *subsequence*
+//! reduction: split into chunks, try dropping chunks and complements,
+//! refine granularity, and finish with a greedy one-minimal pass (drop
+//! each surviving element individually). The predicate receives a
+//! candidate subsequence and answers "does the failure still occur?".
+//!
+//! The result is 1-minimal: removing any single remaining event makes
+//! the predicate flip. For dependency-graph violations that routinely
+//! means single-digit counterexamples (a two-cycle needs two reads, two
+//! writes, and two commits).
+
+/// Reduce `items` to a 1-minimal failing subsequence under `pred`.
+///
+/// `pred(&items)` must hold on entry; the returned subsequence satisfies
+/// it too. The predicate must be deterministic (it is re-evaluated many
+/// times; the certifier's graph rebuild is).
+pub fn ddmin<T: Clone>(items: &[T], pred: impl Fn(&[T]) -> bool) -> Vec<T> {
+    debug_assert!(pred(items), "ddmin requires a failing input");
+    let mut current: Vec<T> = items.to_vec();
+    let mut n = 2usize;
+
+    while current.len() >= 2 {
+        let chunks = chunked(&current, n);
+        let mut reduced = false;
+
+        // Try each chunk alone.
+        for chunk in &chunks {
+            if pred(chunk) {
+                current = chunk.clone();
+                n = 2;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            // Try each complement (everything except one chunk).
+            for i in 0..chunks.len() {
+                let complement: Vec<T> = chunks
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .flat_map(|(_, c)| c.iter().cloned())
+                    .collect();
+                if !complement.is_empty() && pred(&complement) {
+                    current = complement;
+                    n = (n - 1).max(2);
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if !reduced {
+            if n >= current.len() {
+                break;
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+
+    one_minimal(current, pred)
+}
+
+/// Greedy pass: drop each element individually until no single removal
+/// preserves the failure.
+fn one_minimal<T: Clone>(mut current: Vec<T>, pred: impl Fn(&[T]) -> bool) -> Vec<T> {
+    let mut i = 0;
+    while i < current.len() {
+        if current.len() <= 1 {
+            break;
+        }
+        let mut candidate = current.clone();
+        candidate.remove(i);
+        if pred(&candidate) {
+            current = candidate;
+            // Restart-free: the element now at `i` has not been tried.
+        } else {
+            i += 1;
+        }
+    }
+    current
+}
+
+fn chunked<T: Clone>(items: &[T], n: usize) -> Vec<Vec<T>> {
+    let len = items.len();
+    let size = len.div_ceil(n);
+    items.chunks(size.max(1)).map(<[T]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_the_single_culprit() {
+        let items: Vec<u32> = (0..100).collect();
+        let out = ddmin(&items, |s| s.contains(&77));
+        assert_eq!(out, vec![77]);
+    }
+
+    #[test]
+    fn preserves_required_pair_in_order() {
+        let items: Vec<u32> = (0..64).collect();
+        // Failure needs 5 before 42 (subsequence order is preserved).
+        let pred = |s: &[u32]| {
+            let p5 = s.iter().position(|&x| x == 5);
+            let p42 = s.iter().position(|&x| x == 42);
+            matches!((p5, p42), (Some(a), Some(b)) if a < b)
+        };
+        let out = ddmin(&items, pred);
+        assert_eq!(out, vec![5, 42]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let items: Vec<u32> = (0..40).collect();
+        // Needs at least 3 even numbers.
+        let pred = |s: &[u32]| s.iter().filter(|x| **x % 2 == 0).count() >= 3;
+        let out = ddmin(&items, pred);
+        assert_eq!(out.len(), 3);
+        for i in 0..out.len() {
+            let mut c = out.clone();
+            c.remove(i);
+            assert!(!pred(&c), "dropping {i} must break the predicate");
+        }
+    }
+
+    #[test]
+    fn single_element_input() {
+        let out = ddmin(&[9], |s: &[u32]| !s.is_empty());
+        assert_eq!(out, vec![9]);
+    }
+}

@@ -312,7 +312,7 @@ mod tests {
         let mut g = c.benchmark_group("g");
         g.sample_size(2);
         g.bench_function(BenchmarkId::from_parameter(8), |b| {
-            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput);
         });
         g.bench_function(BenchmarkId::new("f", 4), |b| b.iter(|| 2 + 2));
         g.finish();

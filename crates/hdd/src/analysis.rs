@@ -137,6 +137,11 @@ impl std::error::Error for HierarchyError {}
 
 /// Why a transaction profile is illegal under a given hierarchy. Illegal
 /// profiles are the trigger for dynamic restructuring (Section 7.1.1).
+///
+/// Violations carry the human-readable segment and class *names* (as
+/// configured via [`Hierarchy::with_segment_names`], defaulting to
+/// `D{i}`/`T{i}`) so `hdd-lint` diagnostics read in workload vocabulary
+/// rather than raw indices.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProfileViolation {
     /// An update profile without a class, or a class out of range.
@@ -145,18 +150,88 @@ pub enum ProfileViolation {
     WritesOutsideRoot {
         /// The offending segment.
         segment: SegmentId,
+        /// Its human-readable name.
+        segment_name: String,
+        /// The profile's declared root class.
+        class: ClassId,
+        /// Its human-readable name.
+        class_name: String,
     },
     /// The profile reads a segment whose class is neither its own class
     /// nor higher than it — Protocol A has no version bound for it.
     ReadsNonAncestor {
         /// The offending segment.
         segment: SegmentId,
+        /// Its human-readable name.
+        segment_name: String,
+        /// The profile's declared root class.
+        class: ClassId,
+        /// Its human-readable name.
+        class_name: String,
     },
     /// A segment id out of range.
     UnknownSegment {
         /// The offending segment.
         segment: SegmentId,
     },
+}
+
+impl std::fmt::Display for ProfileViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileViolation::NoClass => {
+                write!(f, "update profile has no (or an out-of-range) class")
+            }
+            ProfileViolation::WritesOutsideRoot {
+                segment,
+                segment_name,
+                class,
+                class_name,
+            } => write!(
+                f,
+                "profile rooted in class {class_name} ({class}) writes segment \
+                 {segment_name} ({segment}) outside its root class"
+            ),
+            ProfileViolation::ReadsNonAncestor {
+                segment,
+                segment_name,
+                class,
+                class_name,
+            } => write!(
+                f,
+                "profile rooted in class {class_name} ({class}) reads segment \
+                 {segment_name} ({segment}), which is not an ancestor of its root"
+            ),
+            ProfileViolation::UnknownSegment { segment } => {
+                write!(f, "segment {segment} is out of range for this hierarchy")
+            }
+        }
+    }
+}
+
+/// Derive class names from segment names: single-segment classes borrow
+/// the segment's name, grouped classes join theirs, empty classes fall
+/// back to `T{i}`.
+fn derive_class_names(
+    class_of: &[ClassId],
+    n_classes: usize,
+    segment_names: &[String],
+) -> Vec<String> {
+    (0..n_classes)
+        .map(|c| {
+            let segs: Vec<&str> = class_of
+                .iter()
+                .enumerate()
+                .filter(|(_, cls)| cls.index() == c)
+                .map(|(s, _)| segment_names[s].as_str())
+                .collect();
+            match segs.len() {
+                0 => format!("T{c}"),
+                1 => segs[0].to_string(),
+                _ => format!("{{{}}}", segs.join("+")),
+            }
+        })
+        .collect()
 }
 
 /// A validated TST-hierarchical partition with its path tables.
@@ -167,6 +242,12 @@ pub struct Hierarchy {
     n_classes: usize,
     dhg: Digraph,
     paths: PathTables,
+    /// Human-readable segment names (defaults `D{i}`).
+    segment_names: Vec<String>,
+    /// Human-readable class names, derived from segment names: a
+    /// single-segment class borrows its segment's name, a grouped class
+    /// joins them (`"{a+b}"`).
+    class_names: Vec<String>,
 }
 
 impl Hierarchy {
@@ -231,13 +312,41 @@ impl Hierarchy {
                 v: ClassId(v as u32),
             },
         })?;
+        let segment_names: Vec<String> = (0..n_segments).map(|i| format!("D{i}")).collect();
+        let class_names = derive_class_names(&class_of, n_classes, &segment_names);
         Ok(Hierarchy {
             n_segments,
             class_of_segment: class_of,
             n_classes,
             dhg,
             paths: PathTables::new(reduction),
+            segment_names,
+            class_names,
         })
+    }
+
+    /// Attach human-readable segment names (one per segment, in order).
+    /// Class names are re-derived from them. Panics when the name count
+    /// does not match the segment count.
+    pub fn with_segment_names(mut self, names: Vec<String>) -> Hierarchy {
+        assert_eq!(
+            names.len(),
+            self.n_segments,
+            "one name per segment required"
+        );
+        self.class_names = derive_class_names(&self.class_of_segment, self.n_classes, &names);
+        self.segment_names = names;
+        self
+    }
+
+    /// The human-readable name of `segment` (default `D{i}`).
+    pub fn segment_name(&self, segment: SegmentId) -> &str {
+        &self.segment_names[segment.index()]
+    }
+
+    /// The human-readable name of `class` (default its segment's name).
+    pub fn class_name(&self, class: ClassId) -> &str {
+        &self.class_names[class.index()]
     }
 
     /// Validate a hand-built segment-level DHG (identity grouping). Used
@@ -308,13 +417,23 @@ impl Hierarchy {
         }
         for &w in &profile.write_segments {
             if self.class_of(w) != class {
-                return Err(ProfileViolation::WritesOutsideRoot { segment: w });
+                return Err(ProfileViolation::WritesOutsideRoot {
+                    segment: w,
+                    segment_name: self.segment_name(w).to_string(),
+                    class,
+                    class_name: self.class_name(class).to_string(),
+                });
             }
         }
         for &r in &profile.read_segments {
             let rc = self.class_of(r);
             if rc != class && !self.paths.higher_than(rc.index(), class.index()) {
-                return Err(ProfileViolation::ReadsNonAncestor { segment: r });
+                return Err(ProfileViolation::ReadsNonAncestor {
+                    segment: r,
+                    segment_name: self.segment_name(r).to_string(),
+                    class,
+                    class_name: self.class_name(class).to_string(),
+                });
             }
         }
         Ok(())
@@ -332,7 +451,7 @@ impl Hierarchy {
             let label = if segs.len() == 1 && segs[0].index() == c {
                 format!("{class}")
             } else {
-                let seg_list: Vec<String> = segs.iter().map(|s| s.to_string()).collect();
+                let seg_list: Vec<String> = segs.iter().map(ToString::to_string).collect();
                 format!("{class} = {{{}}}", seg_list.join(", "))
             };
             let _ = writeln!(out, "  {c} [label=\"{label}\"];");
@@ -495,10 +614,20 @@ mod tests {
         let ok = TxnProfile::update(ClassId(2), vec![s(0), s(1), s(2)]);
         assert!(h.validate_profile(&ok).is_ok());
         let bad = TxnProfile::update(ClassId(0), vec![s(1)]);
-        assert_eq!(
-            h.validate_profile(&bad),
-            Err(ProfileViolation::ReadsNonAncestor { segment: s(1) })
-        );
+        match h.validate_profile(&bad) {
+            Err(ProfileViolation::ReadsNonAncestor {
+                segment,
+                segment_name,
+                class,
+                class_name,
+            }) => {
+                assert_eq!(segment, s(1));
+                assert_eq!(segment_name, "D1");
+                assert_eq!(class, ClassId(0));
+                assert_eq!(class_name, "D0");
+            }
+            other => panic!("expected ReadsNonAncestor, got {other:?}"),
+        }
         let ro = TxnProfile::read_only(vec![s(0), s(1)]);
         assert!(h.validate_profile(&ro).is_ok());
         let oob = TxnProfile::read_only(vec![s(9)]);
@@ -506,6 +635,38 @@ mod tests {
             h.validate_profile(&oob),
             Err(ProfileViolation::UnknownSegment { segment: s(9) })
         );
+    }
+
+    #[test]
+    fn violations_render_custom_names() {
+        let h = Hierarchy::build(3, &inventory_specs())
+            .unwrap()
+            .with_segment_names(vec![
+                "events".to_string(),
+                "inventory".to_string(),
+                "on-order".to_string(),
+            ]);
+        assert_eq!(h.segment_name(s(1)), "inventory");
+        assert_eq!(h.class_name(ClassId(2)), "on-order");
+        let bad = TxnProfile {
+            class: Some(ClassId(1)),
+            read_segments: vec![],
+            write_segments: vec![s(2)],
+        };
+        let err = h.validate_profile(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("on-order"), "{msg}");
+        assert!(msg.contains("inventory"), "{msg}");
+        // Grouped classes join their segment names.
+        let specs = vec![
+            AccessSpec::new("w01", vec![s(0), s(1)], vec![s(2)]),
+            AccessSpec::new("w2", vec![s(2)], vec![]),
+        ];
+        let g = Hierarchy::build_grouped(3, &specs, vec![ClassId(0), ClassId(0), ClassId(1)], 2)
+            .unwrap()
+            .with_segment_names(vec!["a".to_string(), "b".to_string(), "c".to_string()]);
+        assert_eq!(g.class_name(ClassId(0)), "{a+b}");
+        assert_eq!(g.class_name(ClassId(1)), "c");
     }
 
     #[test]

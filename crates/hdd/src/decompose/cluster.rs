@@ -15,7 +15,7 @@
 //! 2. **Hierarchy graph** — the segment-level DHG is built from the
 //!    clustered shapes.
 //! 3. **Legalization** — directed cycles and semi-tree violations are
-//!    merged away by [`repartition_to_tst`](super::acyclic::repartition_to_tst).
+//!    merged away by [`super::acyclic::repartition_to_tst`].
 //!
 //! The result maps every item to a [`SegmentId`] and provides the
 //! validated [`Hierarchy`] plus the segment-level [`AccessSpec`]s.

@@ -12,7 +12,7 @@
 //! 1. A [`plan`](AdaptiveScheduler::submit_shape) is computed: the new
 //!    shape is added to the spec set; the partition is **coarsened**
 //!    (classes only merge, never split) with
-//!    [`repartition_to_tst_from`](super::acyclic::repartition_to_tst_from)
+//!    [`super::acyclic::repartition_to_tst_from`]
 //!    seeded by the current grouping, so every old class maps into
 //!    exactly one new class.
 //! 2. Classes in the connected component(s) touched by a merge are

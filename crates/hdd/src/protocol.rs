@@ -507,7 +507,7 @@ impl Scheduler for HddScheduler {
     fn begin(&self, profile: &TxnProfile) -> TxnHandle {
         if let Err(v) = self.hierarchy.validate_profile(profile) {
             panic!(
-                "transaction profile violates the hierarchy ({v:?}); \
+                "transaction profile violates the hierarchy: {v}; \
                  use dynamic restructuring for ad-hoc update patterns"
             );
         }

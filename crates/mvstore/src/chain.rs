@@ -244,8 +244,7 @@ impl VersionChain {
             .iter()
             .rev()
             .find(|v| v.ts < ts)
-            .map(|v| v.rts)
-            .unwrap_or(Timestamp::ZERO);
+            .map_or(Timestamp::ZERO, |v| v.rts);
         if conflicting_rts > ts {
             return MvtoWriteResult::Rejected;
         }

@@ -92,7 +92,12 @@ impl MvStore {
     pub fn version_count(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().values().map(|c| c.len()).sum::<usize>())
+            .map(|s| {
+                s.lock()
+                    .values()
+                    .map(super::chain::VersionChain::len)
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -106,8 +111,7 @@ impl MvStore {
     pub fn latest_value(&self, g: GranuleId) -> Value {
         self.with_chain(g, |c| {
             c.latest_committed()
-                .map(|v| (*v.value).clone())
-                .unwrap_or(Value::Absent)
+                .map_or(Value::Absent, |v| (*v.value).clone())
         })
     }
 
@@ -121,8 +125,7 @@ impl MvStore {
     pub fn value_as_of(&self, g: GranuleId, ts: Timestamp) -> Value {
         self.with_chain(g, |c| {
             c.latest_committed_before(ts)
-                .map(|v| (*v.value).clone())
-                .unwrap_or(Value::Absent)
+                .map_or(Value::Absent, |v| (*v.value).clone())
         })
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Values are `u64` (nanoseconds for latencies, plain counts for scan
 //! lengths). Buckets are log-linear: each power-of-two octave is split
-//! into [`SUBS`] linear sub-buckets, so any recorded value lands in a
+//! into `SUBS` (16) linear sub-buckets, so any recorded value lands in a
 //! bucket whose width is at most 1/16 of its magnitude — every quantile
 //! estimate is within ~6.25% of the true value while the whole table
 //! stays under 8 KiB. Values below `2 * SUBS` are bucketed exactly.

@@ -55,7 +55,7 @@ impl LatencyRecorder {
 
     /// Total values recorded across stripes.
     pub fn count(&self) -> u64 {
-        self.stripes.iter().map(|s| s.count()).sum()
+        self.stripes.iter().map(super::hist::Histogram::count).sum()
     }
 
     /// Merge every stripe into one snapshot.

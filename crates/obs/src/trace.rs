@@ -280,7 +280,7 @@ impl TraceRing {
         let ticket = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut stripe = self.stripes[stripe_of_thread()]
             .lock()
-            .unwrap_or_else(|e| e.into_inner());
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if stripe.len() >= self.capacity {
             stripe.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -305,7 +305,7 @@ impl TraceRing {
     pub fn drain(&self) -> Vec<(u64, TraceEvent)> {
         let mut all: Vec<(u64, TraceEvent)> = Vec::new();
         for s in &self.stripes {
-            let mut stripe = s.lock().unwrap_or_else(|e| e.into_inner());
+            let mut stripe = s.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             all.extend(stripe.drain(..));
         }
         all.sort_unstable_by_key(|&(t, _)| t);
@@ -315,7 +315,9 @@ impl TraceRing {
     /// Drop every retained event and zero the lifetime counters.
     pub fn reset(&self) {
         for s in &self.stripes {
-            s.lock().unwrap_or_else(|e| e.into_inner()).clear();
+            s.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clear();
         }
         self.seq.store(0, Ordering::Relaxed);
         self.dropped.store(0, Ordering::Relaxed);

@@ -11,11 +11,23 @@
 //! cargo run --release -p sim --bin experiments -- obs-smoke
 //!     # disabled-obs throughput guard: exits 1 if the hdd 8-worker
 //!     # run regresses >10% vs the BENCH_hotpath.json baseline
+//! cargo run --release -p sim --bin experiments -- certify-smoke
+//!     # a-priori lint of the bundled workloads + offline certification
+//!     # of concurrent hdd/mvto logs + a nocontrol anomaly self-check;
+//!     # exits 1 on any lint error or certification violation
 //! ```
 
+use certify::certifier::{attach_trace, certify_log};
+use certify::lint::lint_workload;
 use sim::concurrent::{run_concurrent, ConcurrentConfig};
 use sim::experiments::e02_inventory::batch;
 use sim::factory::{build_scheduler, SchedulerKind};
+use sim::scripts::run_script;
+use workloads::anomalies::{lost_update_script, AnomalyWorkload};
+use workloads::banking::Banking;
+use workloads::inventory::{Inventory, InventoryConfig};
+use workloads::synthetic::{Synthetic, SyntheticConfig};
+use workloads::Workload;
 
 /// Read the recorded hdd 8-worker commits/sec out of
 /// `BENCH_hotpath.json` (hand-rolled scan; no serde in this build).
@@ -79,6 +91,96 @@ fn obs_smoke() -> i32 {
     }
 }
 
+/// CI gate for the certify crate: lint every bundled workload, certify
+/// concurrent hdd (with the partition-synchronization rule and the obs
+/// trace joined in) and mvto logs, and self-check that the certifier
+/// still catches and shrinks a no-control anomaly. Returns the exit
+/// code.
+fn certify_smoke() -> i32 {
+    let mut failed = false;
+
+    // 1. A-priori lint of the bundled decompositions.
+    for report in [
+        lint_workload(&Inventory::new(InventoryConfig::default())),
+        lint_workload(&Banking::new(16)),
+        lint_workload(&Synthetic::new(SyntheticConfig::default())),
+        lint_workload(&AnomalyWorkload),
+    ] {
+        print!("{}", report.render());
+        if !report.ok() {
+            failed = true;
+        }
+    }
+
+    // 2. Certify real concurrent logs: hdd under the full
+    //    partition-synchronization rule (obs tracing on, joined into any
+    //    violation report), mvto under plain acyclicity.
+    for kind in [SchedulerKind::Hdd, SchedulerKind::Mvto] {
+        let (w, programs) = batch(2_000, 0x5A7E_0CE5);
+        let (sched, _store) = build_scheduler(kind, &w);
+        let cfg = ConcurrentConfig {
+            workers: 4,
+            verify: false,
+            obs: kind == SchedulerKind::Hdd,
+            ..ConcurrentConfig::default()
+        };
+        let stats = run_concurrent(sched.as_ref(), programs, &cfg);
+        let hierarchy = (kind == SchedulerKind::Hdd).then(|| w.hierarchy());
+        let mut cert = certify_log(kind.name(), sched.log(), hierarchy.as_ref());
+        if kind == SchedulerKind::Hdd {
+            attach_trace(&mut cert, &sched.metrics().obs.trace.drain());
+        }
+        print!("{}", cert.render());
+        if !cert.ok() {
+            failed = true;
+        }
+        let _ = stats;
+    }
+
+    // 3. Self-check: the certifier must still catch the no-control lost
+    //    update and shrink it to single digits.
+    {
+        let script = lost_update_script();
+        let (sched, store) = build_scheduler(SchedulerKind::NoControl, &AnomalyWorkload);
+        for (g, v) in &script.setup {
+            store.seed(*g, v.clone());
+        }
+        let _ = run_script(sched.as_ref(), &script);
+        let cert = certify_log("nocontrol", sched.log(), None);
+        match &cert.counterexample {
+            Some(cx) if cx.events.len() <= 10 => {
+                println!(
+                    "certify-smoke: self-check OK — nocontrol lost update caught, \
+                     counterexample shrunk {} → {} events (rule: {})",
+                    cx.original_events,
+                    cx.events.len(),
+                    cx.rule.name(),
+                );
+            }
+            Some(cx) => {
+                eprintln!(
+                    "certify-smoke: FAIL — counterexample did not shrink \
+                     (still {} events)",
+                    cx.events.len()
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("certify-smoke: FAIL — certifier missed the no-control lost update");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        eprintln!("certify-smoke: FAIL");
+        1
+    } else {
+        println!("certify-smoke: OK");
+        0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
@@ -90,6 +192,9 @@ fn main() {
         .unwrap_or_else(|| "BENCH_obs.json".to_string());
     if args.iter().any(|a| a == "obs-smoke") {
         std::process::exit(obs_smoke());
+    }
+    if args.iter().any(|a| a == "certify-smoke") {
+        std::process::exit(certify_smoke());
     }
     if args.iter().any(|a| a == "hotpath") {
         println!("{}", sim::experiments::e13_hotpath::run(quick));

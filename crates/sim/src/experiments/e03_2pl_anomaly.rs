@@ -48,7 +48,7 @@ pub fn run() -> Table {
             m.read_registrations.to_string(),
             m.blocks.to_string(),
             out.serializable.to_string(),
-            out.cycle.map(|c| c.len()).unwrap_or(0).to_string(),
+            out.cycle.map_or(0, |c| c.len()).to_string(),
         ]);
     }
     table

@@ -46,7 +46,7 @@ pub fn run() -> Table {
             m.read_registrations.to_string(),
             m.rejections.to_string(),
             out.serializable.to_string(),
-            out.cycle.map(|c| c.len()).unwrap_or(0).to_string(),
+            out.cycle.map_or(0, |c| c.len()).to_string(),
         ]);
     }
     table

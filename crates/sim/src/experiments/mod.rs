@@ -1,6 +1,6 @@
 //! One experiment per figure of the paper (see DESIGN.md §4).
 //!
-//! Every experiment returns a [`Table`](crate::report::Table) whose rows
+//! Every experiment returns a [`Table`] whose rows
 //! are what the corresponding figure claims; `quick = true` shrinks the
 //! workload sizes for tests and CI.
 
@@ -18,12 +18,14 @@ pub mod e11_cross_read_sweep;
 pub mod e12_dbc_messages;
 pub mod e13_hotpath;
 pub mod e14_obs_profile;
+pub mod e15_certify;
 
 use crate::report::Table;
 
 /// Run every experiment (E1–E10 per figure, plus the E11 sweep, the
-/// E12 message analysis, the E13 hot-path throughput trajectory and the
-/// E14 observability profile) and return the tables in order.
+/// E12 message analysis, the E13 hot-path throughput trajectory, the
+/// E14 observability profile and the E15 certification sweep) and
+/// return the tables in order.
 pub fn run_all(quick: bool) -> Vec<Table> {
     vec![
         e01_lost_update::run(quick),
@@ -40,5 +42,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e12_dbc_messages::run(quick),
         e13_hotpath::run(quick),
         e14_obs_profile::run(quick),
+        e15_certify::run(quick),
     ]
 }

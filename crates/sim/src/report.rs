@@ -18,14 +18,14 @@ impl Table {
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
         Table {
             title: title.into(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }
 
     /// Append a row (stringifies each cell).
     pub fn row<S: ToString>(&mut self, cells: &[S]) {
-        let row: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        let row: Vec<String> = cells.iter().map(ToString::to_string).collect();
         assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
         self.rows.push(row);
     }
@@ -43,7 +43,7 @@ impl Table {
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());

@@ -95,7 +95,7 @@ pub fn run_script(scheduler: &dyn Scheduler, script: &Script) -> ScriptOutcome {
             attempt_front(scheduler, script, &mut txns[t], &mut observed);
         }
         // Retry parked transactions.
-        for txn in txns.iter_mut() {
+        for txn in &mut txns {
             if txn.phase == TxnPhase::Parked {
                 attempt_front(scheduler, script, txn, &mut observed);
             }
@@ -104,7 +104,7 @@ pub fn run_script(scheduler: &dyn Scheduler, script: &Script) -> ScriptOutcome {
     // Drain: keep retrying parked transactions while progress happens.
     loop {
         let mut progressed = false;
-        for txn in txns.iter_mut() {
+        for txn in &mut txns {
             if txn.phase == TxnPhase::Parked || (txn.phase == TxnPhase::Running) {
                 let before = txn.pending.len();
                 attempt_front(scheduler, script, txn, &mut observed);
@@ -118,7 +118,7 @@ pub fn run_script(scheduler: &dyn Scheduler, script: &Script) -> ScriptOutcome {
         }
     }
     // Whatever is still stuck gets aborted.
-    for txn in txns.iter_mut() {
+    for txn in &mut txns {
         if !matches!(txn.phase, TxnPhase::Done(_)) {
             if let Some(h) = &txn.handle {
                 scheduler.abort(h);
@@ -200,7 +200,7 @@ fn attempt_front(
             delta,
         } => {
             let Some(h) = txn.handle.clone() else { return };
-            let base_val = txn.reads.get(base).map(|v| v.as_int()).unwrap_or(0);
+            let base_val = txn.reads.get(base).map_or(0, Value::as_int);
             let v = Value::Int(base_val + delta);
             match scheduler.write(&h, *target, v) {
                 WriteOutcome::Done => {
@@ -229,6 +229,12 @@ fn attempt_front(
                 }
             }
         }
+        ScriptAction::Abort => {
+            let Some(h) = txn.handle.clone() else { return };
+            scheduler.abort(&h);
+            txn.phase = TxnPhase::Done(TxnStatus::Aborted);
+            txn.pending.clear();
+        }
     }
 }
 
@@ -248,7 +254,7 @@ mod tests {
             "Figure 3 cycle must appear under 2PL without cross read locks"
         );
         assert_eq!(out.statuses, vec![TxnStatus::Committed; 3]);
-        assert_eq!(out.cycle.as_ref().map(|c| c.len()), Some(3));
+        assert_eq!(out.cycle.as_ref().map(std::vec::Vec::len), Some(3));
     }
 
     #[test]

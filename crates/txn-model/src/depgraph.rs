@@ -6,6 +6,10 @@
 //! 1. `t1` wrote a version `d^v` and `t2` read `d^v` (reads-from), or
 //! 2. `t1` read a version `d^j` and `t2` wrote `d^k` where `d^j` is the
 //!    *predecessor* of `d^k` in `d`'s version order (write-after-read).
+//!    Versions `t1` itself wrote in between (its own read-modify-write
+//!    output) do not shield it: the arc falls on the first *foreign*
+//!    successor writer, which is what makes the single-granule lost
+//!    update visible as a two-cycle.
 //!
 //! *Theorem (Bernstein 82): a schedule is serializable iff this graph is
 //! acyclic.* Every experiment in the repository rebuilds this graph from a
@@ -16,11 +20,55 @@
 //! transactions are discarded by every scheduler, and reads performed by
 //! aborted transactions impose no ordering. Pre-loaded data is modelled as
 //! versions written by the virtual committed transaction
-//! [`INITIAL_WRITER`](crate::schedule::INITIAL_WRITER).
+//! [`INITIAL_WRITER`].
 
 use crate::ids::{GranuleId, Timestamp, TxnId};
 use crate::schedule::{ScheduleEvent, ScheduleLog, INITIAL_WRITER};
 use std::collections::{HashMap, HashSet};
+
+/// The conflict kinds carried by one dependency arc.
+///
+/// An arc can hold several kinds at once (e.g. `t2` both read `t1`'s
+/// version of one granule and overwrote a granule both transactions
+/// touched). `wr` and `rw` are the two arc-inducing rules of Section 2;
+/// `ww` is a derived annotation — the arc *also* connects two writers of
+/// a common granule — attached for report readability only (it never
+/// creates an arc by itself, so the arc set and all acyclicity results
+/// are unchanged).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArcKinds {
+    /// Rule 1, reads-from: the source read a version the target wrote.
+    pub wr: bool,
+    /// Rule 2, write-after-read: the source wrote the successor of a
+    /// version the target read.
+    pub rw: bool,
+    /// Both endpoints wrote some common granule (annotation only).
+    pub ww: bool,
+}
+
+impl ArcKinds {
+    /// Compact label such as `"wr"`, `"rw"`, or `"wr+ww"` for DOT arcs
+    /// and text reports.
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.wr {
+            parts.push("wr");
+        }
+        if self.rw {
+            parts.push("rw");
+        }
+        if self.ww {
+            parts.push("ww");
+        }
+        parts.join("+")
+    }
+}
+
+impl std::fmt::Display for ArcKinds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
 
 /// The transaction dependency graph `TG(S(T))` of a recorded schedule.
 #[derive(Debug, Clone)]
@@ -33,6 +81,8 @@ pub struct DependencyGraph {
     /// (i depends on j).
     adj: Vec<Vec<usize>>,
     edge_set: HashSet<(usize, usize)>,
+    /// Conflict-kind annotation per arc in `edge_set`.
+    kinds: HashMap<(usize, usize), ArcKinds>,
     /// Reads whose writer never committed (dirty reads that survived).
     /// Nonzero only for deliberately broken schedulers.
     reads_from_uncommitted: usize,
@@ -95,6 +145,7 @@ impl DependencyGraph {
             index: HashMap::new(),
             adj: Vec::new(),
             edge_set: HashSet::new(),
+            kinds: HashMap::new(),
             reads_from_uncommitted: 0,
         };
 
@@ -122,19 +173,62 @@ impl DependencyGraph {
                 if *writer != *txn {
                     if committed.contains(writer) {
                         if *writer != INITIAL_WRITER {
-                            graph.arc(*txn, *writer);
+                            graph.arc(
+                                *txn,
+                                *writer,
+                                ArcKinds {
+                                    wr: true,
+                                    ..ArcKinds::default()
+                                },
+                            );
                         }
                     } else {
                         graph.reads_from_uncommitted += 1;
                     }
                 }
                 // Rule 2: write-after-read. The creator of the *successor*
-                // of the read version depends on txn.
+                // of the read version depends on txn. When the reader
+                // itself wrote the immediate successor (a read-modify-
+                // write), the dependency falls on the next *foreign*
+                // writer along the version order — dropping it entirely
+                // would hide the single-granule lost update (both
+                // transactions read `d^0`, both write; each writer must
+                // follow the other's read).
                 if let Some(chain) = versions.get(granule) {
                     if let Some(pos) = chain.iter().position(|(ts, _)| *ts == *version) {
-                        if let Some((_, succ_writer)) = chain.get(pos + 1) {
-                            if *succ_writer != *txn {
-                                graph.arc(*succ_writer, *txn);
+                        // First successor version not written by the
+                        // reader itself (intermediate versions, if any,
+                        // are the reader's own RMW output).
+                        if let Some((_, succ_writer)) =
+                            chain[pos + 1..].iter().find(|(_, w)| *w != *txn)
+                        {
+                            graph.arc(
+                                *succ_writer,
+                                *txn,
+                                ArcKinds {
+                                    rw: true,
+                                    ..ArcKinds::default()
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Annotate (never add) ww: an existing arc whose endpoints both
+        // wrote some common granule additionally carries the ww flag.
+        for chain in versions.values() {
+            for (i, (_, a)) in chain.iter().enumerate() {
+                for (_, b) in chain.iter().skip(i + 1) {
+                    if a == b {
+                        continue;
+                    }
+                    for (from, to) in [(*a, *b), (*b, *a)] {
+                        if let (Some(&f), Some(&t)) = (graph.index.get(&from), graph.index.get(&to))
+                        {
+                            if graph.edge_set.contains(&(f, t)) {
+                                graph.kinds.entry((f, t)).or_default().ww = true;
                             }
                         }
                     }
@@ -156,7 +250,7 @@ impl DependencyGraph {
         i
     }
 
-    fn arc(&mut self, from: TxnId, to: TxnId) {
+    fn arc(&mut self, from: TxnId, to: TxnId, kinds: ArcKinds) {
         if from == to {
             return;
         }
@@ -165,6 +259,10 @@ impl DependencyGraph {
         if self.edge_set.insert((f, t)) {
             self.adj[f].push(t);
         }
+        let k = self.kinds.entry((f, t)).or_default();
+        k.wr |= kinds.wr;
+        k.rw |= kinds.rw;
+        k.ww |= kinds.ww;
     }
 
     /// All transactions in the graph.
@@ -191,6 +289,29 @@ impl DependencyGraph {
     /// Number of arcs.
     pub fn arc_count(&self) -> usize {
         self.edge_set.len()
+    }
+
+    /// Conflict kinds of arc `from → to`, if the arc exists.
+    pub fn arc_kinds(&self, from: TxnId, to: TxnId) -> Option<ArcKinds> {
+        match (self.index.get(&from), self.index.get(&to)) {
+            (Some(&f), Some(&t)) => self.kinds.get(&(f, t)).copied(),
+            _ => None,
+        }
+    }
+
+    /// All arcs as `(from, to, kinds)` triples, in node-insertion order.
+    pub fn arcs(&self) -> Vec<(TxnId, TxnId, ArcKinds)> {
+        let mut out = Vec::with_capacity(self.edge_set.len());
+        for (u, outs) in self.adj.iter().enumerate() {
+            for &v in outs {
+                out.push((
+                    self.nodes[u],
+                    self.nodes[v],
+                    self.kinds.get(&(u, v)).copied().unwrap_or_default(),
+                ));
+            }
+        }
+        out
     }
 
     /// Count of committed reads that observed uncommitted data
@@ -257,8 +378,11 @@ impl DependencyGraph {
     }
 
     /// Render the dependency graph in Graphviz DOT. Arcs point from the
-    /// depending transaction to the one it depends on; transactions on a
-    /// detected cycle are drawn red.
+    /// depending transaction to the one it depends on, labelled with
+    /// their conflict kinds (`wr`/`rw`, plus a `ww` annotation when both
+    /// endpoints wrote a common granule); transactions and arcs on a
+    /// detected cycle are drawn red and bold so certifier reports read
+    /// at a glance.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write;
         let cycle: std::collections::HashSet<TxnId> =
@@ -266,7 +390,7 @@ impl DependencyGraph {
         let mut out = String::from("digraph dependencies {\n  rankdir=LR;\n");
         for &t in &self.nodes {
             let style = if cycle.contains(&t) {
-                " [color=red, fontcolor=red]"
+                " [color=red, fontcolor=red, penwidth=2]"
             } else {
                 ""
             };
@@ -275,12 +399,18 @@ impl DependencyGraph {
         for (u, outs) in self.adj.iter().enumerate() {
             for &v in outs {
                 let (a, b) = (self.nodes[u], self.nodes[v]);
-                let style = if cycle.contains(&a) && cycle.contains(&b) {
-                    " [color=red]"
-                } else {
-                    ""
-                };
-                let _ = writeln!(out, "  \"{a}\" -> \"{b}\"{style};");
+                let label = self
+                    .kinds
+                    .get(&(u, v))
+                    .map(ArcKinds::label)
+                    .unwrap_or_default();
+                let mut attrs = vec![format!("label=\"{label}\"")];
+                if cycle.contains(&a) && cycle.contains(&b) {
+                    attrs.push("color=red".into());
+                    attrs.push("fontcolor=red".into());
+                    attrs.push("penwidth=2".into());
+                }
+                let _ = writeln!(out, "  \"{a}\" -> \"{b}\" [{}];", attrs.join(", "));
             }
         }
         out.push_str("}\n");
@@ -296,7 +426,7 @@ impl DependencyGraph {
         }
         let n = self.nodes.len();
         // Kahn over reversed arcs: out-degree = number of dependencies.
-        let mut outdeg: Vec<usize> = self.adj.iter().map(|a| a.len()).collect();
+        let mut outdeg: Vec<usize> = self.adj.iter().map(Vec::len).collect();
         let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (u, outs) in self.adj.iter().enumerate() {
             for &v in outs {
@@ -423,6 +553,28 @@ mod tests {
     }
 
     #[test]
+    fn single_granule_lost_update_cycle_detected() {
+        // Both transactions read x@v0 and write x (read-modify-write).
+        // t1's own successor version does not shield it from t2's later
+        // write: t2 → t1 (rule 2 past own write) and t1 → t2 (plain
+        // rule 2) close the lost-update cycle.
+        let evs = vec![
+            begin(1),
+            begin(2),
+            read(1, 0, 0, 0),
+            read(2, 0, 0, 0),
+            write(1, 0, 4),
+            write(2, 0, 5),
+            commit(1, 10),
+            commit(2, 11),
+        ];
+        let dg = DependencyGraph::from_events(&evs);
+        assert!(dg.has_arc(TxnId(1), TxnId(2)), "t1 depends on t2");
+        assert!(dg.has_arc(TxnId(2), TxnId(1)), "t2 depends on t1");
+        assert!(!dg.is_serializable());
+    }
+
+    #[test]
     fn aborted_transactions_are_ignored() {
         let evs = vec![
             begin(1),
@@ -477,11 +629,49 @@ mod tests {
         assert!(dot.starts_with("digraph dependencies"));
         assert!(dot.contains("[color=red"), "cycle must be highlighted");
         assert!(dot.contains("\"t1\" -> \"t2\""));
+        assert!(
+            dot.contains("label=\"rw\""),
+            "write-after-read arcs must be labelled: {dot}"
+        );
 
         // Acyclic graph: no red.
         let evs = vec![begin(1), write(1, 0, 1), commit(1, 5)];
         let dot = DependencyGraph::from_events(&evs).to_dot();
         assert!(!dot.contains("red"));
+    }
+
+    #[test]
+    fn arc_kinds_classify_rules() {
+        // t2 reads t1's version (wr) and both write granule 7 (ww
+        // annotation on the same arc).
+        let evs = vec![
+            begin(1),
+            write(1, 0, 1),
+            write(1, 7, 1),
+            commit(1, 10),
+            begin(2),
+            read(2, 0, 1, 1),
+            write(2, 7, 12),
+            commit(2, 12),
+        ];
+        let dg = DependencyGraph::from_events(&evs);
+        let k = dg.arc_kinds(TxnId(2), TxnId(1)).unwrap();
+        assert!(k.wr && k.ww && !k.rw, "got {k:?}");
+        assert_eq!(k.label(), "wr+ww");
+
+        // Pure rule 2: t1 reads initial, t2 writes successor.
+        let evs = vec![
+            begin(1),
+            read(1, 0, 0, 0),
+            commit(1, 10),
+            begin(2),
+            write(2, 0, 2),
+            commit(2, 11),
+        ];
+        let dg = DependencyGraph::from_events(&evs);
+        let k = dg.arc_kinds(TxnId(2), TxnId(1)).unwrap();
+        assert!(k.rw && !k.wr && !k.ww);
+        assert_eq!(dg.arcs().len(), dg.arc_count());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! * values stored in granules ([`value`]),
 //! * transaction *programs* — straight-line read/write step lists with
 //!   computed writes ([`program`]),
-//! * the [`Scheduler`](scheduler::Scheduler) trait implemented by the HDD
+//! * the [`scheduler::Scheduler`] trait implemented by the HDD
 //!   scheduler and by every baseline concurrency control,
 //! * the schedule log and the **multi-version transaction dependency graph**
 //!   of Section 2 of the paper, together with the acyclicity-based
@@ -30,7 +30,7 @@ pub mod scheduler;
 pub mod value;
 
 pub use clock::LogicalClock;
-pub use depgraph::DependencyGraph;
+pub use depgraph::{ArcKinds, DependencyGraph};
 pub use ids::{ClassId, GranuleId, SegmentId, Timestamp, TxnId};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use program::{Step, TxnProgram, WriteSource};

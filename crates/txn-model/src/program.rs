@@ -33,13 +33,12 @@ impl ReadCtx {
     pub fn get(&self, g: GranuleId) -> Value {
         self.by_granule
             .get(&g)
-            .map(|v| (**v).clone())
-            .unwrap_or(Value::Absent)
+            .map_or(Value::Absent, |v| (**v).clone())
     }
 
     /// Integer value read from `g` (0 when absent).
     pub fn int(&self, g: GranuleId) -> i64 {
-        self.by_granule.get(&g).map(|v| v.as_int()).unwrap_or(0)
+        self.by_granule.get(&g).map_or(0, |v| v.as_int())
     }
 
     /// Sum of all integer values read, in read order (duplicates counted).

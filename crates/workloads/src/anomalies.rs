@@ -61,6 +61,12 @@ impl Workload for AnomalyWorkload {
         3
     }
 
+    fn segment_names(&self) -> Vec<String> {
+        ["events", "inventory", "on-order"]
+            .map(String::from)
+            .to_vec()
+    }
+
     fn specs(&self) -> Vec<AccessSpec> {
         let s = SegmentId;
         vec![
@@ -159,6 +165,123 @@ pub fn figure4_script() -> Script {
         transactions: profiles(),
         steps: steps(),
         setup: setup(),
+    }
+}
+
+/// Lost update: two type-2 transactions read the same inventory level and
+/// both write back a derived value. Without control both base their write
+/// on the initial version — the first update is silently overwritten and
+/// the dependency graph closes a two-cycle (each writer must follow the
+/// other's read of `d^0`).
+pub fn lost_update_script() -> Script {
+    let inv = granule_inventory();
+    let s = SegmentId;
+    Script {
+        name: "lost-update",
+        transactions: vec![
+            TxnProfile::update(ClassId(1), vec![s(1)]),
+            TxnProfile::update(ClassId(1), vec![s(1)]),
+        ],
+        steps: vec![
+            Script::step(0, ScriptAction::Begin),
+            Script::step(1, ScriptAction::Begin),
+            Script::step(0, ScriptAction::Read(inv)),
+            Script::step(1, ScriptAction::Read(inv)),
+            Script::step(
+                0,
+                ScriptAction::WriteDerived {
+                    target: inv,
+                    base: inv,
+                    delta: 5,
+                },
+            ),
+            Script::step(
+                1,
+                ScriptAction::WriteDerived {
+                    target: inv,
+                    base: inv,
+                    delta: -3,
+                },
+            ),
+            Script::step(0, ScriptAction::Commit),
+            Script::step(1, ScriptAction::Commit),
+        ],
+        setup: vec![(granule_inventory(), Value::Int(10))],
+    }
+}
+
+/// Dirty read: a type-2 transaction writes the inventory level, a
+/// read-only transaction reads that uncommitted version and commits, then
+/// the writer aborts. The committed read observed data that never
+/// existed; [`txn_model::DependencyGraph::dirty_reads`] counts it.
+pub fn dirty_read_script() -> Script {
+    let inv = granule_inventory();
+    let s = SegmentId;
+    Script {
+        name: "dirty-read",
+        transactions: vec![
+            TxnProfile::update(ClassId(1), vec![s(1)]),
+            TxnProfile::read_only(vec![s(1)]),
+        ],
+        steps: vec![
+            Script::step(0, ScriptAction::Begin),
+            Script::step(0, ScriptAction::Write(inv, Value::Int(99))),
+            Script::step(1, ScriptAction::Begin),
+            Script::step(1, ScriptAction::Read(inv)),
+            Script::step(1, ScriptAction::Commit),
+            Script::step(0, ScriptAction::Abort),
+        ],
+        setup: vec![(granule_inventory(), Value::Int(10))],
+    }
+}
+
+/// Write skew: one transaction reads merchandise-on-order and writes
+/// inventory, the other reads inventory and writes merchandise-on-order.
+/// Each write invalidates the premise of the other's read; without
+/// control both commit and the dependency graph closes the two-cycle.
+///
+/// Note the first profile reads a *non-ancestor* segment (`D2` from class
+/// 1), so this shape is **illegal under the anomaly hierarchy** — HDD's
+/// analysis rejects it a priori (exactly what `hdd-lint` demonstrates)
+/// and the script may only be replayed against the baselines.
+pub fn write_skew_script() -> Script {
+    let inv = granule_inventory();
+    let ord = granule_order();
+    let s = SegmentId;
+    Script {
+        name: "write-skew",
+        transactions: vec![
+            TxnProfile::update(ClassId(1), vec![s(2)]),
+            TxnProfile::update(ClassId(2), vec![s(1)]),
+        ],
+        steps: vec![
+            Script::step(0, ScriptAction::Begin),
+            Script::step(1, ScriptAction::Begin),
+            Script::step(0, ScriptAction::Read(ord)),
+            Script::step(1, ScriptAction::Read(inv)),
+            Script::step(
+                0,
+                ScriptAction::WriteDerived {
+                    target: inv,
+                    base: ord,
+                    delta: 1,
+                },
+            ),
+            Script::step(
+                1,
+                ScriptAction::WriteDerived {
+                    target: ord,
+                    base: inv,
+                    delta: 1,
+                },
+            ),
+            Script::step(0, ScriptAction::Commit),
+            Script::step(1, ScriptAction::Commit),
+        ],
+        setup: vec![
+            (granule_inventory(), Value::Int(10)),
+            (granule_order(), Value::Int(0)),
+        ],
     }
 }
 

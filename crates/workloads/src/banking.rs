@@ -85,6 +85,10 @@ impl Workload for Banking {
         1
     }
 
+    fn segment_names(&self) -> Vec<String> {
+        vec!["accounts".to_string()]
+    }
+
     fn specs(&self) -> Vec<AccessSpec> {
         vec![AccessSpec::new(
             "account-rmw",

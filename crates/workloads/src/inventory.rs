@@ -264,6 +264,12 @@ impl Workload for Inventory {
         5
     }
 
+    fn segment_names(&self) -> Vec<String> {
+        ["events", "inventory", "on-order", "supplier", "accounting"]
+            .map(String::from)
+            .to_vec()
+    }
+
     fn specs(&self) -> Vec<AccessSpec> {
         let s = SegmentId;
         vec![

@@ -37,10 +37,17 @@ pub trait Workload {
     /// The class access specs (transaction analysis input).
     fn specs(&self) -> Vec<AccessSpec>;
 
+    /// Human-readable segment names, used by `hdd-lint` diagnostics and
+    /// profile-violation messages. Defaults to `D{i}`.
+    fn segment_names(&self) -> Vec<String> {
+        (0..self.segments()).map(|i| format!("D{i}")).collect()
+    }
+
     /// The validated hierarchy (all bundled workloads are legal TSTs).
     fn hierarchy(&self) -> Hierarchy {
         Hierarchy::build(self.segments(), &self.specs())
             .expect("bundled workloads are TST-hierarchical")
+            .with_segment_names(self.segment_names())
     }
 
     /// Seed initial data into a store.

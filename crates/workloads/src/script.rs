@@ -33,6 +33,9 @@ pub enum ScriptAction {
     },
     /// Commit the transaction.
     Commit,
+    /// Abort the transaction voluntarily (used by the dirty-read script:
+    /// the writer backs out after a competitor read its version).
+    Abort,
 }
 
 /// A scripted step: which transaction acts, and how.

@@ -35,4 +35,17 @@ echo "== obs overhead smoke (release) =="
 # regresses >10% against the recorded BENCH_hotpath.json baseline.
 cargo run --release -q -p sim --bin experiments -- obs-smoke
 
+echo "== certify smoke (release) =="
+# A-priori lint of the bundled workloads must be clean, and the broken
+# demo decompositions must be rejected (witnesses + repair suggestions).
+cargo run --release -q -p certify --bin hdd-lint -- builtin
+if cargo run --release -q -p certify --bin hdd-lint -- demo > /dev/null 2>&1; then
+  echo "hdd-lint demo unexpectedly passed (must reject the broken decompositions)"
+  exit 1
+fi
+# Offline certification: concurrent hdd (partition-synchronization rule)
+# and mvto logs must certify clean; the nocontrol anomaly self-check
+# must shrink to a single-digit counterexample.
+cargo run --release -q -p sim --bin experiments -- certify-smoke
+
 echo "CI OK"
