@@ -132,7 +132,8 @@ impl Base {
     /// log, count.
     pub fn abort_installed(&self, id: TxnId, info: &TxnInfo) {
         self.store.abort_writes(id, &info.write_set);
-        self.log.record(ScheduleEvent::Abort { txn: id });
+        let abort_ts = self.clock.tick();
+        self.log.record(ScheduleEvent::Abort { txn: id, abort_ts });
         Metrics::bump(&self.metrics.aborts);
     }
 
@@ -161,7 +162,8 @@ impl Base {
 
     /// Abort for buffered-write schedulers: nothing was installed.
     pub fn abort_buffered(&self, id: TxnId) {
-        self.log.record(ScheduleEvent::Abort { txn: id });
+        let abort_ts = self.clock.tick();
+        self.log.record(ScheduleEvent::Abort { txn: id, abort_ts });
         Metrics::bump(&self.metrics.aborts);
     }
 }

@@ -21,12 +21,19 @@
 //!
 //! ## Replay fidelity
 //!
-//! `Abort` events carry no timestamp, so a replayed abort ends its
-//! activity interval at the latest timestamp seen so far — a
-//! conservative over-extension of the transaction's active window. The
-//! `A`-function bounds derived from it only move *down* (more past
-//! activity ⇒ older `I_old`), so the check can never produce a false
-//! partition-synchronization alarm on a sound schedule.
+//! `Abort` events carry the exact abort timestamp (the registry end the
+//! scheduler drew under its class lock), so a replayed abort ends its
+//! activity interval precisely where the live registry did — the
+//! replayed `I_old`/`A`/`⇒` evaluations match the scheduler's own.
+//!
+//! Exactness is load-bearing, not cosmetic. An earlier revision ended
+//! replayed aborts at "the latest timestamp seen so far", reasoning the
+//! over-extension was conservative; it is not. `⇒`'s case-3 check is
+//! `I(t2) < A_i^j(I(t1))` — a *lower* bound dooms it — and an
+//! over-extended abort interval drags `I_old` (hence the bound) down,
+//! so a sound schedule whose `Abort` record lands late in log order
+//! could flunk partition synchronization (see the
+//! `exact_abort_time_avoids_false_sync_alarm` regression test).
 
 use crate::diag::json_escape;
 use crate::shrink::ddmin;
@@ -220,7 +227,7 @@ fn fmt_event(ev: &ScheduleEvent) -> String {
             ..
         } => format!("{txn} writes {granule} creating version @{}", version.0),
         ScheduleEvent::Commit { txn, commit_ts } => format!("{txn} commits at C={}", commit_ts.0),
-        ScheduleEvent::Abort { txn } => format!("{txn} aborts"),
+        ScheduleEvent::Abort { txn, abort_ts } => format!("{txn} aborts at {}", abort_ts.0),
     }
 }
 
@@ -237,7 +244,6 @@ fn replay_registry(events: &[ScheduleEvent], hierarchy: &Hierarchy) -> Replay {
     let registry = ActivityRegistry::new(hierarchy.class_count());
     let mut coords = HashMap::new();
     let mut committed = HashMap::new();
-    let mut max_ts = Timestamp::ZERO;
     for ev in events {
         match ev {
             ScheduleEvent::Begin {
@@ -247,20 +253,18 @@ fn replay_registry(events: &[ScheduleEvent], hierarchy: &Hierarchy) -> Replay {
             } if class.index() < hierarchy.class_count() => {
                 coords.insert(*txn, TxnCoord::new(*class, *start_ts));
                 registry.begin(*class, *start_ts);
-                max_ts = max_ts.max(*start_ts);
             }
             ScheduleEvent::Commit { txn, commit_ts } => {
                 if let Some(c) = coords.get(txn) {
                     registry.commit(c.class, c.start, *commit_ts);
                 }
                 committed.insert(*txn, *commit_ts);
-                max_ts = max_ts.max(*commit_ts);
             }
-            ScheduleEvent::Abort { txn } => {
+            ScheduleEvent::Abort { txn, abort_ts } => {
                 if let Some(c) = coords.get(txn) {
-                    // No abort timestamp in the log: end the interval at
-                    // the latest time seen (conservative, see module docs).
-                    registry.abort(c.class, c.start, max_ts.succ());
+                    // End the interval exactly where the live registry
+                    // did (see the module docs on replay fidelity).
+                    registry.abort(c.class, c.start, *abort_ts);
                 }
             }
             _ => {}
@@ -596,13 +600,85 @@ mod tests {
             begin(2, 2),
             read(2, g(0, 1), 1, 1),
             commit(2, 3),
-            ScheduleEvent::Abort { txn: TxnId(1) },
+            ScheduleEvent::Abort {
+                txn: TxnId(1),
+                abort_ts: Timestamp(4),
+            },
         ];
         let cert = certify_events("nocontrol", &evs, None);
         assert!(!cert.ok());
         assert!(cert.violations.iter().any(|v| v.rule == Rule::DirtyRead));
         let cx = cert.counterexample.as_ref().unwrap();
         assert!(cx.events.len() <= 4, "write, read, commit, abort");
+    }
+
+    /// Regression for the replay-fidelity fix (module docs): a sound
+    /// schedule whose `Abort` record lands late in log order must not
+    /// flunk partition synchronization.
+    #[test]
+    fn exact_abort_time_avoids_false_sync_alarm() {
+        use hdd::analysis::AccessSpec;
+        use txn_model::ClassId;
+        let hier = Hierarchy::build(
+            2,
+            &[
+                AccessSpec::new("c0", vec![SegmentId(0)], vec![]),
+                AccessSpec::new("c1", vec![SegmentId(1)], vec![SegmentId(0)]),
+            ],
+        )
+        .unwrap();
+        let classed = |t: u64, ts: u64, c: u32| ScheduleEvent::Begin {
+            txn: TxnId(t),
+            start_ts: Timestamp(ts),
+            class: Some(ClassId(c)),
+        };
+        // t1 begins in c0 at 1 and aborts at 2 — but its Abort record is
+        // logged *late*, after t3's begin. t2 commits a version at 4;
+        // t3 (class c1, I=6) reads it cross-class. Sound: at instant 6,
+        // nothing in c0 is active, so A_{c1}^{c0}(6) = 6 > I(t2) = 4.
+        let evs = vec![
+            classed(1, 1, 0),
+            classed(2, 4, 0),
+            write(2, g(0, 1), 4),
+            commit(2, 5),
+            classed(3, 6, 1),
+            ScheduleEvent::Abort {
+                txn: TxnId(1),
+                abort_ts: Timestamp(2),
+            },
+            read(3, g(0, 1), 4, 2),
+            commit(3, 7),
+        ];
+        let cert = certify_events("hdd", &evs, Some(&hier));
+        assert!(cert.sync_edges_checked >= 1);
+        assert!(cert.ok(), "sound schedule must certify:\n{}", cert.render());
+
+        // The old conservative bound ended t1's replayed interval at the
+        // latest timestamp seen (here 6+1): t1 then reads as active at
+        // instant 6, dragging I_old_{c0}(6) down to 1, and the case-3
+        // check I(t2)=4 < A_{c1}^{c0}(6) becomes 4 < 1 — a false alarm.
+        let exact = ActivityRegistry::new(2);
+        let over = ActivityRegistry::new(2);
+        for r in [&exact, &over] {
+            r.begin(ClassId(0), Timestamp(1));
+            r.begin(ClassId(0), Timestamp(4));
+            r.commit(ClassId(0), Timestamp(4), Timestamp(5));
+            r.begin(ClassId(1), Timestamp(6));
+            r.commit(ClassId(1), Timestamp(6), Timestamp(7));
+        }
+        exact.abort(ClassId(0), Timestamp(1), Timestamp(2));
+        over.abort(ClassId(0), Timestamp(1), Timestamp(7)); // old bound
+        let dependent = TxnCoord::new(ClassId(1), Timestamp(6));
+        let dependee = TxnCoord::new(ClassId(0), Timestamp(4));
+        assert_eq!(
+            topologically_follows(&ActivityFuncs::new(&hier, &exact), dependent, dependee),
+            Some(true)
+        );
+        assert_eq!(
+            topologically_follows(&ActivityFuncs::new(&hier, &over), dependent, dependee),
+            Some(false),
+            "the conservative abort bound over-approximates this check"
+        );
     }
 
     #[test]

@@ -75,8 +75,10 @@ pub mod analysis;
 pub mod decompose;
 pub mod graph;
 pub mod protocol;
+pub mod recovery;
 pub mod timewall;
 
 pub use analysis::{AccessSpec, Hierarchy, HierarchyError};
 pub use protocol::{HddConfig, HddScheduler, ProtocolBMode};
+pub use recovery::{resume, ResumeReport};
 pub use timewall::{TimeWall, TimeWallService};

@@ -32,6 +32,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use txn_model::{
     ClassId, CommitOutcome, GranuleId, LogicalClock, Metrics, ReadOutcome, ScheduleEvent,
     ScheduleLog, Scheduler, Timestamp, TxnHandle, TxnId, TxnProfile, Value, WriteOutcome,
@@ -79,6 +80,9 @@ struct TxnState {
     start: Timestamp,
     write_set: Vec<GranuleId>,
     ro_mode: Option<RoMode>,
+    /// Lease expiry (when [`HddConfig::txn_lease`] is set): renewed on
+    /// every read/write, reaped past-due by the straggler watchdog.
+    deadline: Option<Instant>,
 }
 
 /// Power-of-two shard count for the live-transaction table.
@@ -127,6 +131,26 @@ impl TxnTable {
             }
         }
     }
+
+    /// Remove and return every transaction whose lease expired before
+    /// `now` (shard at a time; the watchdog sweep).
+    fn drain_expired(&self, now: Instant) -> Vec<(TxnId, TxnState)> {
+        let mut expired = Vec::new();
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let due: Vec<TxnId> = shard
+                .iter()
+                .filter(|(_, st)| st.deadline.is_some_and(|d| d <= now))
+                .map(|(id, _)| *id)
+                .collect();
+            for id in due {
+                if let Some(st) = shard.remove(&id) {
+                    expired.push((id, st));
+                }
+            }
+        }
+        expired
+    }
 }
 
 /// Configuration for [`HddScheduler`].
@@ -140,6 +164,12 @@ pub struct HddConfig {
     /// Run garbage collection every this many maintenance calls
     /// (0 disables GC).
     pub gc_interval: u64,
+    /// Straggler-watchdog lease. `Some(lease)` gives every transaction a
+    /// deadline renewed on each read/write; [`HddScheduler::maintenance`]
+    /// aborts transactions past it so a stalled or crashed worker cannot
+    /// pin `I_old(m)` (and with it the time wall and GC) forever. `None`
+    /// (the default) disables the watchdog.
+    pub txn_lease: Option<Duration>,
 }
 
 impl Default for HddConfig {
@@ -148,6 +178,7 @@ impl Default for HddConfig {
             protocol_b: ProtocolBMode::Mvto,
             wall_interval: 8,
             gc_interval: 64,
+            txn_lease: None,
         }
     }
 }
@@ -339,6 +370,55 @@ impl HddScheduler {
             f = nf;
         }
         f
+    }
+
+    /// Abort every transaction whose watchdog lease expired, retiring
+    /// its registry interval so `I_old(m)` — and with it activity-link
+    /// bounds, the time wall and the GC watermark — resumes advancing.
+    /// Returns the number of stragglers reaped.
+    ///
+    /// Safe against the straggler waking back up: the state is removed
+    /// from the live table first, so a late `read`/`write` observes a
+    /// dead transaction and returns `Abort`, a late `commit` returns
+    /// `Aborted`, and a version installed in the race window is
+    /// retracted by the writer's own liveness check.
+    pub fn reap_stragglers(&self) -> usize {
+        let now = Instant::now();
+        let expired = self.txns.drain_expired(now);
+        let reaped = expired.len();
+        for (id, st) in expired {
+            // Chains first, then the registry (see module docs).
+            self.core.store.abort_writes(id, &st.write_set);
+            let abort_ts = match st.class {
+                Some(class) => self
+                    .registry
+                    .end_with(class, st.start, false, || self.core.clock.tick()),
+                None => self.core.clock.tick(),
+            };
+            self.core
+                .log
+                .record(ScheduleEvent::Abort { txn: id, abort_ts });
+            Metrics::bump(&self.core.metrics.aborts);
+            self.core.metrics.reject(
+                RejectReason::WatchdogAbort,
+                id.0,
+                st.class.map_or(0, |c| c.0),
+                0,
+            );
+            let overdue_micros = st
+                .deadline
+                .map_or(0, |d| now.saturating_duration_since(d).as_micros() as u64);
+            self.core.metrics.obs.emit(TraceEvent::WatchdogAbort {
+                txn: id.0,
+                start: st.start.raw(),
+                overdue_micros,
+            });
+        }
+        reaped
+    }
+
+    fn lease_deadline(&self) -> Option<Instant> {
+        self.config.txn_lease.map(|l| Instant::now() + l)
     }
 
     fn funcs(&self) -> ActivityFuncs<'_> {
@@ -560,6 +640,7 @@ impl Scheduler for HddScheduler {
                 start,
                 write_set: Vec::new(),
                 ro_mode,
+                deadline: self.lease_deadline(),
             },
         );
         TxnHandle {
@@ -571,10 +652,22 @@ impl Scheduler for HddScheduler {
 
     fn read(&self, h: &TxnHandle, g: GranuleId) -> ReadOutcome {
         let seg = g.segment;
-        // Read-only transactions.
-        let ro = self
-            .txns
-            .with(h.id, |st| st.and_then(|s| s.ro_mode.clone()));
+        // Liveness check + lease heartbeat (each operation renews the
+        // watchdog lease), folded into the read-only-mode lookup.
+        let deadline = self.lease_deadline();
+        let ro = self.txns.with(h.id, |st| {
+            st.map(|s| {
+                if deadline.is_some() {
+                    s.deadline = deadline;
+                }
+                s.ro_mode.clone()
+            })
+        });
+        let Some(ro) = ro else {
+            // Reaped by the watchdog (or already finished): the abort has
+            // been logged and accounted; tell the caller to stop.
+            return ReadOutcome::Abort;
+        };
         if let Some(mode) = ro {
             return match mode {
                 RoMode::OnChain { base } => {
@@ -696,6 +789,29 @@ impl Scheduler for HddScheduler {
                 WriteOutcome::Block
             }
             MvtoWriteResult::Installed => {
+                // Record the write in the live state (and renew the
+                // lease) *before* logging: if the watchdog reaped this
+                // transaction since its last operation, the state is
+                // gone, the abort is already logged, and the version
+                // just installed must be retracted here — logging it
+                // would fabricate a write after the logged abort.
+                let deadline = self.lease_deadline();
+                let alive = self.txns.with(h.id, |st| match st {
+                    Some(st) => {
+                        if !st.write_set.contains(&g) {
+                            st.write_set.push(g);
+                        }
+                        if deadline.is_some() {
+                            st.deadline = deadline;
+                        }
+                        true
+                    }
+                    None => false,
+                });
+                if !alive {
+                    self.core.store.abort_writes(h.id, &[g]);
+                    return WriteOutcome::Abort;
+                }
                 Metrics::bump(&self.core.metrics.writes);
                 Metrics::bump(&self.core.metrics.write_registrations);
                 self.core.log.record(ScheduleEvent::Write {
@@ -703,13 +819,6 @@ impl Scheduler for HddScheduler {
                     granule: g,
                     version: h.start_ts,
                     value: v,
-                });
-                self.txns.with(h.id, |st| {
-                    if let Some(st) = st {
-                        if !st.write_set.contains(&g) {
-                            st.write_set.push(g);
-                        }
-                    }
                 });
                 WriteOutcome::Done
             }
@@ -755,21 +864,24 @@ impl Scheduler for HddScheduler {
         self.core.store.abort_writes(h.id, &st.write_set);
         // Abort timestamps are drawn under the class lock for the same
         // reason as commit timestamps (see `commit` above).
-        match st.class {
-            Some(class) => {
-                self.registry
-                    .end_with(class, st.start, false, || self.core.clock.tick());
-            }
-            None => {
-                self.core.clock.tick();
-            }
-        }
-        self.core.log.record(ScheduleEvent::Abort { txn: h.id });
+        let abort_ts = match st.class {
+            Some(class) => self
+                .registry
+                .end_with(class, st.start, false, || self.core.clock.tick()),
+            None => self.core.clock.tick(),
+        };
+        self.core.log.record(ScheduleEvent::Abort {
+            txn: h.id,
+            abort_ts,
+        });
         Metrics::bump(&self.core.metrics.aborts);
     }
 
     fn maintenance(&self) {
         let n = self.maintenance_calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.config.txn_lease.is_some() {
+            self.reap_stragglers();
+        }
         if self.config.wall_interval > 0 && n.is_multiple_of(self.config.wall_interval) {
             self.try_release_wall();
         }
@@ -1049,6 +1161,101 @@ mod tests {
         assert_eq!(sched.read_at_wall(&wall1, g(1, 1)), Value::Int(10));
         // The present shows round 2.
         assert_eq!(sched.store().latest_value(g(1, 1)), Value::Int(20));
+    }
+
+    /// Branching hierarchy (1 → 0 ← 2) with a short watchdog lease. The
+    /// branch matters: the wall component for the off-anchor branch
+    /// takes a *downward* `C_late` step through the shared class 0, so a
+    /// straggler there wedges wall release — the exact liveness hole the
+    /// watchdog closes.
+    fn setup_with_lease(lease: Duration) -> HddScheduler {
+        let h = Hierarchy::build(
+            3,
+            &[
+                AccessSpec::new("c0", vec![s(0)], vec![]),
+                AccessSpec::new("c1", vec![s(1)], vec![s(0)]),
+                AccessSpec::new("c2", vec![s(2)], vec![s(0)]),
+            ],
+        )
+        .unwrap();
+        let store = Arc::new(MvStore::new());
+        store.seed(g(0, 1), Value::Int(0));
+        store.seed(g(1, 1), Value::Int(0));
+        store.seed(g(2, 1), Value::Int(0));
+        HddScheduler::new(
+            Arc::new(h),
+            store,
+            Arc::new(LogicalClock::new()),
+            HddConfig {
+                txn_lease: Some(lease),
+                ..HddConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn watchdog_reaps_straggler_and_time_wall_resumes() {
+        let sched = setup_with_lease(Duration::from_millis(1));
+        sched.metrics().obs.set_enabled(true);
+        // A straggler begins, writes, then stalls forever.
+        let t = sched.begin(&profile_t1());
+        assert_eq!(sched.write(&t, g(0, 1), Value::Int(9)), WriteOutcome::Done);
+        // Later activity moves the clock past the straggler's start, so
+        // a wall anchored "now" must wait on the straggler: `c_late` is
+        // not computable and no wall can be released.
+        let t2 = sched.begin(&profile_t2());
+        assert!(matches!(sched.commit(&t2), CommitOutcome::Committed(_)));
+        assert!(!sched.try_release_wall(), "wall pinned by the straggler");
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(sched.reap_stragglers(), 1);
+        // The registry interval is retired: the wall resumes.
+        assert!(sched.try_release_wall(), "wall released after the reap");
+        // The straggler's pending version was retracted.
+        assert_eq!(sched.store().latest_value(g(0, 1)), Value::Int(0));
+        // Its stale handle observes the abort.
+        assert_eq!(sched.read(&t, g(0, 1)), ReadOutcome::Abort);
+        assert!(matches!(sched.commit(&t), CommitOutcome::Aborted));
+        let m = sched.metrics().snapshot();
+        assert_eq!(m.rej_watchdog_abort, 1);
+        assert_eq!(m.rejections, 1);
+        assert_eq!(m.aborts, 1);
+        let kinds: Vec<&str> = sched
+            .metrics()
+            .obs
+            .trace
+            .drain()
+            .iter()
+            .map(|(_, e)| e.kind())
+            .collect();
+        assert!(kinds.contains(&"watchdog-abort"));
+        assert!(DependencyGraph::from_log(sched.log()).is_serializable());
+    }
+
+    #[test]
+    fn write_after_reap_retracts_the_version() {
+        let sched = setup_with_lease(Duration::from_millis(1));
+        let t = sched.begin(&profile_t1());
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(sched.reap_stragglers(), 1);
+        // The woken straggler tries to write: the install is retracted
+        // (no orphaned pending version) and the caller told to stop.
+        assert_eq!(sched.write(&t, g(0, 1), Value::Int(7)), WriteOutcome::Abort);
+        assert_eq!(sched.store().latest_value(g(0, 1)), Value::Int(0));
+        // A fresh transaction proceeds normally over the same granule.
+        let t2 = sched.begin(&profile_t1());
+        assert_eq!(sched.write(&t2, g(0, 1), Value::Int(8)), WriteOutcome::Done);
+        assert!(matches!(sched.commit(&t2), CommitOutcome::Committed(_)));
+        assert!(DependencyGraph::from_log(sched.log()).is_serializable());
+    }
+
+    #[test]
+    fn active_transactions_renew_their_lease() {
+        let sched = setup_with_lease(Duration::from_secs(3600));
+        let t = sched.begin(&profile_t1());
+        assert!(matches!(sched.read(&t, g(0, 1)), ReadOutcome::Value(_)));
+        // Nothing is overdue: the reap finds no one.
+        assert_eq!(sched.reap_stragglers(), 0);
+        assert!(matches!(sched.commit(&t), CommitOutcome::Committed(_)));
     }
 
     #[test]

@@ -24,5 +24,5 @@ pub mod store;
 
 pub use chain::{MvtoReadResult, MvtoWriteResult, Version, VersionChain};
 pub use locktable::{LockMode, LockRequestResult, LockTable};
-pub use recovery::{recover, RecoveryReport};
+pub use recovery::{recover, RecoveryAnomalies, RecoveryReport};
 pub use store::MvStore;

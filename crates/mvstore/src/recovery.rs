@@ -15,9 +15,46 @@
 //! startup) before replaying, mirroring an ARIES-style "load checkpoint,
 //! then redo" sequence without needing undo (writes of uncommitted
 //! transactions never reach the recovered store).
+//!
+//! # Malformed logs
+//!
+//! A log that survived a crash (and a torn-tail truncation, see
+//! `txn_model::wal`) may still be internally inconsistent — a buggy or
+//! corrupted writer can emit duplicate commits, writes after a commit,
+//! or events for transactions that never began. Replaying those silently
+//! would fabricate database state, so [`recover`] classifies each shape,
+//! **skips** it, and counts it in [`RecoveryReport::anomalies`]; callers
+//! that demand a pristine log check [`RecoveryAnomalies::is_clean`] and
+//! refuse the store otherwise.
+//!
+//! # High-water mark
+//!
+//! The report also carries the largest timestamp observed anywhere in
+//! the log ([`RecoveryReport::high_water_mark`]). Protocol B's safety
+//! argument assumes timestamps never repeat, so a recovered scheduler
+//! must advance its logical clock strictly past this mark before serving
+//! new transactions (`hdd::recovery::resume` does exactly that).
 
 use crate::store::MvStore;
-use txn_model::{ScheduleEvent, TxnId};
+use txn_model::{ScheduleEvent, Timestamp, TxnId};
+
+/// Counts of malformed-log shapes found (and skipped) during recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryAnomalies {
+    /// Second and later `Commit` events for an already-committed txn.
+    pub duplicate_commits: usize,
+    /// `Write` events appearing after their transaction's `Commit`.
+    pub writes_after_commit: usize,
+    /// Events whose transaction has no `Begin` in the log prefix.
+    pub unknown_txn_events: usize,
+}
+
+impl RecoveryAnomalies {
+    /// True when the log contained none of the malformed shapes.
+    pub fn is_clean(&self) -> bool {
+        self == &RecoveryAnomalies::default()
+    }
+}
 
 /// Summary of a recovery pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,36 +66,81 @@ pub struct RecoveryReport {
     pub rolled_back: usize,
     /// Versions installed.
     pub versions_installed: usize,
+    /// Largest timestamp observed anywhere in the log (initiation,
+    /// version, commit or abort). A recovered clock must start strictly
+    /// above this so post-recovery timestamps never collide.
+    pub high_water_mark: Timestamp,
+    /// Malformed-log shapes found and skipped (all zero on clean logs).
+    pub anomalies: RecoveryAnomalies,
 }
 
 /// Replay the committed writes of `events` into `store`.
 ///
 /// `events` is the surviving log prefix; the store should already hold
-/// the initial database image (seeded as at first boot).
+/// the initial database image (seeded as at first boot). Malformed
+/// events (see [`RecoveryAnomalies`]) are skipped and counted, never
+/// replayed.
 pub fn recover(store: &MvStore, events: &[ScheduleEvent]) -> RecoveryReport {
     use std::collections::HashSet;
+
+    // Forward classification pass: which events are well-formed, which
+    // transactions committed, and where the timestamp high-water mark is.
+    let mut begun: HashSet<TxnId> = HashSet::new();
     let mut committed: HashSet<TxnId> = HashSet::new();
-    let mut writers: HashSet<TxnId> = HashSet::new();
-    for ev in events {
+    let mut anomalies = RecoveryAnomalies::default();
+    let mut hwm = Timestamp::ZERO;
+    // Indices of Write events eligible for redo, with their txn.
+    let mut valid_writes: Vec<usize> = Vec::new();
+    let mut valid_writers: HashSet<TxnId> = HashSet::new();
+
+    for (i, ev) in events.iter().enumerate() {
         match ev {
-            ScheduleEvent::Commit { txn, .. } => {
-                committed.insert(*txn);
+            ScheduleEvent::Begin { txn, start_ts, .. } => {
+                hwm = hwm.max(*start_ts);
+                begun.insert(*txn);
             }
-            ScheduleEvent::Write { txn, .. } => {
-                writers.insert(*txn);
+            ScheduleEvent::Read { txn, .. } => {
+                if !begun.contains(txn) {
+                    anomalies.unknown_txn_events += 1;
+                }
             }
-            _ => {}
+            ScheduleEvent::Write { txn, version, .. } => {
+                hwm = hwm.max(*version);
+                if !begun.contains(txn) {
+                    anomalies.unknown_txn_events += 1;
+                } else if committed.contains(txn) {
+                    anomalies.writes_after_commit += 1;
+                } else {
+                    valid_writes.push(i);
+                    valid_writers.insert(*txn);
+                }
+            }
+            ScheduleEvent::Commit { txn, commit_ts } => {
+                hwm = hwm.max(*commit_ts);
+                if !begun.contains(txn) {
+                    anomalies.unknown_txn_events += 1;
+                } else if !committed.insert(*txn) {
+                    anomalies.duplicate_commits += 1;
+                }
+            }
+            ScheduleEvent::Abort { txn, abort_ts } => {
+                hwm = hwm.max(*abort_ts);
+                if !begun.contains(txn) {
+                    anomalies.unknown_txn_events += 1;
+                }
+            }
         }
     }
 
+    // Redo pass over the well-formed writes of committed transactions.
     let mut versions_installed = 0usize;
-    for ev in events {
+    for &i in &valid_writes {
         if let ScheduleEvent::Write {
             txn,
             granule,
             version,
             value,
-        } = ev
+        } = &events[i]
         {
             if committed.contains(txn) {
                 store.with_chain(*granule, |c| {
@@ -73,12 +155,17 @@ pub fn recover(store: &MvStore, events: &[ScheduleEvent]) -> RecoveryReport {
         }
     }
 
-    let redone = writers.iter().filter(|t| committed.contains(t)).count();
-    let rolled_back = writers.len() - redone;
+    let redone = valid_writers
+        .iter()
+        .filter(|t| committed.contains(t))
+        .count();
+    let rolled_back = valid_writers.len() - redone;
     RecoveryReport {
         redone,
         rolled_back,
         versions_installed,
+        high_water_mark: hwm,
+        anomalies,
     }
 }
 
@@ -89,6 +176,14 @@ mod tests {
 
     fn g(key: u64) -> GranuleId {
         GranuleId::new(SegmentId(0), key)
+    }
+
+    fn begin(t: u64, ts: u64) -> ScheduleEvent {
+        ScheduleEvent::Begin {
+            txn: TxnId(t),
+            start_ts: Timestamp(ts),
+            class: None,
+        }
     }
 
     fn write(t: u64, key: u64, ts: u64, val: i64) -> ScheduleEvent {
@@ -113,6 +208,8 @@ mod tests {
         store.seed(g(1), Value::Int(0));
         store.seed(g(2), Value::Int(0));
         let events = vec![
+            begin(1, 5),
+            begin(2, 7),
             write(1, 1, 5, 10),
             commit(1, 6),
             write(2, 2, 7, 99), // crash before t2's commit
@@ -121,6 +218,8 @@ mod tests {
         assert_eq!(report.redone, 1);
         assert_eq!(report.rolled_back, 1);
         assert_eq!(report.versions_installed, 1);
+        assert!(report.anomalies.is_clean());
+        assert_eq!(report.high_water_mark, Timestamp(7));
         assert_eq!(store.latest_value(g(1)), Value::Int(10));
         assert_eq!(store.latest_value(g(2)), Value::Int(0));
     }
@@ -129,9 +228,15 @@ mod tests {
     fn self_overwrite_last_write_wins() {
         let store = MvStore::new();
         store.seed(g(1), Value::Int(0));
-        let events = vec![write(1, 1, 5, 10), write(1, 1, 5, 20), commit(1, 6)];
+        let events = vec![
+            begin(1, 5),
+            write(1, 1, 5, 10),
+            write(1, 1, 5, 20),
+            commit(1, 6),
+        ];
         let report = recover(&store, &events);
         assert_eq!(report.versions_installed, 2);
+        assert!(report.anomalies.is_clean());
         assert_eq!(store.latest_value(g(1)), Value::Int(20));
     }
 
@@ -140,8 +245,10 @@ mod tests {
         let store = MvStore::new();
         store.seed(g(1), Value::Int(0));
         let events = vec![
+            begin(1, 5),
             write(1, 1, 5, 10),
             commit(1, 6),
+            begin(2, 8),
             write(2, 1, 8, 20),
             commit(2, 9),
         ];
@@ -162,9 +269,85 @@ mod tests {
             RecoveryReport {
                 redone: 0,
                 rolled_back: 0,
-                versions_installed: 0
+                versions_installed: 0,
+                high_water_mark: Timestamp::ZERO,
+                anomalies: RecoveryAnomalies::default(),
             }
         );
         assert_eq!(store.latest_value(g(1)), Value::Int(7));
+    }
+
+    #[test]
+    fn duplicate_commit_is_counted_once_not_replayed_twice() {
+        let store = MvStore::new();
+        store.seed(g(1), Value::Int(0));
+        let events = vec![
+            begin(1, 5),
+            write(1, 1, 5, 10),
+            commit(1, 6),
+            commit(1, 6), // duplicated by a corrupt writer
+        ];
+        let report = recover(&store, &events);
+        assert_eq!(report.anomalies.duplicate_commits, 1);
+        assert_eq!(report.redone, 1);
+        assert_eq!(report.versions_installed, 1);
+        assert_eq!(store.latest_value(g(1)), Value::Int(10));
+    }
+
+    #[test]
+    fn write_after_commit_is_skipped() {
+        let store = MvStore::new();
+        store.seed(g(1), Value::Int(0));
+        let events = vec![
+            begin(1, 5),
+            write(1, 1, 5, 10),
+            commit(1, 6),
+            write(1, 1, 7, 666), // past its own commit: must not be redone
+        ];
+        let report = recover(&store, &events);
+        assert_eq!(report.anomalies.writes_after_commit, 1);
+        assert_eq!(report.versions_installed, 1);
+        assert_eq!(store.latest_value(g(1)), Value::Int(10));
+        // The skipped write's timestamp still raises the high-water mark:
+        // a new clock must clear even fabricated timestamps.
+        assert_eq!(report.high_water_mark, Timestamp(7));
+    }
+
+    #[test]
+    fn unknown_txn_events_are_counted_and_skipped() {
+        let store = MvStore::new();
+        store.seed(g(1), Value::Int(0));
+        let events = vec![
+            write(9, 1, 5, 123), // no Begin for t9 anywhere
+            commit(9, 6),
+            ScheduleEvent::Abort {
+                txn: TxnId(8),
+                abort_ts: Timestamp(4),
+            },
+        ];
+        let report = recover(&store, &events);
+        assert_eq!(report.anomalies.unknown_txn_events, 3);
+        assert_eq!(report.redone, 0);
+        assert_eq!(report.versions_installed, 0);
+        assert!(!report.anomalies.is_clean());
+        assert_eq!(store.latest_value(g(1)), Value::Int(0));
+    }
+
+    #[test]
+    fn high_water_mark_covers_every_timestamp_field() {
+        let store = MvStore::new();
+        store.seed(g(1), Value::Int(0));
+        let events = vec![
+            begin(1, 3),
+            write(1, 1, 3, 1),
+            commit(1, 11),
+            begin(2, 4),
+            ScheduleEvent::Abort {
+                txn: TxnId(2),
+                abort_ts: Timestamp(15),
+            },
+        ];
+        let report = recover(&store, &events);
+        assert_eq!(report.high_water_mark, Timestamp(15));
     }
 }

@@ -30,7 +30,7 @@ pub mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot};
 pub use recorder::LatencyRecorder;
-pub use trace::{RejectReason, TraceEvent, TraceRing};
+pub use trace::{FaultCode, RejectReason, TraceEvent, TraceRing};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

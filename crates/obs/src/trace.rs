@@ -38,6 +38,10 @@ pub enum RejectReason {
     WallViolation,
     /// Chosen as a deadlock victim (2PL family).
     DeadlockVictim,
+    /// Aborted by the straggler watchdog: the transaction outlived its
+    /// lease while holding an activity-registry entry, wedging
+    /// `I_old`/`C_late` (and with them the time wall and GC watermark).
+    WatchdogAbort,
 }
 
 impl RejectReason {
@@ -48,7 +52,36 @@ impl RejectReason {
             RejectReason::ReadTooLate => "read-too-late",
             RejectReason::WallViolation => "wall-violation",
             RejectReason::DeadlockVictim => "deadlock-victim",
+            RejectReason::WatchdogAbort => "watchdog-abort",
         }
+    }
+}
+
+/// Which fault the chaos harness injected at a [`TraceEvent::CrashPoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCode {
+    /// Worker crashed mid-transaction (abandoned without abort).
+    Crash,
+    /// Worker stalled while holding an activity-registry entry.
+    Stall,
+    /// Worker delayed its commit.
+    DelayCommit,
+}
+
+impl FaultCode {
+    /// Short stable label (tables, JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultCode::Crash => "crash",
+            FaultCode::Stall => "stall",
+            FaultCode::DelayCommit => "delay-commit",
+        }
+    }
+}
+
+impl fmt::Display for FaultCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -142,6 +175,39 @@ pub enum TraceEvent {
         /// Sleep length in nanoseconds.
         nanos: u64,
     },
+    /// The straggler watchdog reaped a transaction past its lease.
+    WatchdogAbort {
+        /// The reaped transaction.
+        txn: u64,
+        /// Its initiation time `I(t)` (the registry entry retired).
+        start: u64,
+        /// How far past its deadline it was, in microseconds.
+        overdue_micros: u64,
+    },
+    /// The chaos harness injected a fault into a worker.
+    CrashPoint {
+        /// The transaction the fault hit.
+        txn: u64,
+        /// Program step index at which the fault fired.
+        op_index: u64,
+        /// Which fault was injected.
+        fault: FaultCode,
+    },
+    /// Crash recovery replayed a log into a fresh store + registry.
+    RecoveryReplay {
+        /// Events in the surviving log prefix.
+        events: u64,
+        /// Committed transactions redone.
+        redone: u64,
+        /// Uncommitted transactions rolled back by omission.
+        rolled_back: u64,
+        /// In-flight transactions closed with synthetic aborts so the
+        /// rebuilt activity registry has no running intervals.
+        in_flight_aborted: u64,
+        /// Restored timestamp high-water mark (post-recovery ticks are
+        /// strictly greater).
+        high_water_mark: u64,
+    },
 }
 
 impl TraceEvent {
@@ -155,6 +221,9 @@ impl TraceEvent {
             TraceEvent::WallRelease { .. } => "wall-release",
             TraceEvent::GcReclaim { .. } => "gc-reclaim",
             TraceEvent::Backoff { .. } => "backoff",
+            TraceEvent::WatchdogAbort { .. } => "watchdog-abort",
+            TraceEvent::CrashPoint { .. } => "crash-point",
+            TraceEvent::RecoveryReplay { .. } => "recovery-replay",
         }
     }
 
@@ -164,7 +233,9 @@ impl TraceEvent {
             TraceEvent::CrossRead { txn, .. }
             | TraceEvent::WallRead { txn, .. }
             | TraceEvent::Reject { txn, .. }
-            | TraceEvent::Block { txn, .. } => Some(*txn),
+            | TraceEvent::Block { txn, .. }
+            | TraceEvent::WatchdogAbort { txn, .. }
+            | TraceEvent::CrashPoint { txn, .. } => Some(*txn),
             _ => None,
         }
     }
@@ -225,6 +296,31 @@ impl fmt::Display for TraceEvent {
                 reclaimed,
             } => write!(f, "gc reclaimed {reclaimed} versions below ts:{watermark}"),
             TraceEvent::Backoff { nanos } => write!(f, "driver backoff sleep {nanos} ns"),
+            TraceEvent::WatchdogAbort {
+                txn,
+                start,
+                overdue_micros,
+            } => write!(
+                f,
+                "watchdog reaped t{txn} (I={start}), {overdue_micros} µs past its lease"
+            ),
+            TraceEvent::CrashPoint {
+                txn,
+                op_index,
+                fault,
+            } => write!(f, "chaos injected {fault} into t{txn} at op {op_index}"),
+            TraceEvent::RecoveryReplay {
+                events,
+                redone,
+                rolled_back,
+                in_flight_aborted,
+                high_water_mark,
+            } => write!(
+                f,
+                "recovery replayed {events} events: {redone} redone, {rolled_back} rolled \
+                 back, {in_flight_aborted} in-flight aborted, clock resumed past \
+                 ts:{high_water_mark}"
+            ),
         }
     }
 }
@@ -428,6 +524,23 @@ mod tests {
                 reclaimed: 12,
             },
             TraceEvent::Backoff { nanos: 1024 },
+            TraceEvent::WatchdogAbort {
+                txn: 5,
+                start: 40,
+                overdue_micros: 1500,
+            },
+            TraceEvent::CrashPoint {
+                txn: 6,
+                op_index: 3,
+                fault: FaultCode::Stall,
+            },
+            TraceEvent::RecoveryReplay {
+                events: 100,
+                redone: 10,
+                rolled_back: 2,
+                in_flight_aborted: 1,
+                high_water_mark: 99,
+            },
         ];
         for ev in evs {
             let s = format!("{ev}");

@@ -15,6 +15,10 @@
 //!     # a-priori lint of the bundled workloads + offline certification
 //!     # of concurrent hdd/mvto logs + a nocontrol anomaly self-check;
 //!     # exits 1 on any lint error or certification violation
+//! cargo run --release -p sim --bin experiments -- chaos-smoke
+//!     # quick E16 chaos soak: injected crashes/stalls/torn logs must
+//!     # all certify clean, every corpse reaped, no timestamp reuse
+//!     # after recovery; exits 1 on any violation
 //! ```
 
 use certify::certifier::{attach_trace, certify_log};
@@ -181,6 +185,50 @@ fn certify_smoke() -> i32 {
     }
 }
 
+/// CI gate for the chaos harness: run the E16 soak at quick sizes and
+/// enforce its claims — every surviving and recovered log certifies
+/// clean, every crashed corpse is reaped by the watchdog, torn WAL
+/// tails are truncated (not replayed), and recovery never reuses a
+/// pre-crash timestamp. Returns the exit code.
+fn chaos_smoke() -> i32 {
+    let table = sim::experiments::e16_chaos::run(true);
+    print!("{table}");
+    let cell = |row: &str, col: &str| table.cell(row, col).map(String::from);
+    let num = |row: &str, col: &str| -> u64 {
+        cell(row, col)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(u64::MAX)
+    };
+    let seeds = num("soak", "seeds");
+    let mut failed = false;
+    if num("soak", "certified-ok") != seeds {
+        eprintln!("chaos-smoke: FAIL — a surviving log did not certify");
+        failed = true;
+    }
+    if num("recovery", "certified-ok") != seeds {
+        eprintln!("chaos-smoke: FAIL — a recovered log did not certify");
+        failed = true;
+    }
+    if num("recovery", "ts-collisions") != 0 {
+        eprintln!("chaos-smoke: FAIL — recovery reused a pre-crash timestamp");
+        failed = true;
+    }
+    if num("soak", "watchdog-reaps") < num("soak", "crashed") {
+        eprintln!("chaos-smoke: FAIL — a crashed transaction was never reaped");
+        failed = true;
+    }
+    if num("soak", "crashed") == 0 || num("recovery", "torn-tails") == 0 {
+        eprintln!("chaos-smoke: FAIL — the fault mix injected nothing");
+        failed = true;
+    }
+    if failed {
+        1
+    } else {
+        println!("chaos-smoke: OK");
+        0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
@@ -195,6 +243,9 @@ fn main() {
     }
     if args.iter().any(|a| a == "certify-smoke") {
         std::process::exit(certify_smoke());
+    }
+    if args.iter().any(|a| a == "chaos-smoke") {
+        std::process::exit(chaos_smoke());
     }
     if args.iter().any(|a| a == "hotpath") {
         println!("{}", sim::experiments::e13_hotpath::run(quick));

@@ -37,6 +37,13 @@ pub struct ConcurrentConfig {
     /// backoff sleeps into `scheduler.metrics().obs`. Off by default —
     /// disabled recording costs one branch per claimed program.
     pub obs: bool,
+    /// Per-transaction deadline, measured from program claim and
+    /// spanning all retries. A program still blocked or restarting past
+    /// its deadline is aborted and counted in
+    /// [`RunStats::deadline_exceeded`] rather than spinning without
+    /// bound (a wedged scheduler otherwise hangs the whole run). `None`
+    /// disables the deadline.
+    pub txn_deadline: Option<Duration>,
 }
 
 impl Default for ConcurrentConfig {
@@ -48,8 +55,15 @@ impl Default for ConcurrentConfig {
             verify: true,
             capture_log: true,
             obs: false,
+            txn_deadline: None,
         }
     }
+}
+
+/// True when a per-transaction deadline is set and has passed.
+#[inline]
+fn past(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
 }
 
 /// Bounded exponential backoff for Block outcomes: a few spin hints,
@@ -129,6 +143,7 @@ pub fn run_concurrent(
     let committed = AtomicUsize::new(0);
     let restarts = AtomicUsize::new(0);
     let gave_up = AtomicUsize::new(0);
+    let deadline_exceeded = AtomicUsize::new(0);
     let attempts = AtomicU64::new(0);
     let done = AtomicBool::new(false);
     let active_workers = AtomicUsize::new(cfg.workers);
@@ -159,6 +174,9 @@ pub fn run_concurrent(
                     // Commit latency spans the whole program: claim to
                     // commit, across aborts/restarts.
                     let claimed_at = obs_on.then(Instant::now);
+                    // The deadline spans the program's whole life too:
+                    // restarts don't reset it.
+                    let deadline = cfg.txn_deadline.map(|d| Instant::now() + d);
                     let mut tries = 0usize;
                     'retry: loop {
                         let handle = scheduler.begin(&program.profile);
@@ -183,6 +201,10 @@ pub fn run_concurrent(
                                     ReadOutcome::Abort => {
                                         scheduler.abort(&handle);
                                         tries += 1;
+                                        if past(deadline) {
+                                            deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                            break 'retry;
+                                        }
                                         if tries > cfg.max_restarts {
                                             gave_up.fetch_add(1, Ordering::Relaxed);
                                             break 'retry;
@@ -205,6 +227,10 @@ pub fn run_concurrent(
                                         WriteOutcome::Abort => {
                                             scheduler.abort(&handle);
                                             tries += 1;
+                                            if past(deadline) {
+                                                deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                                break 'retry;
+                                            }
                                             if tries > cfg.max_restarts {
                                                 gave_up.fetch_add(1, Ordering::Relaxed);
                                                 break 'retry;
@@ -216,6 +242,11 @@ pub fn run_concurrent(
                                 }
                             };
                             if outcome_block {
+                                if past(deadline) {
+                                    scheduler.abort(&handle);
+                                    deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                    break 'retry;
+                                }
                                 if obs_on && block_since.is_none() {
                                     block_since = Some(Instant::now());
                                 }
@@ -245,6 +276,11 @@ pub fn run_concurrent(
                                     break 'retry;
                                 }
                                 CommitOutcome::Block => {
+                                    if past(deadline) {
+                                        scheduler.abort(&handle);
+                                        deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                        break 'retry;
+                                    }
                                     if obs_on && commit_block_since.is_none() {
                                         commit_block_since = Some(Instant::now());
                                     }
@@ -256,6 +292,10 @@ pub fn run_concurrent(
                                 }
                                 CommitOutcome::Aborted => {
                                     tries += 1;
+                                    if past(deadline) {
+                                        deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                        break 'retry;
+                                    }
                                     if tries > cfg.max_restarts {
                                         gave_up.fetch_add(1, Ordering::Relaxed);
                                         break 'retry;
@@ -278,6 +318,7 @@ pub fn run_concurrent(
         committed,
         restarts: restarts.load(Ordering::Relaxed),
         gave_up: gave_up.load(Ordering::Relaxed),
+        deadline_exceeded: deadline_exceeded.load(Ordering::Relaxed),
         stalled: 0,
         steps: attempts.load(Ordering::Relaxed),
         metrics: scheduler.metrics().snapshot(),
@@ -376,6 +417,101 @@ mod tests {
         assert_eq!(snap.commit_latency.count, 0);
         assert_eq!(snap.op_service.count, 0);
         assert_eq!(snap.trace_recorded, 0);
+    }
+
+    /// A scheduler wedged on every read — deterministic fixture for the
+    /// deadline path (no real scheduler blocks forever on demand).
+    struct Wedged {
+        log: txn_model::ScheduleLog,
+        metrics: txn_model::Metrics,
+        ids: AtomicU64,
+        aborts: AtomicUsize,
+    }
+
+    impl Wedged {
+        fn new() -> Self {
+            Wedged {
+                log: txn_model::ScheduleLog::new(),
+                metrics: txn_model::Metrics::default(),
+                ids: AtomicU64::new(1),
+                aborts: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl Scheduler for Wedged {
+        fn name(&self) -> &'static str {
+            "wedged"
+        }
+        fn begin(&self, profile: &txn_model::TxnProfile) -> txn_model::TxnHandle {
+            txn_model::TxnHandle {
+                id: txn_model::TxnId(self.ids.fetch_add(1, Ordering::Relaxed)),
+                start_ts: txn_model::Timestamp(0),
+                class: profile.class,
+            }
+        }
+        fn read(&self, _h: &txn_model::TxnHandle, _g: txn_model::GranuleId) -> ReadOutcome {
+            ReadOutcome::Block
+        }
+        fn write(
+            &self,
+            _h: &txn_model::TxnHandle,
+            _g: txn_model::GranuleId,
+            _v: txn_model::Value,
+        ) -> WriteOutcome {
+            WriteOutcome::Done
+        }
+        fn commit(&self, _h: &txn_model::TxnHandle) -> CommitOutcome {
+            CommitOutcome::Committed(txn_model::Timestamp(1))
+        }
+        fn abort(&self, _h: &txn_model::TxnHandle) {
+            self.aborts.fetch_add(1, Ordering::Relaxed);
+        }
+        fn log(&self) -> &txn_model::ScheduleLog {
+            &self.log
+        }
+        fn metrics(&self) -> &txn_model::Metrics {
+            &self.metrics
+        }
+    }
+
+    #[test]
+    fn deadline_bounds_a_wedged_scheduler() {
+        let mut w = Banking::new(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let programs: Vec<_> = (0..8).map(|_| w.generate(&mut rng)).collect();
+        let sched = Wedged::new();
+        let cfg = ConcurrentConfig {
+            workers: 2,
+            txn_deadline: Some(Duration::from_millis(5)),
+            verify: false,
+            ..ConcurrentConfig::default()
+        };
+        let out = run_concurrent(&sched, programs, &cfg);
+        assert_eq!(out.stats.committed, 0, "every program starts with a read");
+        assert_eq!(out.stats.deadline_exceeded, 8);
+        assert_eq!(
+            sched.aborts.load(Ordering::Relaxed),
+            8,
+            "abandoned transactions are aborted, not leaked"
+        );
+        assert!(out.elapsed < Duration::from_secs(10), "no unbounded spin");
+    }
+
+    #[test]
+    fn deadline_off_changes_nothing() {
+        let mut w = Banking::new(8);
+        let mut rng = StdRng::seed_from_u64(31);
+        let programs: Vec<_> = (0..60).map(|_| w.generate(&mut rng)).collect();
+        let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+        let cfg = ConcurrentConfig {
+            txn_deadline: Some(Duration::from_secs(60)),
+            ..ConcurrentConfig::default()
+        };
+        let out = run_concurrent(sched.as_ref(), programs, &cfg);
+        assert_eq!(out.stats.committed, 60);
+        assert_eq!(out.stats.deadline_exceeded, 0);
+        assert_eq!(out.stats.serializable, Some(true));
     }
 
     #[test]

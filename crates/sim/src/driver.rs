@@ -66,6 +66,10 @@ pub struct RunStats {
     pub restarts: usize,
     /// Programs that exhausted their restart budget.
     pub gave_up: usize,
+    /// Programs abandoned because they ran past the driver's
+    /// per-transaction deadline (concurrent driver only; the
+    /// deterministic driver has no wall clock and leaves this 0).
+    pub deadline_exceeded: usize,
     /// Programs still live when the step limit was hit.
     pub stalled: usize,
     /// Driver steps executed.
@@ -126,6 +130,7 @@ pub fn run_interleaved(
         committed: 0,
         restarts: 0,
         gave_up: 0,
+        deadline_exceeded: 0,
         stalled: 0,
         steps: 0,
         metrics: MetricsSnapshot::default(),

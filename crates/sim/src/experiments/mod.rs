@@ -19,13 +19,14 @@ pub mod e12_dbc_messages;
 pub mod e13_hotpath;
 pub mod e14_obs_profile;
 pub mod e15_certify;
+pub mod e16_chaos;
 
 use crate::report::Table;
 
 /// Run every experiment (E1–E10 per figure, plus the E11 sweep, the
 /// E12 message analysis, the E13 hot-path throughput trajectory, the
-/// E14 observability profile and the E15 certification sweep) and
-/// return the tables in order.
+/// E14 observability profile, the E15 certification sweep and the E16
+/// chaos soak) and return the tables in order.
 pub fn run_all(quick: bool) -> Vec<Table> {
     vec![
         e01_lost_update::run(quick),
@@ -43,5 +44,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e13_hotpath::run(quick),
         e14_obs_profile::run(quick),
         e15_certify::run(quick),
+        e16_chaos::run(quick),
     ]
 }

@@ -579,7 +579,10 @@ mod tests {
         let evs = vec![
             begin(1),
             write(1, 0, 1),
-            ScheduleEvent::Abort { txn: TxnId(1) },
+            ScheduleEvent::Abort {
+                txn: TxnId(1),
+                abort_ts: Timestamp(99),
+            },
             begin(2),
             read(2, 0, 0, 0),
             commit(2, 5),
@@ -598,7 +601,10 @@ mod tests {
             begin(2),
             read(2, 0, 1, 1), // reads t1's version
             commit(2, 5),
-            ScheduleEvent::Abort { txn: TxnId(1) }, // t1 never commits
+            ScheduleEvent::Abort {
+                txn: TxnId(1),
+                abort_ts: Timestamp(99),
+            }, // t1 never commits
         ];
         let dg = DependencyGraph::from_events(&evs);
         assert_eq!(dg.dirty_reads(), 1);

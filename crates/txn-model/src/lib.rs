@@ -28,6 +28,7 @@ pub mod program;
 pub mod schedule;
 pub mod scheduler;
 pub mod value;
+pub mod wal;
 
 pub use clock::LogicalClock;
 pub use depgraph::{ArcKinds, DependencyGraph};
@@ -37,3 +38,4 @@ pub use program::{Step, TxnProgram, WriteSource};
 pub use schedule::{ScheduleEvent, ScheduleLog};
 pub use scheduler::{CommitOutcome, ReadOutcome, Scheduler, TxnHandle, TxnProfile, WriteOutcome};
 pub use value::Value;
+pub use wal::{decode_events, encode_events, WalReport};

@@ -91,8 +91,8 @@ counters! {
     blocks,
     /// Operations rejected by a protocol rule, forcing an abort.
     /// Always equals `rej_write_too_late + rej_read_too_late +
-    /// rej_deadlock_victim` (kept as a total for backward-compatible
-    /// tables).
+    /// rej_deadlock_victim + rej_watchdog_abort` (kept as a total for
+    /// backward-compatible tables).
     rejections,
     /// Rejected writes: a younger transaction already read or overwrote
     /// the granule (TO write rule; MVTO, basic TO, HDD Protocol B).
@@ -103,6 +103,10 @@ counters! {
     /// Rejections of transactions chosen as deadlock victims (2PL
     /// family).
     rej_deadlock_victim,
+    /// Rejections of stragglers reaped by the lease watchdog: the
+    /// transaction overstayed its activity-registry lease and was
+    /// aborted so `I_old(m)` and the time wall could resume.
+    rej_watchdog_abort,
     /// Unregistered (Protocol A / C) reads that found a pending version
     /// below their activity-link or time-wall bound — a state the bound
     /// proofs rule out. The read blocks (and recovers) rather than
@@ -154,6 +158,10 @@ impl Metrics {
                 Self::bump(&self.rej_deadlock_victim);
                 Self::bump(&self.rejections);
             }
+            WatchdogAbort => {
+                Self::bump(&self.rej_watchdog_abort);
+                Self::bump(&self.rejections);
+            }
             WallViolation => Self::bump(&self.wall_violations),
         }
         self.obs.emit(obs::TraceEvent::Reject {
@@ -177,12 +185,18 @@ impl MetricsSnapshot {
     }
 
     /// Compact per-reason rejection breakdown for table cells:
-    /// `w<write-too-late>/r<read-too-late>/d<deadlock-victim>`.
+    /// `w<write-too-late>/r<read-too-late>/d<deadlock-victim>`, with a
+    /// `/g<watchdog-abort>` suffix only when the watchdog reaped anyone
+    /// (so fault-free tables keep their historical shape).
     pub fn rejection_breakdown(&self) -> String {
-        format!(
+        let mut s = format!(
             "w{}/r{}/d{}",
             self.rej_write_too_late, self.rej_read_too_late, self.rej_deadlock_victim
-        )
+        );
+        if self.rej_watchdog_abort > 0 {
+            s.push_str(&format!("/g{}", self.rej_watchdog_abort));
+        }
+        s
     }
 
     /// Fraction of begun transactions that aborted.
@@ -244,19 +258,33 @@ mod tests {
         m.reject(obs::RejectReason::WriteTooLate, 1, 0, 7);
         m.reject(obs::RejectReason::ReadTooLate, 2, 1, 8);
         m.reject(obs::RejectReason::DeadlockVictim, 3, 2, 9);
+        m.reject(obs::RejectReason::WatchdogAbort, 5, 3, 2);
         m.reject(obs::RejectReason::WallViolation, 4, 0, 1);
         let s = m.snapshot();
-        assert_eq!(s.rejections, 3, "wall violations are not rejections");
+        assert_eq!(s.rejections, 4, "wall violations are not rejections");
         assert_eq!(s.rej_write_too_late, 1);
         assert_eq!(s.rej_read_too_late, 1);
         assert_eq!(s.rej_deadlock_victim, 1);
+        assert_eq!(s.rej_watchdog_abort, 1);
         assert_eq!(s.wall_violations, 1);
         assert_eq!(
             s.rejections,
-            s.rej_write_too_late + s.rej_read_too_late + s.rej_deadlock_victim
+            s.rej_write_too_late
+                + s.rej_read_too_late
+                + s.rej_deadlock_victim
+                + s.rej_watchdog_abort
         );
-        assert_eq!(s.rejection_breakdown(), "w1/r1/d1");
-        assert_eq!(m.obs.trace.recorded(), 4);
+        assert_eq!(s.rejection_breakdown(), "w1/r1/d1/g1");
+        assert_eq!(m.obs.trace.recorded(), 5);
+        let fault_free = MetricsSnapshot {
+            rej_write_too_late: 2,
+            ..Default::default()
+        };
+        assert_eq!(
+            fault_free.rejection_breakdown(),
+            "w2/r0/d0",
+            "no watchdog suffix when nothing was reaped"
+        );
     }
 
     #[test]

@@ -83,10 +83,18 @@ pub enum ScheduleEvent {
         /// Commit time `C(t)`.
         commit_ts: Timestamp,
     },
-    /// Transaction aborted.
+    /// Transaction aborted at `abort_ts`.
+    ///
+    /// The abort timestamp is the activity interval's exact end: offline
+    /// replay (certification, registry-aware recovery) ends the aborted
+    /// transaction's active window here rather than over-approximating
+    /// it from surrounding events.
     Abort {
         /// Transaction id.
         txn: TxnId,
+        /// Abort time (the registry end drawn under the class lock, or a
+        /// plain clock tick for classless schedulers).
+        abort_ts: Timestamp,
     },
 }
 
@@ -98,7 +106,7 @@ impl ScheduleEvent {
             | ScheduleEvent::Read { txn, .. }
             | ScheduleEvent::Write { txn, .. }
             | ScheduleEvent::Commit { txn, .. }
-            | ScheduleEvent::Abort { txn } => *txn,
+            | ScheduleEvent::Abort { txn, .. } => *txn,
         }
     }
 }
@@ -246,17 +254,26 @@ mod tests {
     fn disabled_log_records_nothing() {
         let log = ScheduleLog::new();
         log.set_enabled(false);
-        log.record(ScheduleEvent::Abort { txn: TxnId(3) });
+        log.record(ScheduleEvent::Abort {
+            txn: TxnId(3),
+            abort_ts: Timestamp(99),
+        });
         assert!(log.is_empty());
         log.set_enabled(true);
-        log.record(ScheduleEvent::Abort { txn: TxnId(3) });
+        log.record(ScheduleEvent::Abort {
+            txn: TxnId(3),
+            abort_ts: Timestamp(99),
+        });
         assert_eq!(log.len(), 1);
     }
 
     #[test]
     fn clear_empties() {
         let log = ScheduleLog::new();
-        log.record(ScheduleEvent::Abort { txn: TxnId(3) });
+        log.record(ScheduleEvent::Abort {
+            txn: TxnId(3),
+            abort_ts: Timestamp(99),
+        });
         log.clear();
         assert!(log.is_empty());
     }
@@ -265,7 +282,10 @@ mod tests {
     fn disabled_constructor_starts_off() {
         let log = ScheduleLog::disabled();
         assert!(!log.is_enabled());
-        log.record(ScheduleEvent::Abort { txn: TxnId(1) });
+        log.record(ScheduleEvent::Abort {
+            txn: TxnId(1),
+            abort_ts: Timestamp(99),
+        });
         assert!(log.is_empty());
     }
 

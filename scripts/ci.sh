@@ -48,4 +48,10 @@ fi
 # must shrink to a single-digit counterexample.
 cargo run --release -q -p sim --bin experiments -- certify-smoke
 
+echo "== chaos smoke (release, quick) =="
+# Quick E16 soak: injected crashes/stalls/torn WAL tails must all
+# certify clean, every corpse reaped by the watchdog, and recovery must
+# never reuse a pre-crash timestamp.
+cargo run --release -q -p sim --bin experiments -- chaos-smoke
+
 echo "CI OK"
