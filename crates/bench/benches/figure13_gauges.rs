@@ -1,0 +1,72 @@
+//! **Figure 13 (extension): gauge-board overhead** — the cost of the
+//! hierarchy observatory on the HDD hot path, measured both ways:
+//!
+//! * `disabled/*` — gauge board allocated (the scheduler dimensions it
+//!   at construction) but the obs flag off: every hot-path gauge site
+//!   is behind the same single-branch flag as the rest of the sidecar,
+//!   so this must track the plain figure12 `disabled` numbers. The
+//!   `bench-gate` CI stage enforces the same point against the recorded
+//!   `BENCH_hotpath.json` baseline.
+//! * `enabled/*` — full recording plus live gauges: per-read staleness
+//!   histogram records (O(1) relaxed) and the throttled maintenance
+//!   refresh (walls/registry every 4th tick, store scan every 16th).
+//!   `bench-gate` holds this within 50% of `BENCH_obs.json`.
+
+// Bench targets: the criterion_group! macro generates undocumented
+// items, and bench bodies are not a public API.
+#![allow(missing_docs)]
+
+use bench::programs;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim::concurrent::{run_concurrent, ConcurrentConfig};
+use sim::factory::{build_scheduler, SchedulerKind};
+use std::time::Duration;
+use workloads::inventory::{Inventory, InventoryConfig};
+
+fn figure13_gauges(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure13_gauges");
+    group.sample_size(10);
+    for (mode, obs) in [("disabled", false), ("enabled", true)] {
+        for workers in [1usize, 8] {
+            group.bench_function(
+                BenchmarkId::new(format!("{mode}/hdd"), format!("workers{workers}")),
+                |b| {
+                    b.iter_batched(
+                        || {
+                            let mut w = Inventory::new(InventoryConfig {
+                                items: 64,
+                                ..InventoryConfig::default()
+                            });
+                            let batch = programs(&mut w, 400, 0x0F16_0013);
+                            let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+                            (sched, batch)
+                        },
+                        |(sched, batch)| {
+                            let cfg = ConcurrentConfig {
+                                workers,
+                                obs,
+                                verify: false,
+                                capture_log: false,
+                                maintenance_interval: Duration::from_micros(50),
+                                ..ConcurrentConfig::default()
+                            };
+                            run_concurrent(sched.as_ref(), batch, &cfg).stats.committed
+                        },
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(2000))
+        .sample_size(10);
+    targets = figure13_gauges
+}
+criterion_main!(benches);

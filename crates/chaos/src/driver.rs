@@ -170,6 +170,11 @@ pub fn run_chaos(
                         active_workers.fetch_sub(1, Ordering::AcqRel);
                         break;
                     };
+                    if mobs.enabled() {
+                        // Driver-progress gauge for hdd-top --chaos.
+                        mobs.gauges
+                            .set_driver_progress(idx as u64 + 1, programs.len() as u64);
+                    }
                     let fault = plan.faults.get(idx).copied().unwrap_or_default();
                     // The deadline spans the program's whole life;
                     // restarts don't reset it.

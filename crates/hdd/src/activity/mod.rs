@@ -7,4 +7,4 @@ pub mod registry;
 
 pub use follows::{topologically_follows, TxnCoord};
 pub use funcs::ActivityFuncs;
-pub use registry::{ActivityRegistry, CLate, ClassActivity};
+pub use registry::{ActivityRegistry, CLate, ClassActivity, ClassStats};

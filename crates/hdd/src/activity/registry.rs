@@ -270,6 +270,15 @@ impl ClassActivity {
         self.scans.get()
     }
 
+    /// Live shape of this class's history (gauge-board sampling).
+    pub fn stats(&self) -> ClassStats {
+        ClassStats {
+            intervals: self.entries.len(),
+            settled: self.settled,
+            running: self.running,
+        }
+    }
+
     /// Export all intervals as `(start, end, committed)` tuples
     /// (dynamic-restructuring registry hand-off).
     pub fn export(&self) -> Vec<(Timestamp, Option<Timestamp>, bool)> {
@@ -297,6 +306,28 @@ impl ClassActivity {
             }
         }
         self.rebuild_cursors();
+    }
+}
+
+/// A point-in-time view of one class's activity history shape, sampled
+/// for the gauge board: interval and running counts plus the settled
+/// cursor, whose lag ([`ClassStats::settled_lag`]) is the leading
+/// indicator of `I_old`/`C_late` scan cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Intervals currently retained.
+    pub intervals: usize,
+    /// Length of the settled (all-ended) prefix.
+    pub settled: usize,
+    /// Entries still running (`end == None`).
+    pub running: usize,
+}
+
+impl ClassStats {
+    /// Intervals not yet behind the settled cursor — the portion a
+    /// bound evaluation may still have to scan.
+    pub fn settled_lag(&self) -> usize {
+        self.intervals.saturating_sub(self.settled)
     }
 }
 
@@ -423,6 +454,12 @@ impl ActivityRegistry {
         self.classes.iter().map(|c| c.lock().scan_count()).sum()
     }
 
+    /// Live shape of `class`'s history (one brief lock acquisition; the
+    /// gauge-board refresh samples every class each maintenance tick).
+    pub fn class_stats(&self, class: ClassId) -> ClassStats {
+        self.classes[class.index()].lock().stats()
+    }
+
     /// True while any transaction of `class` is running.
     pub fn class_has_running(&self, class: ClassId) -> bool {
         self.classes[class.index()].lock().has_running()
@@ -456,6 +493,26 @@ impl ActivityRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn class_stats_track_running_and_settled_lag() {
+        let r = ActivityRegistry::new(2);
+        let c = ClassId(0);
+        r.begin(c, Timestamp(1));
+        r.begin(c, Timestamp(2));
+        let s = r.class_stats(c);
+        assert_eq!(s.intervals, 2);
+        assert_eq!(s.running, 2);
+        assert_eq!(s.settled, 0);
+        assert_eq!(s.settled_lag(), 2);
+        r.commit(c, Timestamp(1), Timestamp(3));
+        r.commit(c, Timestamp(2), Timestamp(4));
+        let s = r.class_stats(c);
+        assert_eq!(s.running, 0);
+        assert_eq!(s.settled, 2, "cursor advances over ended prefix");
+        assert_eq!(s.settled_lag(), 0);
+        assert_eq!(r.class_stats(ClassId(1)), ClassStats::default());
+    }
 
     fn ts(t: u64) -> Timestamp {
         Timestamp(t)

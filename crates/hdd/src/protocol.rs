@@ -240,6 +240,12 @@ impl HddScheduler {
     /// hands the same core to the next epoch).
     pub fn with_core(hierarchy: Arc<Hierarchy>, core: SchedulerCore, config: HddConfig) -> Self {
         let n = hierarchy.class_count();
+        // Dimension the gauge board to this hierarchy (first-wins, so a
+        // restructured epoch sharing the core keeps the original shape).
+        core.metrics
+            .obs
+            .gauges
+            .configure(n as u32, hierarchy.segment_count() as u32);
         HddScheduler {
             hierarchy,
             core,
@@ -322,7 +328,88 @@ impl HddScheduler {
                 reclaimed: reclaimed as u64,
             });
         }
+        if self.core.metrics.obs.enabled() {
+            // GC just rewrote the chain shape; republish the store
+            // gauges at the freshest point instead of waiting for the
+            // next throttled refresh.
+            let gauges = &self.core.metrics.obs.gauges;
+            gauges.set_gc_watermark(wm.raw());
+            let versions = self.core.store.version_count() as u64;
+            let granules = self.core.store.granule_count() as u64;
+            gauges.set_store(
+                versions,
+                granules,
+                self.core.store.max_chain_len() as u64,
+                versions.saturating_sub(granules),
+            );
+        }
         reclaimed
+    }
+
+    /// Refresh the gauge board from live scheduler state. Called from
+    /// the maintenance tick when observability is enabled; per-class
+    /// registry sampling runs every 4th call and the O(granules) store
+    /// scan every 16th, so the 50 µs maintenance cadence never turns
+    /// the board into a contention source. Hot paths only ever touch
+    /// the board through `record_staleness` (O(1) relaxed).
+    fn refresh_gauges(&self, call: u64) {
+        let gauges = &self.core.metrics.obs.gauges;
+        let now = self.core.clock.now();
+        gauges.set_clock(now.raw());
+        if !call.is_multiple_of(4) {
+            return;
+        }
+        if let Some(w) = self.walls.latest() {
+            let floor = w.floor();
+            gauges.set_wall(
+                w.anchor_time.raw(),
+                w.released_at.raw(),
+                floor.raw(),
+                now.raw().saturating_sub(floor.raw()),
+            );
+            for c in 0..self.hierarchy.class_count() {
+                let class = ClassId(c as u32);
+                gauges.set_wall_component(c as u32, w.component(class).raw());
+                for seg in self.hierarchy.segments_of(class) {
+                    gauges.set_segment_wall(seg.0, w.component(class).raw());
+                }
+            }
+        }
+        let mut active_total = 0u64;
+        let mut intervals_total = 0u64;
+        let mut lag_total = 0u64;
+        for c in 0..self.hierarchy.class_count() {
+            let class = ClassId(c as u32);
+            let st = self.registry.class_stats(class);
+            let i_old = self.registry.i_old(class, now);
+            gauges.set_class(
+                c as u32,
+                i_old.raw(),
+                st.running as u64,
+                st.settled_lag() as u64,
+            );
+            active_total += st.running as u64;
+            intervals_total += st.intervals as u64;
+            lag_total += st.settled_lag() as u64;
+        }
+        gauges.set_activity(active_total, intervals_total, lag_total);
+        if call.is_multiple_of(16) {
+            let versions = self.core.store.version_count() as u64;
+            let granules = self.core.store.granule_count() as u64;
+            gauges.set_store(
+                versions,
+                granules,
+                self.core.store.max_chain_len() as u64,
+                versions.saturating_sub(granules),
+            );
+        }
+    }
+
+    /// Force a full gauge refresh immediately (dashboards and
+    /// experiments call this before sampling so every cell — including
+    /// the throttled store scan — is current).
+    pub fn refresh_gauges_now(&self) {
+        self.refresh_gauges(16); // 16 ≡ 0 mod 4 and mod 16: full refresh
     }
 
     /// The GC watermark: nothing at or above it may be reclaimed.
@@ -455,6 +542,22 @@ impl HddScheduler {
                 });
                 if self.core.metrics.obs.enabled() {
                     let target_class = self.hierarchy.class_of(g.segment).0;
+                    // Cross-read staleness gauge: how far behind the
+                    // reader's logical present (`read_ts − version_ts`)
+                    // the served version is. Strictly positive on
+                    // Protocol A rows (the activity-link bound never
+                    // exceeds the reader's start); wall rows saturate
+                    // to 0 when a reader predates the wall it adopted
+                    // (DESIGN.md §10). O(1) relaxed-atomic record.
+                    let reader_row = match prov {
+                        ReadProv::A { reader_class, .. } => reader_class.0,
+                        ReadProv::Wall { .. } => obs::gauges::WALL_READER,
+                    };
+                    self.core.metrics.obs.gauges.record_staleness(
+                        reader_row,
+                        g.segment.0,
+                        h.start_ts.raw().saturating_sub(version.raw()),
+                    );
                     match prov {
                         ReadProv::A {
                             reader_class,
@@ -888,6 +991,9 @@ impl Scheduler for HddScheduler {
         if self.config.gc_interval > 0 && n.is_multiple_of(self.config.gc_interval) {
             self.run_gc();
         }
+        if self.core.metrics.obs.enabled() {
+            self.refresh_gauges(n);
+        }
     }
 
     fn log(&self) -> &ScheduleLog {
@@ -947,6 +1053,105 @@ mod tests {
     }
     fn profile_t3() -> TxnProfile {
         TxnProfile::update(ClassId(2), vec![s(0), s(1), s(2)])
+    }
+
+    #[test]
+    fn gauge_board_records_staleness_and_refreshes_from_maintenance() {
+        let sched = setup(ProtocolBMode::Mvto);
+        let gauges = &sched.metrics().obs.gauges;
+        assert!(gauges.is_configured(), "with_core dimensions the board");
+        assert_eq!(gauges.snapshot().n_classes, 3);
+        sched.metrics().obs.set_enabled(true);
+
+        // A Protocol A cross-read populates the (reader=c1, segment=0)
+        // staleness cell with a strictly positive sample.
+        let t1 = sched.begin(&profile_t1());
+        sched.write(&t1, g(0, 1), Value::Int(42));
+        assert!(matches!(sched.commit(&t1), CommitOutcome::Committed(_)));
+        let t2 = sched.begin(&profile_t2());
+        assert!(matches!(sched.read(&t2, g(0, 1)), ReadOutcome::Value(_)));
+        assert!(matches!(sched.commit(&t2), CommitOutcome::Committed(_)));
+        let snap = gauges.snapshot();
+        let cell = snap.staleness_for(1, 0).expect("cross-read cell");
+        assert_eq!(cell.hist.count, 1);
+        assert!(cell.hist.min >= 1, "staleness is strictly positive");
+
+        // Maintenance refreshed the levels: a wall is published, its
+        // lag is consistent, and the store scan ran.
+        for _ in 0..40 {
+            sched.maintenance(); // releases walls, refreshes gauges
+        }
+        let snap = gauges.snapshot();
+        assert!(snap.wall_released_at > 0, "wall gauges published");
+        assert!(snap.wall_floor <= snap.clock_now);
+        assert_eq!(
+            snap.wall_lag,
+            snap.clock_now - snap.wall_floor,
+            "wall lag = now − floor at refresh time"
+        );
+        assert!(snap.store_versions >= snap.store_granules);
+        assert!(snap.store_max_chain >= 1);
+        assert_eq!(snap.classes.len(), 3);
+        assert_eq!(snap.segment_walls.len(), 3);
+        for c in &snap.classes {
+            assert_eq!(c.active, 0, "everything committed");
+        }
+
+        // Disabled flag keeps hot paths silent (board left as-is).
+        sched.metrics().obs.set_enabled(false);
+        let before = gauges.snapshot();
+        let t3 = sched.begin(&profile_t2());
+        assert!(matches!(sched.read(&t3, g(0, 1)), ReadOutcome::Value(_)));
+        assert!(matches!(sched.commit(&t3), CommitOutcome::Committed(_)));
+        let after = gauges.snapshot();
+        assert_eq!(
+            after.staleness_for(1, 0).unwrap().hist.count,
+            before.staleness_for(1, 0).unwrap().hist.count,
+            "no recording while disabled"
+        );
+    }
+
+    #[test]
+    fn wall_reads_record_staleness_in_the_wall_reader_row() {
+        // Branching hierarchy (1 → 0 ← 2) so an RO txn over {1, 2} is
+        // off-chain and rides Protocol C.
+        let h = Hierarchy::build(
+            3,
+            &[
+                AccessSpec::new("c0", vec![s(0)], vec![]),
+                AccessSpec::new("c1", vec![s(1)], vec![s(0)]),
+                AccessSpec::new("c2", vec![s(2)], vec![s(0)]),
+            ],
+        )
+        .unwrap();
+        let store = Arc::new(MvStore::new());
+        store.seed(g(1, 1), Value::Int(11));
+        store.seed(g(2, 1), Value::Int(22));
+        let sched = HddScheduler::new(
+            Arc::new(h),
+            store,
+            Arc::new(LogicalClock::new()),
+            HddConfig::default(),
+        );
+        sched.metrics().obs.set_enabled(true);
+        assert!(sched.try_release_wall());
+        let ro = sched.begin(&TxnProfile::read_only(vec![s(1), s(2)]));
+        assert!(matches!(sched.read(&ro, g(1, 1)), ReadOutcome::Value(_)));
+        assert!(matches!(sched.read(&ro, g(2, 1)), ReadOutcome::Value(_)));
+        assert!(matches!(sched.commit(&ro), CommitOutcome::Committed(_)));
+        let snap = sched.metrics().obs.gauges.snapshot();
+        for seg in [1u32, 2] {
+            let cell = snap
+                .staleness_for(obs::gauges::WALL_READER, seg)
+                .expect("wall-reader cell");
+            assert_eq!(cell.hist.count, 1);
+            assert!(cell.hist.min >= 1, "wall staleness strictly positive");
+            assert_eq!(cell.reader_label(), "wall");
+        }
+        assert!(
+            snap.staleness_for(obs::gauges::WALL_READER, 0).is_none(),
+            "no wall read touched the root segment"
+        );
     }
 
     #[test]

@@ -106,6 +106,23 @@ impl MvStore {
         self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
+    /// Length of the deepest version chain — the gauge-board signal for
+    /// "GC is falling behind on some hot granule". O(granules); sample
+    /// it from maintenance ticks, not hot paths.
+    pub fn max_chain_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .values()
+                    .map(super::chain::VersionChain::len)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The latest committed value of `g` (for result inspection in tests
     /// and examples), or `Value::Absent`.
     pub fn latest_value(&self, g: GranuleId) -> Value {
@@ -189,10 +206,13 @@ mod tests {
             }
         }
         assert_eq!(s.version_count(), 50);
+        assert_eq!(s.max_chain_len(), 5);
         let reclaimed = s.prune_before(Timestamp(4));
         // Per granule: versions {0,1,2,3,4}; keep ts=3 (latest <4) and 4.
         assert_eq!(reclaimed, 30);
         assert_eq!(s.version_count(), 20);
+        assert_eq!(s.max_chain_len(), 2, "GC flattens the deepest chain");
+        assert_eq!(MvStore::new().max_chain_len(), 0);
     }
 
     #[test]

@@ -1,0 +1,738 @@
+//! Standard-format exporters: Prometheus text exposition and Chrome
+//! trace (Perfetto-loadable) JSON, both hand-rolled over `std`.
+//!
+//! The repo's native exports (`BENCH_*.json`, `ObsSnapshot::to_json`)
+//! are bespoke; external tooling speaks two lingua francas instead:
+//!
+//! * [`prometheus_text`] renders counters, latency summaries and the
+//!   [`GaugeBoard`](crate::gauges::GaugeBoard) as Prometheus text
+//!   exposition format (`# TYPE`-annotated families, `{label="v"}`
+//!   samples) — scrapeable, `promtool`-checkable, diffable;
+//! * [`chrome_trace`] renders a drained
+//!   [`TraceRing`](crate::trace::TraceRing) as Chrome trace-event JSON
+//!   (`chrome://tracing`, Perfetto UI): one track per reader class for
+//!   Protocol A cross-reads, a wall-reader track for Protocol C, and a
+//!   scheduler track for walls/GC/rejects; watchdog reaps and driver
+//!   backoff become duration (`"ph":"X"`) events.
+//!
+//! Both formats ship with tiny in-repo validators
+//! ([`validate_prometheus`], [`validate_chrome_trace`]) so `ci.sh
+//! export-smoke` can gate the output shape without network tools, and
+//! both are golden-tested below: the byte-exact output for a fixed
+//! input is part of the contract.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::gauges::GaugeSnapshot;
+use crate::hist::HistogramSnapshot;
+use crate::trace::TraceEvent;
+use crate::ObsSnapshot;
+
+/// Append one summary family (`quantile` samples + `_sum`/`_count`) in
+/// exposition format. Empty histograms still emit the family (with
+/// zero count) so scrape consumers see a stable schema.
+fn push_summary(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) {
+    let lb = |q: &str| {
+        if labels.is_empty() {
+            format!("{{quantile=\"{q}\"}}")
+        } else {
+            format!("{{{labels},quantile=\"{q}\"}}")
+        }
+    };
+    let plain = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let _ = writeln!(out, "{name}{} {}", lb("0.5"), h.p50());
+    let _ = writeln!(out, "{name}{} {}", lb("0.95"), h.p95());
+    let _ = writeln!(out, "{name}{} {}", lb("0.99"), h.p99());
+    let _ = writeln!(out, "{name}_sum{plain} {}", h.sum);
+    let _ = writeln!(out, "{name}_count{plain} {}", h.count);
+}
+
+/// Sanitize a counter header into a Prometheus metric-name fragment.
+fn metric_fragment(raw: &str) -> String {
+    raw.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Render a full scrape: `counters` (name, cumulative value) pairs as
+/// `hdd_<name>_total` counter families, the [`ObsSnapshot`] latency
+/// histograms as summaries, and the gauge board as gauge families
+/// (per-class/per-segment via labels, cross-read staleness as a
+/// labelled summary). Zero-dependency; output passes
+/// [`validate_prometheus`] by construction.
+pub fn prometheus_text(
+    counters: &[(&str, u64)],
+    obs: &ObsSnapshot,
+    gauges: &GaugeSnapshot,
+) -> String {
+    let mut out = String::new();
+    for (name, v) in counters {
+        let n = format!("hdd_{}_total", metric_fragment(name));
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    let _ = writeln!(out, "# TYPE hdd_trace_recorded_total counter");
+    let _ = writeln!(out, "hdd_trace_recorded_total {}", obs.trace_recorded);
+    let _ = writeln!(out, "# TYPE hdd_trace_dropped_total counter");
+    let _ = writeln!(out, "hdd_trace_dropped_total {}", obs.trace_dropped);
+    for (name, h) in [
+        ("hdd_commit_latency_ns", &obs.commit_latency),
+        ("hdd_op_service_ns", &obs.op_service),
+        ("hdd_block_wait_ns", &obs.block_wait),
+        ("hdd_backoff_sleep_ns", &obs.backoff_sleep),
+        ("hdd_registry_scan_len", &obs.registry_scan),
+    ] {
+        let _ = writeln!(out, "# TYPE {name} summary");
+        push_summary(&mut out, name, "", h);
+    }
+    for (name, v) in [
+        ("hdd_clock_now", gauges.clock_now),
+        ("hdd_wall_anchor", gauges.wall_anchor),
+        ("hdd_wall_released_at", gauges.wall_released_at),
+        ("hdd_wall_floor", gauges.wall_floor),
+        ("hdd_wall_lag", gauges.wall_lag),
+        ("hdd_active_txns", gauges.active_txns),
+        ("hdd_registry_intervals", gauges.registry_intervals),
+        ("hdd_registry_settled_lag", gauges.registry_settled_lag),
+        ("hdd_store_versions", gauges.store_versions),
+        ("hdd_store_granules", gauges.store_granules),
+        ("hdd_store_max_chain", gauges.store_max_chain),
+        ("hdd_gc_watermark", gauges.gc_watermark),
+        ("hdd_gc_backlog", gauges.gc_backlog),
+        ("hdd_driver_claimed", gauges.driver_claimed),
+        ("hdd_driver_offered", gauges.driver_offered),
+    ] {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    if !gauges.classes.is_empty() {
+        for (name, get) in [
+            ("hdd_class_i_old", 0usize),
+            ("hdd_class_active", 1),
+            ("hdd_class_settled_lag", 2),
+            ("hdd_class_wall_component", 3),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for c in &gauges.classes {
+                let v = match get {
+                    0 => c.i_old,
+                    1 => c.active,
+                    2 => c.settled_lag,
+                    _ => c.wall_component,
+                };
+                let _ = writeln!(out, "{name}{{class=\"{}\"}} {v}", c.class);
+            }
+        }
+    }
+    if !gauges.segment_walls.is_empty() {
+        let _ = writeln!(out, "# TYPE hdd_segment_wall gauge");
+        for (i, w) in gauges.segment_walls.iter().enumerate() {
+            let _ = writeln!(out, "hdd_segment_wall{{segment=\"{i}\"}} {w}");
+        }
+    }
+    if !gauges.staleness.is_empty() {
+        let _ = writeln!(out, "# TYPE hdd_read_staleness_ticks summary");
+        for cell in &gauges.staleness {
+            push_summary(
+                &mut out,
+                "hdd_read_staleness_ticks",
+                &format!(
+                    "reader=\"{}\",segment=\"{}\"",
+                    cell.reader_label(),
+                    cell.segment
+                ),
+                &cell.hist,
+            );
+        }
+    }
+    out
+}
+
+/// Scrape-shape statistics returned by [`validate_prometheus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromStats {
+    /// `# TYPE` families declared.
+    pub families: usize,
+    /// Sample lines accepted.
+    pub samples: usize,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parse a `key="value",key="value"` label body; returns `Err` on
+/// malformed syntax.
+fn validate_labels(body: &str) -> Result<(), String> {
+    let mut rest = body;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = &rest[..eq];
+        if !valid_metric_name(key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        rest = &rest[eq + 1..];
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("label value not quoted after {key:?}")),
+        }
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in chars {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            } else if c == '\n' {
+                return Err("raw newline in label value".to_string());
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value for {key:?}"))?;
+        rest = &rest[end + 1..];
+        if rest.is_empty() {
+            return Ok(());
+        }
+        rest = rest
+            .strip_prefix(',')
+            .ok_or_else(|| format!("expected ',' between labels, got {rest:?}"))?;
+    }
+}
+
+/// Validate Prometheus text exposition shape: every sample's family
+/// must be `# TYPE`-declared *before* use (with `_sum`/`_count`
+/// resolving to their summary base), types must be
+/// `counter`/`gauge`/`summary`, label bodies must be well-formed, and
+/// every value must parse as `f64`. Returns family/sample counts.
+pub fn validate_prometheus(text: &str) -> Result<PromStats, String> {
+    let mut declared: HashSet<String> = HashSet::new();
+    let mut samples = 0usize;
+    for (ln, line) in text.lines().enumerate() {
+        let ctx = |m: String| format!("line {}: {m}", ln + 1);
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or_else(|| ctx("TYPE without name".into()))?;
+            let ty = it.next().ok_or_else(|| ctx("TYPE without type".into()))?;
+            if it.next().is_some() {
+                return Err(ctx(format!("trailing tokens after TYPE {name}")));
+            }
+            if !valid_metric_name(name) {
+                return Err(ctx(format!("bad family name {name:?}")));
+            }
+            if !matches!(
+                ty,
+                "counter" | "gauge" | "summary" | "histogram" | "untyped"
+            ) {
+                return Err(ctx(format!("unknown type {ty:?}")));
+            }
+            if !declared.insert(name.to_string()) {
+                return Err(ctx(format!("duplicate TYPE for {name}")));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP / comments
+        }
+        // Sample line: name[{labels}] value
+        let (name, rest) = match line.find('{') {
+            Some(b) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| ctx("unclosed label braces".into()))?;
+                if close < b {
+                    return Err(ctx("mismatched label braces".into()));
+                }
+                validate_labels(&line[b + 1..close]).map_err(ctx)?;
+                (&line[..b], &line[close + 1..])
+            }
+            None => {
+                let sp = line
+                    .find(' ')
+                    .ok_or_else(|| ctx("sample without value".into()))?;
+                (&line[..sp], &line[sp..])
+            }
+        };
+        if !valid_metric_name(name) {
+            return Err(ctx(format!("bad metric name {name:?}")));
+        }
+        let base = name
+            .strip_suffix("_sum")
+            .or_else(|| name.strip_suffix("_count"))
+            .or_else(|| name.strip_suffix("_bucket"))
+            .filter(|b| declared.contains(*b))
+            .unwrap_or(name);
+        if !declared.contains(base) {
+            return Err(ctx(format!("sample {name} before its TYPE declaration")));
+        }
+        let value = rest.trim();
+        if value.is_empty() || value.split_whitespace().count() != 1 {
+            return Err(ctx(format!("expected exactly one value, got {rest:?}")));
+        }
+        if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
+            return Err(ctx(format!("unparsable value {value:?}")));
+        }
+        samples += 1;
+    }
+    Ok(PromStats {
+        families: declared.len(),
+        samples,
+    })
+}
+
+/// Track ids used in [`chrome_trace`] output.
+const TID_SCHEDULER: u64 = 0;
+const TID_WALL_READERS: u64 = 1;
+const TID_CLASS_BASE: u64 = 2;
+
+fn event_tid(ev: &TraceEvent) -> u64 {
+    match ev {
+        TraceEvent::CrossRead { reader_class, .. } => TID_CLASS_BASE + u64::from(*reader_class),
+        TraceEvent::WallRead { .. } => TID_WALL_READERS,
+        _ => TID_SCHEDULER,
+    }
+}
+
+fn tid_name(tid: u64) -> String {
+    match tid {
+        TID_SCHEDULER => "scheduler".to_string(),
+        TID_WALL_READERS => "wall readers (protocol C)".to_string(),
+        t => format!("class {} readers (protocol A)", t - TID_CLASS_BASE),
+    }
+}
+
+/// Render the event's `args` object (all payload fields, spelled out).
+fn event_args(ev: &TraceEvent) -> String {
+    match *ev {
+        TraceEvent::CrossRead {
+            txn,
+            reader_class,
+            target_class,
+            segment,
+            key,
+            m,
+            bound,
+            version,
+        } => format!(
+            "{{\"txn\":{txn},\"reader_class\":{reader_class},\"target_class\":{target_class},\
+             \"segment\":{segment},\"key\":{key},\"m\":{m},\"bound\":{bound},\
+             \"version\":{version},\"staleness\":{}}}",
+            m.saturating_sub(version)
+        ),
+        TraceEvent::WallRead {
+            txn,
+            target_class,
+            segment,
+            key,
+            anchor,
+            bound,
+            version,
+        } => format!(
+            "{{\"txn\":{txn},\"target_class\":{target_class},\"segment\":{segment},\
+             \"key\":{key},\"anchor\":{anchor},\"bound\":{bound},\"version\":{version},\
+             \"staleness\":{}}}",
+            bound.saturating_sub(version)
+        ),
+        TraceEvent::Reject {
+            txn,
+            segment,
+            key,
+            reason,
+        } => format!(
+            "{{\"txn\":{txn},\"segment\":{segment},\"key\":{key},\"reason\":\"{}\"}}",
+            reason.label()
+        ),
+        TraceEvent::Block {
+            txn,
+            segment,
+            key,
+            write,
+        } => format!("{{\"txn\":{txn},\"segment\":{segment},\"key\":{key},\"write\":{write}}}"),
+        TraceEvent::WallRelease {
+            anchor,
+            released_at,
+        } => format!("{{\"anchor\":{anchor},\"released_at\":{released_at}}}"),
+        TraceEvent::GcReclaim {
+            watermark,
+            reclaimed,
+        } => format!("{{\"watermark\":{watermark},\"reclaimed\":{reclaimed}}}"),
+        TraceEvent::Backoff { nanos } => format!("{{\"nanos\":{nanos}}}"),
+        TraceEvent::WatchdogAbort {
+            txn,
+            start,
+            overdue_micros,
+        } => format!("{{\"txn\":{txn},\"start\":{start},\"overdue_micros\":{overdue_micros}}}"),
+        TraceEvent::CrashPoint {
+            txn,
+            op_index,
+            fault,
+        } => format!(
+            "{{\"txn\":{txn},\"op_index\":{op_index},\"fault\":\"{}\"}}",
+            fault.label()
+        ),
+        TraceEvent::RecoveryReplay {
+            events,
+            redone,
+            rolled_back,
+            in_flight_aborted,
+            high_water_mark,
+        } => format!(
+            "{{\"events\":{events},\"redone\":{redone},\"rolled_back\":{rolled_back},\
+             \"in_flight_aborted\":{in_flight_aborted},\"high_water_mark\":{high_water_mark}}}"
+        ),
+    }
+}
+
+/// Render a drained trace (ticket, event) stream as Chrome trace-event
+/// JSON, loadable in `chrome://tracing` or the Perfetto UI.
+///
+/// Tracks: tid 0 is the scheduler (walls, GC, rejects, blocks, chaos,
+/// recovery), tid 1 the Protocol C wall readers, tid `2 + class` one
+/// track per Protocol A reader class. The global ticket is used as the
+/// timestamp (`ts`) — decision *order*, not wall-clock. Watchdog reaps
+/// and driver backoffs render as duration (`"ph":"X"`) events with
+/// their overdue/sleep time as the duration; everything else is an
+/// instant (`"ph":"i"`).
+pub fn chrome_trace(events: &[(u64, TraceEvent)]) -> String {
+    let mut tids: Vec<u64> = events.iter().map(|(_, e)| event_tid(e)).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, s: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&s);
+    };
+    for tid in &tids {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                tid_name(*tid)
+            ),
+        );
+    }
+    for (ticket, ev) in events {
+        let tid = event_tid(ev);
+        let args = event_args(ev);
+        let body = match ev {
+            TraceEvent::WatchdogAbort { overdue_micros, .. } => format!(
+                "{{\"name\":\"{}\",\"cat\":\"hdd\",\"ph\":\"X\",\"ts\":{ticket},\
+                 \"dur\":{},\"pid\":1,\"tid\":{tid},\"args\":{args}}}",
+                ev.kind(),
+                (*overdue_micros).max(1)
+            ),
+            TraceEvent::Backoff { nanos } => format!(
+                "{{\"name\":\"{}\",\"cat\":\"hdd\",\"ph\":\"X\",\"ts\":{ticket},\
+                 \"dur\":{},\"pid\":1,\"tid\":{tid},\"args\":{args}}}",
+                ev.kind(),
+                (nanos / 1000).max(1)
+            ),
+            _ => format!(
+                "{{\"name\":\"{}\",\"cat\":\"hdd\",\"ph\":\"i\",\"ts\":{ticket},\
+                 \"s\":\"t\",\"pid\":1,\"tid\":{tid},\"args\":{args}}}",
+                ev.kind()
+            ),
+        };
+        push(&mut out, body);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Validate Chrome trace JSON shape without a JSON library: the text
+/// must open with `{"traceEvents":[`, every brace/bracket must balance
+/// outside string literals, and every object directly inside the
+/// `traceEvents` array must carry `"ph":`, `"ts"` (or be a metadata
+/// record) and `"pid":`. Returns the event count (metadata included).
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let prefix = "{\"traceEvents\":[";
+    if !text.starts_with(prefix) {
+        return Err(format!("missing {prefix:?} prefix"));
+    }
+    #[derive(PartialEq)]
+    enum Frame {
+        Obj,
+        Arr,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut events = 0usize;
+    let mut event_start: Option<usize> = None;
+    for (i, c) in text.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if stack.len() == 2 && stack[0] == Frame::Obj && stack[1] == Frame::Arr {
+                    event_start = Some(i);
+                }
+                stack.push(Frame::Obj);
+            }
+            '[' => stack.push(Frame::Arr),
+            '}' => {
+                if stack.pop() != Some(Frame::Obj) {
+                    return Err(format!("unbalanced '}}' at byte {i}"));
+                }
+                if stack.len() == 2 {
+                    if let Some(start) = event_start.take() {
+                        let body = &text[start..=i];
+                        if !body.contains("\"ph\":") {
+                            return Err(format!("event without \"ph\" at byte {start}"));
+                        }
+                        if !body.contains("\"pid\":") {
+                            return Err(format!("event without \"pid\" at byte {start}"));
+                        }
+                        if !body.contains("\"ts\":") && !body.contains("\"ph\":\"M\"") {
+                            return Err(format!("non-metadata event without \"ts\" at {start}"));
+                        }
+                        events += 1;
+                    }
+                }
+            }
+            ']' if stack.pop() != Some(Frame::Arr) => {
+                return Err(format!("unbalanced ']' at byte {i}"));
+            }
+            _ => {}
+        }
+    }
+    if in_string {
+        return Err("unterminated string literal".to_string());
+    }
+    if !stack.is_empty() {
+        return Err(format!("{} unclosed delimiters", stack.len()));
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gauges::{GaugeBoard, WALL_READER};
+    use crate::trace::{FaultCode, RejectReason};
+
+    #[test]
+    fn prometheus_golden_minimal() {
+        // Byte-exact output for a fixed minimal input is part of the
+        // contract: exporters must not drift silently.
+        let obs = ObsSnapshot::default();
+        let gauges = GaugeSnapshot::default();
+        let text = prometheus_text(&[("committed", 7)], &obs, &gauges);
+        let expected_head = "# TYPE hdd_committed_total counter\n\
+                             hdd_committed_total 7\n\
+                             # TYPE hdd_trace_recorded_total counter\n\
+                             hdd_trace_recorded_total 0\n\
+                             # TYPE hdd_trace_dropped_total counter\n\
+                             hdd_trace_dropped_total 0\n\
+                             # TYPE hdd_commit_latency_ns summary\n\
+                             hdd_commit_latency_ns{quantile=\"0.5\"} 0\n\
+                             hdd_commit_latency_ns{quantile=\"0.95\"} 0\n\
+                             hdd_commit_latency_ns{quantile=\"0.99\"} 0\n\
+                             hdd_commit_latency_ns_sum 0\n\
+                             hdd_commit_latency_ns_count 0\n";
+        assert!(
+            text.starts_with(expected_head),
+            "golden head drifted:\n{text}"
+        );
+        assert!(text.ends_with("# TYPE hdd_driver_offered gauge\nhdd_driver_offered 0\n"));
+        let stats = validate_prometheus(&text).expect("self-validates");
+        assert_eq!(stats.families, 1 + 2 + 5 + 15);
+    }
+
+    #[test]
+    fn prometheus_full_board_round_trips_through_validator() {
+        let board = GaugeBoard::new();
+        board.configure(2, 3);
+        board.set_class(0, 3, 1, 0);
+        board.set_wall(90, 95, 88, 12);
+        board.set_segment_wall(2, 88);
+        board.record_staleness(1, 0, 17);
+        board.record_staleness(WALL_READER, 2, 40);
+        let obs = {
+            let o = crate::Obs::new();
+            o.commit_latency.record(1_000);
+            o.commit_latency.record(2_000);
+            o.snapshot()
+        };
+        let text = prometheus_text(
+            &[("offered", 100), ("committed", 96)],
+            &obs,
+            &board.snapshot(),
+        );
+        let stats = validate_prometheus(&text).expect("validates");
+        assert!(stats.families >= 30, "{stats:?}");
+        assert!(text.contains("hdd_class_i_old{class=\"0\"} 3"));
+        assert!(text.contains("hdd_segment_wall{segment=\"2\"} 88"));
+        assert!(text
+            .contains("hdd_read_staleness_ticks{reader=\"c1\",segment=\"0\",quantile=\"0.5\"} 17"));
+        assert!(text
+            .contains("hdd_read_staleness_ticks{reader=\"wall\",segment=\"2\",quantile=\"0.99\"}"));
+        assert!(text.contains("hdd_commit_latency_ns_count 2"));
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_malformed_input() {
+        for (bad, why) in [
+            ("hdd_x 1\n", "sample before TYPE"),
+            (
+                "# TYPE hdd_x counter\n# TYPE hdd_x counter\nhdd_x 1\n",
+                "duplicate TYPE",
+            ),
+            ("# TYPE hdd_x counter\nhdd_x{l=1} 1\n", "unquoted label"),
+            ("# TYPE hdd_x counter\nhdd_x one\n", "non-numeric value"),
+            ("# TYPE hdd_x widget\nhdd_x 1\n", "unknown type"),
+            ("# TYPE hdd_x counter\nhdd_x{l=\"v\"\n", "unclosed braces"),
+            ("# TYPE 9bad counter\n", "bad family name"),
+        ] {
+            assert!(validate_prometheus(bad).is_err(), "accepted: {why}");
+        }
+        let ok = "# TYPE s summary\ns{quantile=\"0.5\"} 1\ns_sum 2\ns_count 1\n";
+        assert_eq!(
+            validate_prometheus(ok).unwrap(),
+            PromStats {
+                families: 1,
+                samples: 3
+            }
+        );
+    }
+
+    #[test]
+    fn chrome_trace_golden_minimal() {
+        let events = vec![
+            (
+                3u64,
+                TraceEvent::WallRelease {
+                    anchor: 30,
+                    released_at: 31,
+                },
+            ),
+            (5u64, TraceEvent::Backoff { nanos: 2048 }),
+        ];
+        let text = chrome_trace(&events);
+        let expected = "{\"traceEvents\":[\
+             {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"scheduler\"}},\
+             {\"name\":\"wall-release\",\"cat\":\"hdd\",\"ph\":\"i\",\"ts\":3,\
+             \"s\":\"t\",\"pid\":1,\"tid\":0,\"args\":{\"anchor\":30,\"released_at\":31}},\
+             {\"name\":\"backoff\",\"cat\":\"hdd\",\"ph\":\"X\",\"ts\":5,\
+             \"dur\":2,\"pid\":1,\"tid\":0,\"args\":{\"nanos\":2048}}\
+             ],\"displayTimeUnit\":\"ms\"}";
+        assert_eq!(text, expected);
+        assert_eq!(validate_chrome_trace(&text).unwrap(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_assigns_per_class_tracks() {
+        let events = vec![
+            (
+                0u64,
+                TraceEvent::CrossRead {
+                    txn: 1,
+                    reader_class: 2,
+                    target_class: 0,
+                    segment: 0,
+                    key: 7,
+                    m: 10,
+                    bound: 8,
+                    version: 5,
+                },
+            ),
+            (
+                1u64,
+                TraceEvent::WallRead {
+                    txn: 2,
+                    target_class: 1,
+                    segment: 1,
+                    key: 3,
+                    anchor: 20,
+                    bound: 18,
+                    version: 9,
+                },
+            ),
+            (
+                2u64,
+                TraceEvent::Reject {
+                    txn: 3,
+                    segment: 0,
+                    key: 1,
+                    reason: RejectReason::WriteTooLate,
+                },
+            ),
+            (
+                3u64,
+                TraceEvent::WatchdogAbort {
+                    txn: 5,
+                    start: 40,
+                    overdue_micros: 1500,
+                },
+            ),
+            (
+                4u64,
+                TraceEvent::CrashPoint {
+                    txn: 6,
+                    op_index: 3,
+                    fault: FaultCode::Stall,
+                },
+            ),
+        ];
+        let text = chrome_trace(&events);
+        // 3 tracks (scheduler, wall readers, class 2) + 5 events.
+        assert_eq!(validate_chrome_trace(&text).unwrap(), 8);
+        assert!(text.contains("\"name\":\"class 2 readers (protocol A)\""));
+        assert!(text.contains("\"name\":\"wall readers (protocol C)\""));
+        assert!(text.contains("\"staleness\":5")); // 10 - 5
+        assert!(text.contains("\"staleness\":9")); // 18 - 9
+        assert!(text.contains("\"ph\":\"X\",\"ts\":3,\"dur\":1500"));
+        assert!(text.contains("\"fault\":\"stall\""));
+    }
+
+    #[test]
+    fn chrome_validator_rejects_malformed_input() {
+        assert!(validate_chrome_trace("[]").is_err(), "wrong prefix");
+        assert!(
+            validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"i\"}").is_err(),
+            "unbalanced"
+        );
+        assert!(
+            validate_chrome_trace("{\"traceEvents\":[{\"pid\":1,\"ts\":0}],\"x\":0}").is_err(),
+            "event without ph"
+        );
+        // Braces inside strings must not confuse the scanner.
+        let tricky = "{\"traceEvents\":[{\"name\":\"a{b}c\",\"ph\":\"M\",\"pid\":1,\
+                      \"tid\":0,\"args\":{\"name\":\"}{\"}}],\"displayTimeUnit\":\"ms\"}";
+        assert_eq!(validate_chrome_trace(tricky).unwrap(), 1);
+        assert!(validate_chrome_trace(&chrome_trace(&[])).is_ok());
+    }
+}

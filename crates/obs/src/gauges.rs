@@ -1,0 +1,634 @@
+//! Live gauge board: the hierarchy's control state as relaxed atomics.
+//!
+//! Histograms ([`crate::hist`]) answer "how was the cost distributed
+//! over the run?"; the [`GaugeBoard`] answers "what is the scheduler
+//! doing *right now*?" — which class is dragging `I_old(m)` and pinning
+//! the time wall, how far behind `now` the wall floor sits, how deep
+//! the MV store's version chains have grown, how much GC backlog is
+//! pending. Every cell is a plain `AtomicU64` written with `Relaxed`
+//! stores from the scheduler's maintenance tick (and O(1) histogram
+//! records from the read hot path), so a dashboard thread can sample
+//! the whole board without ever contending with workers.
+//!
+//! The board has two tiers:
+//!
+//! * **global cells** — always present, writable before (or without)
+//!   [`GaugeBoard::configure`], so drivers can publish progress even
+//!   for schedulers that never dimension the board;
+//! * **dimensioned cells** — per-class, per-segment and per
+//!   (reader class, source segment) staleness histograms, allocated
+//!   once by `configure` (first caller wins; the HDD scheduler calls it
+//!   at construction with the hierarchy's shape).
+//!
+//! The headline signal is **cross-read staleness**: on every Protocol A
+//! or Protocol C read served from another class, the scheduler records
+//! `read_ts − version_ts` into the `(reader class, source segment)`
+//! cell ([`GaugeBoard::record_staleness`]). Protocol C wall readers are
+//! not a hierarchy class, so they get a synthetic reader row addressed
+//! by [`WALL_READER`]. Staleness is strictly positive by Protocol A/C
+//! correctness: the served version is below the reader's bound, and the
+//! bound never exceeds the reader's start timestamp (DESIGN.md §10).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::hist::{Histogram, HistogramSnapshot};
+
+/// Synthetic reader row for Protocol C (time-wall) readers, which are
+/// ad-hoc read-only transactions outside every hierarchy class.
+pub const WALL_READER: u32 = u32::MAX;
+
+/// Dimensioned (per-class / per-segment) cells, allocated once.
+#[derive(Debug)]
+struct Dims {
+    n_classes: u32,
+    n_segments: u32,
+    /// `I_old(now)` per class — the oldest-running interval count that
+    /// feeds Protocol A bounds.
+    i_old: Vec<AtomicU64>,
+    /// Running (unfinished) registered transactions per class.
+    active: Vec<AtomicU64>,
+    /// Registry settled-cursor lag per class: intervals not yet behind
+    /// the settled prefix (a scan-cost leading indicator).
+    settled_lag: Vec<AtomicU64>,
+    /// Latest released time-wall component per class.
+    wall_component: Vec<AtomicU64>,
+    /// Latest released wall timestamp per *segment* (its class's
+    /// component).
+    segment_wall: Vec<AtomicU64>,
+    /// Staleness histograms, `(n_classes + 1) × n_segments`; the last
+    /// row is the [`WALL_READER`] row.
+    staleness: Vec<Histogram>,
+}
+
+impl Dims {
+    #[inline]
+    fn staleness_index(&self, reader: u32, segment: u32) -> Option<usize> {
+        let row = if reader == WALL_READER {
+            self.n_classes
+        } else if reader < self.n_classes {
+            reader
+        } else {
+            return None;
+        };
+        if segment >= self.n_segments {
+            return None;
+        }
+        Some((row as usize) * (self.n_segments as usize) + segment as usize)
+    }
+}
+
+/// The live gauge board (see module docs).
+///
+/// All writes are `Relaxed` stores/`fetch_add`s; readers get a
+/// tear-free value per cell but no cross-cell consistency — exactly
+/// what a ~4 Hz dashboard needs and nothing a proof should lean on.
+#[derive(Debug, Default)]
+pub struct GaugeBoard {
+    // --- global cells (always available) ---
+    clock_now: AtomicU64,
+    wall_anchor: AtomicU64,
+    wall_released_at: AtomicU64,
+    wall_floor: AtomicU64,
+    wall_lag: AtomicU64,
+    active_txns: AtomicU64,
+    registry_intervals: AtomicU64,
+    registry_settled_lag: AtomicU64,
+    store_versions: AtomicU64,
+    store_granules: AtomicU64,
+    store_max_chain: AtomicU64,
+    gc_watermark: AtomicU64,
+    gc_backlog: AtomicU64,
+    driver_claimed: AtomicU64,
+    driver_offered: AtomicU64,
+    // --- dimensioned cells ---
+    dims: OnceLock<Dims>,
+}
+
+impl GaugeBoard {
+    /// A fresh, undimensioned board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate the per-class / per-segment cells. Idempotent and
+    /// first-wins: a second call (e.g. a rebuilt scheduler sharing the
+    /// same `Metrics`) is a no-op even with different dimensions, so
+    /// histogram references can never dangle.
+    pub fn configure(&self, n_classes: u32, n_segments: u32) {
+        let _ = self.dims.get_or_init(|| Dims {
+            n_classes,
+            n_segments,
+            i_old: (0..n_classes).map(|_| AtomicU64::new(0)).collect(),
+            active: (0..n_classes).map(|_| AtomicU64::new(0)).collect(),
+            settled_lag: (0..n_classes).map(|_| AtomicU64::new(0)).collect(),
+            wall_component: (0..n_classes).map(|_| AtomicU64::new(0)).collect(),
+            segment_wall: (0..n_segments).map(|_| AtomicU64::new(0)).collect(),
+            staleness: (0..(n_classes as usize + 1) * n_segments as usize)
+                .map(|_| Histogram::new())
+                .collect(),
+        });
+    }
+
+    /// True once [`GaugeBoard::configure`] has run.
+    pub fn is_configured(&self) -> bool {
+        self.dims.get().is_some()
+    }
+
+    /// Record one cross-read staleness sample (`read_ts − version_ts`
+    /// in clock ticks) for `(reader, segment)`; `reader` is a class
+    /// index or [`WALL_READER`]. O(1): one bucket `fetch_add` plus the
+    /// histogram summary cells, all relaxed. Out-of-range coordinates
+    /// and an unconfigured board drop the sample silently — gauges are
+    /// diagnostics, never control flow.
+    #[inline]
+    pub fn record_staleness(&self, reader: u32, segment: u32, staleness: u64) {
+        if let Some(d) = self.dims.get() {
+            if let Some(i) = d.staleness_index(reader, segment) {
+                d.staleness[i].record(staleness);
+            }
+        }
+    }
+
+    /// Publish the scheduler clock.
+    #[inline]
+    pub fn set_clock(&self, now: u64) {
+        self.clock_now.store(now, Ordering::Relaxed);
+    }
+
+    /// Publish the latest released time wall: anchor timestamp, release
+    /// tick, floor (min component) and wall lag (`now − floor`).
+    #[inline]
+    pub fn set_wall(&self, anchor: u64, released_at: u64, floor: u64, lag: u64) {
+        self.wall_anchor.store(anchor, Ordering::Relaxed);
+        self.wall_released_at.store(released_at, Ordering::Relaxed);
+        self.wall_floor.store(floor, Ordering::Relaxed);
+        self.wall_lag.store(lag, Ordering::Relaxed);
+    }
+
+    /// Publish one class's live signals.
+    #[inline]
+    pub fn set_class(&self, class: u32, i_old: u64, active: u64, settled_lag: u64) {
+        if let Some(d) = self.dims.get() {
+            if let Some(i) = usize::try_from(class).ok().filter(|&i| i < d.i_old.len()) {
+                d.i_old[i].store(i_old, Ordering::Relaxed);
+                d.active[i].store(active, Ordering::Relaxed);
+                d.settled_lag[i].store(settled_lag, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Publish one class's latest released wall component.
+    #[inline]
+    pub fn set_wall_component(&self, class: u32, ts: u64) {
+        if let Some(d) = self.dims.get() {
+            if let Some(c) = d.wall_component.get(class as usize) {
+                c.store(ts, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Publish one segment's latest released wall timestamp.
+    #[inline]
+    pub fn set_segment_wall(&self, segment: u32, ts: u64) {
+        if let Some(d) = self.dims.get() {
+            if let Some(c) = d.segment_wall.get(segment as usize) {
+                c.store(ts, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Publish registry totals: running transactions, live intervals,
+    /// total settled-cursor lag.
+    #[inline]
+    pub fn set_activity(&self, active: u64, intervals: u64, settled_lag: u64) {
+        self.active_txns.store(active, Ordering::Relaxed);
+        self.registry_intervals.store(intervals, Ordering::Relaxed);
+        self.registry_settled_lag
+            .store(settled_lag, Ordering::Relaxed);
+    }
+
+    /// Publish MV-store shape: live versions, granules, deepest version
+    /// chain, and GC backlog (versions above one-per-granule).
+    #[inline]
+    pub fn set_store(&self, versions: u64, granules: u64, max_chain: u64, backlog: u64) {
+        self.store_versions.store(versions, Ordering::Relaxed);
+        self.store_granules.store(granules, Ordering::Relaxed);
+        self.store_max_chain.store(max_chain, Ordering::Relaxed);
+        self.gc_backlog.store(backlog, Ordering::Relaxed);
+    }
+
+    /// Publish the last GC prune watermark.
+    #[inline]
+    pub fn set_gc_watermark(&self, watermark: u64) {
+        self.gc_watermark.store(watermark, Ordering::Relaxed);
+    }
+
+    /// Publish driver progress: programs claimed out of programs
+    /// offered (works on an unconfigured board, for baselines).
+    #[inline]
+    pub fn set_driver_progress(&self, claimed: u64, offered: u64) {
+        self.driver_claimed.store(claimed, Ordering::Relaxed);
+        self.driver_offered.store(offered, Ordering::Relaxed);
+    }
+
+    /// Copy the whole board. Staleness cells are included only when
+    /// non-empty (most (reader, segment) pairs never cross-read).
+    pub fn snapshot(&self) -> GaugeSnapshot {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut snap = GaugeSnapshot {
+            configured: false,
+            n_classes: 0,
+            n_segments: 0,
+            clock_now: g(&self.clock_now),
+            wall_anchor: g(&self.wall_anchor),
+            wall_released_at: g(&self.wall_released_at),
+            wall_floor: g(&self.wall_floor),
+            wall_lag: g(&self.wall_lag),
+            active_txns: g(&self.active_txns),
+            registry_intervals: g(&self.registry_intervals),
+            registry_settled_lag: g(&self.registry_settled_lag),
+            store_versions: g(&self.store_versions),
+            store_granules: g(&self.store_granules),
+            store_max_chain: g(&self.store_max_chain),
+            gc_watermark: g(&self.gc_watermark),
+            gc_backlog: g(&self.gc_backlog),
+            driver_claimed: g(&self.driver_claimed),
+            driver_offered: g(&self.driver_offered),
+            classes: Vec::new(),
+            segment_walls: Vec::new(),
+            staleness: Vec::new(),
+        };
+        if let Some(d) = self.dims.get() {
+            snap.configured = true;
+            snap.n_classes = d.n_classes;
+            snap.n_segments = d.n_segments;
+            snap.classes = (0..d.n_classes as usize)
+                .map(|i| ClassGauges {
+                    class: i as u32,
+                    i_old: g(&d.i_old[i]),
+                    active: g(&d.active[i]),
+                    settled_lag: g(&d.settled_lag[i]),
+                    wall_component: g(&d.wall_component[i]),
+                })
+                .collect();
+            snap.segment_walls = d.segment_wall.iter().map(g).collect();
+            for row in 0..=d.n_classes {
+                for seg in 0..d.n_segments {
+                    let h = &d.staleness[(row as usize) * (d.n_segments as usize) + seg as usize];
+                    if h.count() > 0 {
+                        snap.staleness.push(StalenessCell {
+                            reader: if row == d.n_classes { WALL_READER } else { row },
+                            segment: seg,
+                            hist: h.snapshot(),
+                        });
+                    }
+                }
+            }
+        }
+        snap
+    }
+
+    /// Zero every cell (staleness histograms included); the board stays
+    /// configured.
+    pub fn reset(&self) {
+        for c in [
+            &self.clock_now,
+            &self.wall_anchor,
+            &self.wall_released_at,
+            &self.wall_floor,
+            &self.wall_lag,
+            &self.active_txns,
+            &self.registry_intervals,
+            &self.registry_settled_lag,
+            &self.store_versions,
+            &self.store_granules,
+            &self.store_max_chain,
+            &self.gc_watermark,
+            &self.gc_backlog,
+            &self.driver_claimed,
+            &self.driver_offered,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+        if let Some(d) = self.dims.get() {
+            for v in [&d.i_old, &d.active, &d.settled_lag, &d.wall_component] {
+                for c in v {
+                    c.store(0, Ordering::Relaxed);
+                }
+            }
+            for c in &d.segment_wall {
+                c.store(0, Ordering::Relaxed);
+            }
+            for h in &d.staleness {
+                h.reset();
+            }
+        }
+    }
+}
+
+/// One class's row in a [`GaugeSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassGauges {
+    /// Class index.
+    pub class: u32,
+    /// `I_old(now)` — intervals at or before the oldest running start.
+    pub i_old: u64,
+    /// Running registered transactions.
+    pub active: u64,
+    /// Intervals not yet behind the settled cursor.
+    pub settled_lag: u64,
+    /// Latest released wall component for this class.
+    pub wall_component: u64,
+}
+
+/// One non-empty (reader, source segment) staleness cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StalenessCell {
+    /// Reader class index, or [`WALL_READER`] for Protocol C readers.
+    pub reader: u32,
+    /// Source segment index.
+    pub segment: u32,
+    /// Distribution of `read_ts − version_ts` in clock ticks.
+    pub hist: HistogramSnapshot,
+}
+
+impl StalenessCell {
+    /// Human/exporter label for the reader row (`"c3"` or `"wall"`).
+    pub fn reader_label(&self) -> String {
+        if self.reader == WALL_READER {
+            "wall".to_string()
+        } else {
+            format!("c{}", self.reader)
+        }
+    }
+}
+
+/// A point-in-time copy of the whole [`GaugeBoard`].
+#[derive(Debug, Clone, Default)]
+pub struct GaugeSnapshot {
+    /// Whether the dimensioned cells were allocated.
+    pub configured: bool,
+    /// Hierarchy class count (0 when unconfigured).
+    pub n_classes: u32,
+    /// Segment count (0 when unconfigured).
+    pub n_segments: u32,
+    /// Scheduler clock at the last maintenance refresh.
+    pub clock_now: u64,
+    /// Latest released wall's anchor timestamp.
+    pub wall_anchor: u64,
+    /// Tick at which the latest wall was released.
+    pub wall_released_at: u64,
+    /// Minimum wall component (the conservative read floor).
+    pub wall_floor: u64,
+    /// `clock_now − wall_floor`: how stale the freshest conservative
+    /// wall read would be.
+    pub wall_lag: u64,
+    /// Running registered transactions, all classes.
+    pub active_txns: u64,
+    /// Live activity-registry intervals, all classes.
+    pub registry_intervals: u64,
+    /// Total settled-cursor lag, all classes.
+    pub registry_settled_lag: u64,
+    /// Live versions in the MV store.
+    pub store_versions: u64,
+    /// Granules in the MV store.
+    pub store_granules: u64,
+    /// Deepest version chain.
+    pub store_max_chain: u64,
+    /// Last GC prune watermark.
+    pub gc_watermark: u64,
+    /// Versions above one-per-granule (reclaimable upper bound).
+    pub gc_backlog: u64,
+    /// Programs claimed by driver workers.
+    pub driver_claimed: u64,
+    /// Programs offered to the driver.
+    pub driver_offered: u64,
+    /// Per-class rows (empty when unconfigured).
+    pub classes: Vec<ClassGauges>,
+    /// Latest wall timestamp per segment (empty when unconfigured).
+    pub segment_walls: Vec<u64>,
+    /// Non-empty staleness cells.
+    pub staleness: Vec<StalenessCell>,
+}
+
+impl GaugeSnapshot {
+    /// Interval view against an `earlier` snapshot of the same board:
+    /// instantaneous gauges keep their current values (they are levels,
+    /// not counters), while each staleness cell becomes the saturating
+    /// [`HistogramSnapshot::delta`] of its counterpart — cells absent
+    /// from `earlier` pass through unchanged, and cells whose delta is
+    /// empty are dropped. Like `MetricsSnapshot::delta`, this never
+    /// wraps across a reset/resume.
+    pub fn delta(&self, earlier: &GaugeSnapshot) -> GaugeSnapshot {
+        let mut d = self.clone();
+        d.staleness = self
+            .staleness
+            .iter()
+            .filter_map(|cell| {
+                let prev = earlier
+                    .staleness
+                    .iter()
+                    .find(|p| p.reader == cell.reader && p.segment == cell.segment);
+                let hist = match prev {
+                    Some(p) => cell.hist.delta(&p.hist),
+                    None => cell.hist.clone(),
+                };
+                (!hist.is_empty()).then_some(StalenessCell {
+                    reader: cell.reader,
+                    segment: cell.segment,
+                    hist,
+                })
+            })
+            .collect();
+        d
+    }
+
+    /// The staleness cell for `(reader, segment)` if it recorded
+    /// anything.
+    pub fn staleness_for(&self, reader: u32, segment: u32) -> Option<&StalenessCell> {
+        self.staleness
+            .iter()
+            .find(|c| c.reader == reader && c.segment == segment)
+    }
+
+    /// Hand-rolled JSON object (no serde in the offline build).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!(
+            "\"configured\": {}, \"n_classes\": {}, \"n_segments\": {}, \
+             \"clock_now\": {}, \"wall_anchor\": {}, \"wall_released_at\": {}, \
+             \"wall_floor\": {}, \"wall_lag\": {}, \"active_txns\": {}, \
+             \"registry_intervals\": {}, \"registry_settled_lag\": {}, \
+             \"store_versions\": {}, \"store_granules\": {}, \"store_max_chain\": {}, \
+             \"gc_watermark\": {}, \"gc_backlog\": {}, \"driver_claimed\": {}, \
+             \"driver_offered\": {}",
+            self.configured,
+            self.n_classes,
+            self.n_segments,
+            self.clock_now,
+            self.wall_anchor,
+            self.wall_released_at,
+            self.wall_floor,
+            self.wall_lag,
+            self.active_txns,
+            self.registry_intervals,
+            self.registry_settled_lag,
+            self.store_versions,
+            self.store_granules,
+            self.store_max_chain,
+            self.gc_watermark,
+            self.gc_backlog,
+            self.driver_claimed,
+            self.driver_offered,
+        ));
+        s.push_str(", \"classes\": [");
+        for (i, c) in self.classes.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"class\": {}, \"i_old\": {}, \"active\": {}, \"settled_lag\": {}, \
+                 \"wall_component\": {}}}",
+                c.class, c.i_old, c.active, c.settled_lag, c.wall_component
+            ));
+        }
+        s.push_str("], \"segment_walls\": [");
+        for (i, w) in self.segment_walls.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&w.to_string());
+        }
+        s.push_str("], \"staleness\": [");
+        for (i, cell) in self.staleness.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"reader\": \"{}\", \"segment\": {}, \"hist\": {}}}",
+                cell.reader_label(),
+                cell.segment,
+                cell.hist.to_json()
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconfigured_board_accepts_globals_and_drops_staleness() {
+        let g = GaugeBoard::new();
+        g.set_driver_progress(3, 10);
+        g.set_clock(42);
+        g.record_staleness(0, 0, 7); // silently dropped
+        let s = g.snapshot();
+        assert!(!s.configured);
+        assert_eq!(s.driver_claimed, 3);
+        assert_eq!(s.driver_offered, 10);
+        assert_eq!(s.clock_now, 42);
+        assert!(s.staleness.is_empty());
+        assert!(s.classes.is_empty());
+    }
+
+    #[test]
+    fn configure_is_first_wins_and_idempotent() {
+        let g = GaugeBoard::new();
+        g.configure(2, 3);
+        g.configure(9, 9); // no-op
+        let s = g.snapshot();
+        assert!(s.configured);
+        assert_eq!(s.n_classes, 2);
+        assert_eq!(s.n_segments, 3);
+        assert_eq!(s.classes.len(), 2);
+        assert_eq!(s.segment_walls.len(), 3);
+    }
+
+    #[test]
+    fn staleness_rows_are_keyed_by_reader_and_segment() {
+        let g = GaugeBoard::new();
+        g.configure(2, 3);
+        g.record_staleness(1, 2, 10);
+        g.record_staleness(1, 2, 20);
+        g.record_staleness(WALL_READER, 0, 5);
+        g.record_staleness(7, 0, 99); // out-of-range class: dropped
+        g.record_staleness(0, 9, 99); // out-of-range segment: dropped
+        let s = g.snapshot();
+        assert_eq!(s.staleness.len(), 2);
+        let a = s.staleness_for(1, 2).expect("class cell");
+        assert_eq!(a.hist.count, 2);
+        assert_eq!(a.hist.min, 10);
+        assert_eq!(a.reader_label(), "c1");
+        let w = s.staleness_for(WALL_READER, 0).expect("wall cell");
+        assert_eq!(w.hist.count, 1);
+        assert_eq!(w.reader_label(), "wall");
+        assert!(s.staleness_for(0, 0).is_none(), "empty cells are omitted");
+    }
+
+    #[test]
+    fn class_and_wall_setters_round_trip() {
+        let g = GaugeBoard::new();
+        g.configure(2, 2);
+        g.set_class(0, 4, 2, 1);
+        g.set_class(1, 7, 3, 0);
+        g.set_class(9, 1, 1, 1); // out of range: dropped
+        g.set_wall(100, 110, 95, 15);
+        g.set_wall_component(0, 95);
+        g.set_wall_component(1, 102);
+        g.set_segment_wall(0, 95);
+        g.set_segment_wall(1, 102);
+        g.set_activity(5, 12, 1);
+        g.set_store(40, 32, 4, 8);
+        g.set_gc_watermark(90);
+        let s = g.snapshot();
+        assert_eq!(s.classes[0].i_old, 4);
+        assert_eq!(s.classes[1].active, 3);
+        assert_eq!(s.wall_floor, 95);
+        assert_eq!(s.wall_lag, 15);
+        assert_eq!(s.classes[1].wall_component, 102);
+        assert_eq!(s.segment_walls, vec![95, 102]);
+        assert_eq!(s.active_txns, 5);
+        assert_eq!(s.store_max_chain, 4);
+        assert_eq!(s.gc_backlog, 8);
+        assert_eq!(s.gc_watermark, 90);
+        let json = s.to_json();
+        assert!(json.contains("\"wall_floor\": 95"));
+        assert!(json.contains("\"segment_walls\": [95, 102]"));
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_staleness_and_keeps_levels() {
+        let g = GaugeBoard::new();
+        g.configure(1, 2);
+        g.record_staleness(0, 0, 10);
+        g.record_staleness(0, 1, 30);
+        let before = g.snapshot();
+        g.record_staleness(0, 0, 20);
+        g.set_wall(50, 55, 48, 7);
+        let d = g.snapshot().delta(&before);
+        assert_eq!(d.wall_lag, 7, "levels pass through");
+        let cell = d.staleness_for(0, 0).expect("delta cell");
+        assert_eq!(cell.hist.count, 1, "only the new sample");
+        assert!(d.staleness_for(0, 1).is_none(), "unchanged cell dropped");
+    }
+
+    #[test]
+    fn reset_clears_cells_but_keeps_configuration() {
+        let g = GaugeBoard::new();
+        g.configure(1, 1);
+        g.record_staleness(0, 0, 10);
+        g.set_wall(5, 6, 4, 1);
+        g.set_driver_progress(9, 9);
+        g.reset();
+        let s = g.snapshot();
+        assert!(s.configured, "configuration survives reset");
+        assert_eq!(s.wall_floor, 0);
+        assert_eq!(s.driver_claimed, 0);
+        assert!(s.staleness.is_empty());
+    }
+}

@@ -85,6 +85,12 @@ impl Histogram {
     }
 
     /// Record one value.
+    ///
+    /// Contract: the full `u64` domain is accepted — [`u64::MAX`] lands
+    /// in the last bucket (`N_BUCKETS - 1`) and is reported exactly by
+    /// `max`. `sum` is a modular accumulator (wraps at `2^64`), so only
+    /// `mean` degrades for pathological totals; counts, quantiles and
+    /// extrema stay exact.
     #[inline]
     pub fn record(&self, v: u64) {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
@@ -160,6 +166,13 @@ impl Default for HistogramSnapshot {
 impl HistogramSnapshot {
     /// Fold another snapshot into this one. Merging is commutative and
     /// associative (bucket-wise addition, min/max of extrema).
+    ///
+    /// Contract: snapshots with **disjoint** populated buckets merge
+    /// losslessly — every bucket count, `count`, `min` and `max` are
+    /// exactly what one histogram fed both value streams would hold.
+    /// `sum` is modular: it wraps at `2^64` for pathological totals
+    /// (e.g. many [`u64::MAX`] values), so `mean` is only meaningful
+    /// while the true total fits in a `u64`.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
@@ -173,6 +186,44 @@ impl HistogramSnapshot {
     /// True when nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
+    }
+
+    /// Interval view: the values recorded *after* `earlier` was taken,
+    /// assuming both are snapshots of the same histogram's life.
+    ///
+    /// Contract (what `hdd-top` relies on to never print wrapped
+    /// `u64`s): every subtraction **saturates**. If the histogram was
+    /// reset between the two snapshots — a crash/recovery resume, or an
+    /// explicit `Obs::reset` — some buckets in `self` are *smaller*
+    /// than in `earlier`; those clamp to zero instead of wrapping, so
+    /// the delta degrades to "what this incarnation recorded" rather
+    /// than garbage. `count` is re-derived from the delta buckets (the
+    /// stored counts may disagree across a reset), and `min`/`max` are
+    /// re-derived at bucket resolution from the surviving delta buckets
+    /// (the exact interval extrema are not recoverable from two
+    /// endpoint snapshots); an empty delta reports the canonical empty
+    /// extrema (`min == u64::MAX`, `max == 0`).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(&earlier.buckets)
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let first = buckets.iter().position(|&c| c > 0);
+        let last = buckets.iter().rposition(|&c| c > 0);
+        HistogramSnapshot {
+            count,
+            sum: if count == 0 {
+                0
+            } else {
+                self.sum.saturating_sub(earlier.sum)
+            },
+            min: first.map_or(u64::MAX, bucket_low),
+            max: last.map_or(0, |i| bucket_high(i).min(self.max)),
+            buckets,
+        }
     }
 
     /// Mean of recorded values (0.0 when empty).
@@ -374,6 +425,111 @@ mod tests {
             assert_eq!(ab_c, c_ba);
             assert_eq!(ab_c.count, 150);
         }
+    }
+
+    #[test]
+    fn quantile_on_empty_histogram_is_zero_for_all_q() {
+        let s = Histogram::new().snapshot();
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p95(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.min, u64::MAX, "canonical empty min");
+        assert_eq!(s.max, 0, "canonical empty max");
+    }
+
+    #[test]
+    fn merge_of_disjoint_buckets_is_lossless() {
+        // Low values and high values land in provably different
+        // buckets; merging the two snapshots must equal one histogram
+        // that saw both streams, bucket for bucket.
+        let low = Histogram::new();
+        for v in [1u64, 2, 3, 7] {
+            low.record(v);
+        }
+        let high = Histogram::new();
+        for v in [1 << 20, (1 << 20) + 5, 1 << 30] {
+            high.record(v);
+        }
+        let both = Histogram::new();
+        for v in [1u64, 2, 3, 7, 1 << 20, (1 << 20) + 5, 1 << 30] {
+            both.record(v);
+        }
+        let (ls, hs) = (low.snapshot(), high.snapshot());
+        for (i, &c) in ls.buckets.iter().enumerate() {
+            assert!(c == 0 || hs.buckets[i] == 0, "buckets overlap at {i}");
+        }
+        let mut merged = ls.clone();
+        merged.merge(&hs);
+        assert_eq!(merged, both.snapshot());
+        assert_eq!(merged.count, 7);
+        assert_eq!(merged.min, 1);
+        assert_eq!(merged.max, 1 << 30);
+    }
+
+    #[test]
+    fn max_value_recording_lands_in_last_bucket() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets[N_BUCKETS - 1], 2);
+        assert_eq!(s.quantile(1.0), u64::MAX);
+        // `sum` is modular by contract: MAX + (MAX-1) + 0 wraps.
+        assert_eq!(s.sum, u64::MAX.wrapping_add(u64::MAX - 1));
+    }
+
+    #[test]
+    fn delta_is_the_interval_view() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let before = h.snapshot();
+        for v in [100u64, 200] {
+            h.record(v);
+        }
+        let d = h.snapshot().delta(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 300);
+        // Bucket-resolution extrema bracket the true interval extrema.
+        assert!(d.min <= 100 && 100 <= bucket_high(bucket_index(d.min)));
+        assert_eq!(d.max, 200, "clamped to the lifetime max");
+        assert!(d.quantile(0.5) >= 100);
+    }
+
+    #[test]
+    fn delta_saturates_across_reset_instead_of_wrapping() {
+        // A recovery/resume resets the histogram mid-interval; the
+        // delta against the pre-reset snapshot must clamp, not wrap.
+        let h = Histogram::new();
+        for v in [5u64, 6, 7, 8, 9, 1000] {
+            h.record(v);
+        }
+        let before = h.snapshot();
+        h.reset();
+        h.record(42);
+        let d = h.snapshot().delta(&before);
+        assert_eq!(d.count, 1, "only the post-reset value survives");
+        assert!(d.sum <= 42, "sum clamps to the new incarnation");
+        assert!(d.min <= 42 && d.max >= 42 && d.max < 1000);
+        for &c in &d.buckets {
+            assert!(c <= 1, "no wrapped bucket counts");
+        }
+        // Fully-empty delta (snapshot taken right after reset).
+        h.reset();
+        let empty = h.snapshot().delta(&before);
+        assert!(empty.is_empty());
+        assert_eq!(empty.min, u64::MAX);
+        assert_eq!(empty.max, 0);
+        assert_eq!(empty.sum, 0);
+        assert_eq!(empty.quantile(0.99), 0);
     }
 
     #[test]

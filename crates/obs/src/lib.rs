@@ -24,10 +24,14 @@
 
 #![warn(missing_docs)]
 
+pub mod export;
+pub mod gauges;
 pub mod hist;
 pub mod recorder;
 pub mod trace;
 
+pub use export::{chrome_trace, prometheus_text, validate_chrome_trace, validate_prometheus};
+pub use gauges::{ClassGauges, GaugeBoard, GaugeSnapshot, StalenessCell, WALL_READER};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use recorder::LatencyRecorder;
 pub use trace::{FaultCode, RejectReason, TraceEvent, TraceRing};
@@ -60,6 +64,10 @@ pub struct Obs {
     pub registry_scan: LatencyRecorder,
     /// Structured protocol decision events.
     pub trace: TraceRing,
+    /// Live gauge board: time-wall/staleness/registry/store levels,
+    /// refreshed by the scheduler's maintenance tick (see
+    /// [`gauges::GaugeBoard`]).
+    pub gauges: GaugeBoard,
 }
 
 impl Obs {
@@ -102,8 +110,8 @@ impl Obs {
         }
     }
 
-    /// Clear every histogram and the trace ring (the enable flag is
-    /// left as-is).
+    /// Clear every histogram, the trace ring and the gauge board (the
+    /// enable flag and the board's configuration are left as-is).
     pub fn reset(&self) {
         self.commit_latency.reset();
         self.op_service.reset();
@@ -111,6 +119,7 @@ impl Obs {
         self.backoff_sleep.reset();
         self.registry_scan.reset();
         self.trace.reset();
+        self.gauges.reset();
     }
 }
 
@@ -134,6 +143,24 @@ pub struct ObsSnapshot {
 }
 
 impl ObsSnapshot {
+    /// Interval view against an `earlier` snapshot of the same sidecar:
+    /// each histogram becomes its saturating
+    /// [`HistogramSnapshot::delta`] and the trace counters subtract
+    /// saturating, so a reset (or crash/recovery resume) between the
+    /// snapshots clamps to zero instead of wrapping — the same contract
+    /// as `MetricsSnapshot::delta`.
+    pub fn delta(&self, earlier: &ObsSnapshot) -> ObsSnapshot {
+        ObsSnapshot {
+            commit_latency: self.commit_latency.delta(&earlier.commit_latency),
+            op_service: self.op_service.delta(&earlier.op_service),
+            block_wait: self.block_wait.delta(&earlier.block_wait),
+            backoff_sleep: self.backoff_sleep.delta(&earlier.backoff_sleep),
+            registry_scan: self.registry_scan.delta(&earlier.registry_scan),
+            trace_recorded: self.trace_recorded.saturating_sub(earlier.trace_recorded),
+            trace_dropped: self.trace_dropped.saturating_sub(earlier.trace_dropped),
+        }
+    }
+
     /// Hand-rolled JSON object over every dimension (no serde in the
     /// offline build).
     pub fn to_json(&self) -> String {
@@ -169,6 +196,34 @@ mod tests {
         o.set_enabled(false);
         o.emit(TraceEvent::Backoff { nanos: 1 });
         assert_eq!(o.trace.recorded(), 1);
+    }
+
+    #[test]
+    fn obs_delta_saturates_across_reset() {
+        let o = Obs::new();
+        o.set_enabled(true);
+        o.commit_latency.record(100);
+        o.emit(TraceEvent::Backoff { nanos: 1 });
+        let before = o.snapshot();
+        o.reset(); // recovery/resume mid-interval
+        o.commit_latency.record(50);
+        let d = o.snapshot().delta(&before);
+        assert_eq!(d.commit_latency.count, 1);
+        assert_eq!(d.trace_recorded, 0, "clamped, not wrapped");
+        assert_eq!(d.trace_dropped, 0);
+    }
+
+    #[test]
+    fn reset_clears_the_gauge_board_too() {
+        let o = Obs::new();
+        o.gauges.configure(1, 1);
+        o.gauges.record_staleness(0, 0, 5);
+        o.gauges.set_driver_progress(3, 4);
+        o.reset();
+        let g = o.gauges.snapshot();
+        assert!(g.configured);
+        assert!(g.staleness.is_empty());
+        assert_eq!(g.driver_claimed, 0);
     }
 
     #[test]

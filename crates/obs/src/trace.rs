@@ -482,6 +482,79 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_drain_is_monotone_and_untorn_under_8_threads() {
+        // Overfill every stripe (8 threads × 3000 events into 256-slot
+        // stripes), then drain: tickets must be strictly ascending with
+        // no duplicates (no torn/double-counted events), every payload
+        // must be internally consistent (thread tag and sequence agree
+        // — a torn read would mix them), and the eviction arithmetic
+        // must balance exactly.
+        const PER_THREAD: u64 = 3000;
+        const THREADS: u64 = 8;
+        let ring = TraceRing::with_capacity(256);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Payload encodes (thread, seq) redundantly in
+                        // two fields so a torn event is detectable.
+                        ring.push(TraceEvent::WatchdogAbort {
+                            txn: t * PER_THREAD + i,
+                            start: t,
+                            overdue_micros: i,
+                        });
+                    }
+                });
+            }
+        });
+        let recorded = ring.recorded();
+        let dropped = ring.dropped();
+        assert_eq!(recorded, THREADS * PER_THREAD);
+        assert!(dropped > 0, "test must actually wrap");
+        let drained = ring.drain();
+        assert_eq!(
+            drained.len() as u64 + dropped,
+            recorded,
+            "every event is either retained or counted dropped"
+        );
+        let mut seen = std::collections::HashSet::new();
+        let mut prev: Option<u64> = None;
+        for (ticket, ev) in &drained {
+            assert!(*ticket < recorded, "ticket out of range");
+            assert!(seen.insert(*ticket), "duplicate ticket {ticket}");
+            if let Some(p) = prev {
+                assert!(p < *ticket, "not strictly ascending at {ticket}");
+            }
+            prev = Some(*ticket);
+            match ev {
+                TraceEvent::WatchdogAbort {
+                    txn,
+                    start,
+                    overdue_micros,
+                } => {
+                    assert_eq!(
+                        *txn,
+                        start * PER_THREAD + overdue_micros,
+                        "torn event payload"
+                    );
+                    assert!(*start < THREADS && *overdue_micros < PER_THREAD);
+                }
+                other => panic!("foreign event {other:?}"),
+            }
+        }
+        // The ring retains at most STRIPES × capacity events, and keeps
+        // a *fresh* window: the newest retained ticket must come from
+        // the final stretch of the run (stripe eviction is pop-front).
+        assert!(drained.len() <= 8 * 256);
+        let newest = drained.last().expect("ring not empty").0;
+        assert!(
+            newest + (8 * 256) >= recorded,
+            "newest retained ticket {newest} is stale (recorded {recorded})"
+        );
+    }
+
+    #[test]
     fn display_renders_every_kind() {
         let evs = [
             TraceEvent::CrossRead {

@@ -19,6 +19,16 @@
 //!     # quick E16 chaos soak: injected crashes/stalls/torn logs must
 //!     # all certify clean, every corpse reaped, no timestamp reuse
 //!     # after recovery; exits 1 on any violation
+//! cargo run --release -p sim --bin experiments -- e17      # E17 only,
+//!                                                          # emits BENCH_e17.json
+//! cargo run --release -p sim --bin experiments -- e17 --e17-json out.json
+//! cargo run --release -p sim --bin experiments -- export-smoke
+//!     # short obs-enabled run + quick E17; the generated Prometheus
+//!     # exposition and Chrome trace must pass the in-repo validators
+//!     # and carry staleness summaries; exits 1 on any failure
+//! cargo run --release -p sim --bin experiments -- bench-gate
+//!     # throughput floors: obs-disabled hdd 8w vs BENCH_hotpath.json
+//!     # (>90%) and obs-enabled hdd 8w vs BENCH_obs.json (>50%)
 //! ```
 
 use certify::certifier::{attach_trace, certify_log};
@@ -27,6 +37,7 @@ use sim::concurrent::{run_concurrent, ConcurrentConfig};
 use sim::experiments::e02_inventory::batch;
 use sim::factory::{build_scheduler, SchedulerKind};
 use sim::scripts::run_script;
+use txn_model::Scheduler;
 use workloads::anomalies::{lost_update_script, AnomalyWorkload};
 use workloads::banking::Banking;
 use workloads::inventory::{Inventory, InventoryConfig};
@@ -92,6 +103,171 @@ fn obs_smoke() -> i32 {
             );
             0
         }
+    }
+}
+
+/// Best-of-3 hdd 8-worker throughput with obs *enabled* (gauge board
+/// configured and live), compared against the recorded `BENCH_obs.json`
+/// baseline. The enabled path pays for histograms, tracing and the
+/// maintenance-tick gauge refresh, and is noisier than the disabled
+/// path, so the floor is a coarse 50% — it catches an accidental O(n)
+/// regression on the instrumented path, not percent-level drift.
+/// Returns the process exit code.
+fn obs_enabled_gate() -> i32 {
+    let n_txns = 20_000;
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let (w, programs) = batch(n_txns, 0x00F1_7011);
+        let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+        let cfg = ConcurrentConfig {
+            workers: 8,
+            obs: true,
+            verify: false,
+            capture_log: false,
+            ..ConcurrentConfig::default()
+        };
+        let out = run_concurrent(sched.as_ref(), programs, &cfg);
+        assert!(
+            sched.metrics().obs.gauges.snapshot().configured,
+            "hdd must dimension the gauge board at construction"
+        );
+        best = best.max(out.throughput);
+    }
+    match recorded_hdd_8w_baseline("BENCH_obs.json") {
+        Some(baseline) => {
+            let floor = baseline * 0.5;
+            println!(
+                "bench-gate: hdd 8-worker obs-enabled best-of-3 = {best:.1} commits/sec \
+                 (baseline {baseline:.1}, floor {floor:.1})"
+            );
+            if best < floor {
+                eprintln!("bench-gate: FAIL — obs-enabled throughput regressed >50%");
+                1
+            } else {
+                println!("bench-gate: obs-enabled OK");
+                0
+            }
+        }
+        None => {
+            println!(
+                "bench-gate: no BENCH_obs.json baseline found; \
+                 measured {best:.1} commits/sec (not enforced)"
+            );
+            0
+        }
+    }
+}
+
+/// The combined throughput-floor gate (`scripts/bench_gate.sh`):
+/// obs-disabled vs `BENCH_hotpath.json` and obs-enabled vs
+/// `BENCH_obs.json`. Returns the exit code.
+fn bench_gate() -> i32 {
+    let disabled = obs_smoke();
+    let enabled = obs_enabled_gate();
+    if disabled != 0 || enabled != 0 {
+        eprintln!("bench-gate: FAIL");
+        1
+    } else {
+        println!("bench-gate: OK");
+        0
+    }
+}
+
+/// CI gate for the exporters: a short obs-enabled run over the
+/// synthetic workload (it exercises both Protocol A class readers and
+/// Protocol C wall readers), whose Prometheus exposition and Chrome
+/// trace must pass the in-repo validators and carry the staleness
+/// summaries; plus a quick E17 sweep so the per-(reader, segment)
+/// tables stay populated. Returns the exit code.
+fn export_smoke() -> i32 {
+    use obs::{chrome_trace, prometheus_text, validate_chrome_trace, validate_prometheus};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut failed = false;
+
+    // 1. Short live run with the gauge board on.
+    let mut w = Synthetic::new(SyntheticConfig::default());
+    let mut rng = StdRng::seed_from_u64(0x00F1_7051);
+    let programs: Vec<_> = (0..1_500).map(|_| w.generate(&mut rng)).collect();
+    let (sched, _store, _hierarchy) =
+        sim::factory::build_hdd_with_config(&w, hdd::protocol::HddConfig::default());
+    let cfg = ConcurrentConfig {
+        workers: 4,
+        obs: true,
+        verify: false,
+        capture_log: false,
+        ..ConcurrentConfig::default()
+    };
+    let out = run_concurrent(sched.as_ref(), programs, &cfg);
+    sched.refresh_gauges_now();
+
+    // 2. Prometheus exposition must validate and carry staleness.
+    let counters = sched.metrics().snapshot().counter_pairs();
+    let prom = prometheus_text(
+        &counters,
+        &sched.metrics().obs.snapshot(),
+        &sched.metrics().obs.gauges.snapshot(),
+    );
+    match validate_prometheus(&prom) {
+        Ok(stats) => {
+            println!(
+                "export-smoke: prometheus OK — {} families, {} samples",
+                stats.families, stats.samples
+            );
+            if !prom.contains("hdd_read_staleness_ticks") {
+                eprintln!("export-smoke: FAIL — no staleness summary in the exposition");
+                failed = true;
+            }
+        }
+        Err(e) => {
+            eprintln!("export-smoke: FAIL — invalid Prometheus exposition: {e}");
+            failed = true;
+        }
+    }
+
+    // 3. Chrome trace must validate and contain events.
+    let events = sched.metrics().obs.trace.drain();
+    let trace = chrome_trace(&events);
+    match validate_chrome_trace(&trace) {
+        Ok(n) if n > 0 => println!("export-smoke: chrome trace OK — {n} events"),
+        Ok(_) => {
+            eprintln!("export-smoke: FAIL — chrome trace is empty");
+            failed = true;
+        }
+        Err(e) => {
+            eprintln!("export-smoke: FAIL — invalid chrome trace: {e}");
+            failed = true;
+        }
+    }
+    if out.stats.committed == 0 {
+        eprintln!("export-smoke: FAIL — the live run committed nothing");
+        failed = true;
+    }
+
+    // 4. Quick E17: the staleness tables must have class and wall rows.
+    let table = sim::experiments::e17_gauges::run(true);
+    print!("{table}");
+    let readers: Vec<&str> = table
+        .rows
+        .iter()
+        .map(|r| r[2].as_str()) // "reader" column
+        .collect();
+    if !readers.iter().any(|r| r.starts_with('c')) {
+        eprintln!("export-smoke: FAIL — E17 recorded no Protocol A staleness rows");
+        failed = true;
+    }
+    if !readers.contains(&"wall") {
+        eprintln!("export-smoke: FAIL — E17 recorded no Protocol C (wall) staleness rows");
+        failed = true;
+    }
+
+    if failed {
+        eprintln!("export-smoke: FAIL");
+        1
+    } else {
+        println!("export-smoke: OK");
+        0
     }
 }
 
@@ -238,8 +414,20 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_obs.json".to_string());
+    let e17_json = args
+        .iter()
+        .position(|a| a == "--e17-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_e17.json".to_string());
     if args.iter().any(|a| a == "obs-smoke") {
         std::process::exit(obs_smoke());
+    }
+    if args.iter().any(|a| a == "bench-gate") {
+        std::process::exit(bench_gate());
+    }
+    if args.iter().any(|a| a == "export-smoke") {
+        std::process::exit(export_smoke());
     }
     if args.iter().any(|a| a == "certify-smoke") {
         std::process::exit(certify_smoke());
@@ -255,6 +443,13 @@ fn main() {
         println!(
             "{}",
             sim::experiments::e14_obs_profile::run_with_path(quick, &obs_json)
+        );
+        return;
+    }
+    if args.iter().any(|a| a == "e17") {
+        println!(
+            "{}",
+            sim::experiments::e17_gauges::run_with_path(quick, &e17_json)
         );
         return;
     }

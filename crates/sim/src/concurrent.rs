@@ -171,6 +171,13 @@ pub fn run_concurrent(
                     let Some(program) = programs.get(idx) else {
                         break;
                     };
+                    if obs_on {
+                        // Driver-progress gauge for hdd-top: two relaxed
+                        // stores, works for any scheduler (the board's
+                        // global cells need no configuration).
+                        mobs.gauges
+                            .set_driver_progress(idx as u64 + 1, programs.len() as u64);
+                    }
                     // Commit latency spans the whole program: claim to
                     // commit, across aborts/restarts.
                     let claimed_at = obs_on.then(Instant::now);

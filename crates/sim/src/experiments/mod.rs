@@ -20,13 +20,15 @@ pub mod e13_hotpath;
 pub mod e14_obs_profile;
 pub mod e15_certify;
 pub mod e16_chaos;
+pub mod e17_gauges;
 
 use crate::report::Table;
 
 /// Run every experiment (E1–E10 per figure, plus the E11 sweep, the
 /// E12 message analysis, the E13 hot-path throughput trajectory, the
-/// E14 observability profile, the E15 certification sweep and the E16
-/// chaos soak) and return the tables in order.
+/// E14 observability profile, the E15 certification sweep, the E16
+/// chaos soak and the E17 staleness-gauge observatory) and return the
+/// tables in order.
 pub fn run_all(quick: bool) -> Vec<Table> {
     vec![
         e01_lost_update::run(quick),
@@ -45,5 +47,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e14_obs_profile::run(quick),
         e15_certify::run(quick),
         e16_chaos::run(quick),
+        e17_gauges::run(quick),
     ]
 }

@@ -5,6 +5,8 @@
 //!   restart-on-abort semantics shared by every scheduler;
 //! * [`concurrent`] — a multi-threaded closed-loop executor for
 //!   wall-clock throughput comparisons;
+//! * [`dashboard`] — text-frame rendering for the `hdd-top` live
+//!   dashboard binary;
 //! * [`scripts`] — replay of the deterministic anomaly interleavings of
 //!   Figures 3 and 4;
 //! * [`factory`] — builds every scheduler (HDD and all baselines) over a
@@ -18,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod dashboard;
 pub mod driver;
 pub mod experiments;
 pub mod factory;

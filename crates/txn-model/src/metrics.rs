@@ -57,6 +57,12 @@ macro_rules! counters {
                 vec![$(self.$name,)+]
             }
 
+            /// `(header, value)` pairs, in field order — the shape the
+            /// Prometheus exporter (`obs::prometheus_text`) consumes.
+            pub fn counter_pairs(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($name), self.$name),)+]
+            }
+
             /// Counter deltas since `earlier` (saturating, so interval
             /// reporting over a reset or a re-used scheduler never
             /// underflows). Interval reports should print
@@ -302,6 +308,55 @@ mod tests {
         // Saturates instead of underflowing (e.g. across a reset).
         let backwards = early.delta(&late);
         assert_eq!(backwards.commits, 0);
+    }
+
+    #[test]
+    fn delta_never_wraps_when_resumed_mid_interval() {
+        // The hdd-top scenario: an interval starts, the scheduler
+        // crashes and is resumed (fresh Metrics → counters restart
+        // below the interval-start snapshot), and the dashboard closes
+        // the interval against the *old* baseline. Every field must
+        // clamp to a sane small delta — never a wrapped u64.
+        let m = Metrics::default();
+        Metrics::add(&m.commits, 1000);
+        Metrics::add(&m.reads, 5000);
+        Metrics::add(&m.rejections, 40);
+        let interval_start = m.snapshot();
+        // Crash + resume: recovery rebuilds state and resets counters.
+        m.reset();
+        Metrics::add(&m.commits, 3);
+        Metrics::bump(&m.reads);
+        let d = m.snapshot().delta(&interval_start);
+        for (name, v) in d.counter_pairs() {
+            assert!(
+                v <= 3,
+                "{name} wrapped across resume: {v} (printable deltas only)"
+            );
+        }
+        assert_eq!(d.commits, 0, "clamped: 3 < 1000");
+        assert_eq!(d.rejections, 0);
+        // And the obs histograms obey the same contract end to end.
+        m.obs.commit_latency.record(10);
+        let obs_before = m.obs.snapshot();
+        m.obs.reset();
+        m.obs.commit_latency.record(20);
+        let od = m.obs.snapshot().delta(&obs_before);
+        assert_eq!(od.commit_latency.count, 1);
+        assert!(od.commit_latency.max <= 20);
+    }
+
+    #[test]
+    fn counter_pairs_match_headers_and_values() {
+        let m = Metrics::default();
+        Metrics::add(&m.wall_reads, 9);
+        let s = m.snapshot();
+        let pairs = s.counter_pairs();
+        assert_eq!(pairs.len(), MetricsSnapshot::headers().len());
+        for (i, (name, v)) in pairs.iter().enumerate() {
+            assert_eq!(*name, MetricsSnapshot::headers()[i]);
+            assert_eq!(*v, s.values()[i]);
+        }
+        assert!(pairs.contains(&("wall_reads", 9)));
     }
 
     #[test]

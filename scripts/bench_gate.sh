@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Throughput-floor gate: compares a fresh quick run against the recorded
+# baselines and fails on a regression.
+#
+#   scripts/bench_gate.sh
+#
+# Two floors, both best-of-3 hdd 8-worker runs over the inventory batch:
+#
+#   * obs disabled vs BENCH_hotpath.json — floor 90% (the hot path must
+#     not pay for observability it did not ask for);
+#   * obs enabled (histograms, tracing, live gauge board) vs
+#     BENCH_obs.json — floor 50% (coarse: catches an accidental O(n)
+#     regression on the instrumented path, not percent-level drift).
+#
+# Missing baseline files downgrade the corresponding floor to
+# report-only, so fresh clones still pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p sim --bin experiments -- bench-gate

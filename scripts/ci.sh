@@ -30,10 +30,16 @@ cargo run --release -q -p sim --bin experiments -- hotpath quick
 echo "== obs profile smoke (release, quick) =="
 cargo run --release -q -p sim --bin experiments -- e14 quick
 
-echo "== obs overhead smoke (release) =="
-# Best-of-3 hdd 8-worker run with obs *disabled*; fails if throughput
-# regresses >10% against the recorded BENCH_hotpath.json baseline.
-cargo run --release -q -p sim --bin experiments -- obs-smoke
+echo "== export smoke (release) =="
+# Short obs-enabled run + quick E17: the generated Prometheus exposition
+# and Chrome trace must pass the in-repo validators, and the staleness
+# tables must carry Protocol A (class) and Protocol C (wall) rows.
+cargo run --release -q -p sim --bin experiments -- export-smoke
+
+echo "== bench gate (release) =="
+# Throughput floors: obs-disabled hdd 8w vs BENCH_hotpath.json (>90%)
+# and obs-enabled hdd 8w vs BENCH_obs.json (>50%).
+scripts/bench_gate.sh
 
 echo "== certify smoke (release) =="
 # A-priori lint of the bundled workloads must be clean, and the broken
