@@ -30,7 +30,7 @@ fn figure11_hotpath(c: &mut Criterion) {
         SchedulerKind::Mvto,
         SchedulerKind::TwoPl,
     ] {
-        for workers in [1usize, 2, 4, 8] {
+        for workers in [1usize, 2, 4, 8, 16, 32] {
             group.bench_function(
                 BenchmarkId::new(kind.name(), format!("workers{workers}")),
                 |b| {

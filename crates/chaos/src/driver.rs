@@ -11,7 +11,7 @@
 //! wall-release gap it observed.
 
 use crate::plan::{FaultKind, FaultPlan};
-use obs::{FaultCode, TraceEvent};
+use obs::{FaultCode, SpanEvent, Terminal, TraceEvent, NO_CLASS};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -39,6 +39,11 @@ pub struct ChaosRunConfig {
     /// Enable the scheduler's obs sidecar so injected faults land in
     /// the decision trace as [`TraceEvent::CrashPoint`] records.
     pub trace: bool,
+    /// Flight-recorder sampling stride: when `trace` is on and this is
+    /// non-zero, every Nth transaction attempt gets a span tree, and
+    /// every terminal — including a crash fault's abandonment and the
+    /// watchdog's reap — closes it. `0` leaves the recorder inert.
+    pub flight_sample: u64,
 }
 
 impl Default for ChaosRunConfig {
@@ -51,6 +56,7 @@ impl Default for ChaosRunConfig {
             drain: Duration::from_millis(50),
             monitor_interval: Duration::from_micros(200),
             trace: true,
+            flight_sample: 0,
         }
     }
 }
@@ -106,8 +112,16 @@ pub fn run_chaos(
 ) -> ChaosReport {
     if cfg.trace {
         scheduler.metrics().obs.set_enabled(true);
+        if cfg.flight_sample > 0 {
+            scheduler
+                .metrics()
+                .obs
+                .flight
+                .set_sample_every(cfg.flight_sample);
+        }
     }
     let mobs = &scheduler.metrics().obs;
+    let flight_on = mobs.enabled() && mobs.flight.active();
     let walls = &scheduler.metrics().timewalls_released;
     let programs = &programs[..];
     let cursor = AtomicUsize::new(0);
@@ -162,8 +176,44 @@ pub fn run_chaos(
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner) = (last, max_gap);
         });
-        for _ in 0..cfg.workers {
-            scope.spawn(|| {
+        // Re-bind shared state as references so worker closures can be
+        // `move` (each also captures its worker index by value).
+        let (
+            cursor,
+            committed,
+            restarts,
+            gave_up,
+            deadline_exceeded,
+            crashed,
+            stalled,
+            delayed,
+            attempts,
+            active_workers,
+        ) = (
+            &cursor,
+            &committed,
+            &restarts,
+            &gave_up,
+            &deadline_exceeded,
+            &crashed,
+            &stalled,
+            &delayed,
+            &attempts,
+            &active_workers,
+        );
+        for wi in 0..cfg.workers {
+            scope.spawn(move || {
+                // Close a sampled flight with its terminal; a restart
+                // begins a fresh transaction and thus a fresh flight.
+                let flight_end = |traced: bool, txn: u64, terminal: Terminal| {
+                    if traced {
+                        mobs.flight.push(SpanEvent::End {
+                            txn,
+                            at_ns: mobs.flight.now_ns(),
+                            terminal,
+                        });
+                    }
+                };
                 loop {
                     let idx = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(program) = programs.get(idx) else {
@@ -185,6 +235,12 @@ pub fn run_chaos(
                     let mut tries = 0usize;
                     'retry: loop {
                         let handle = scheduler.begin(&program.profile);
+                        let traced = flight_on
+                            && mobs.flight.admit(
+                                handle.id.0,
+                                handle.class.map_or(NO_CLASS, |c| c.0),
+                                wi as u32,
+                            );
                         let mut ctx = ReadCtx::default();
                         let mut pc = 0usize;
                         let mut ops = 0usize;
@@ -202,7 +258,12 @@ pub fn run_chaos(
                                         crashed.fetch_add(1, Ordering::Relaxed);
                                         // Abandon WITHOUT abort: pending
                                         // versions and the registry
-                                        // entry stay behind.
+                                        // entry stay behind. The flight
+                                        // closes as Abandoned here; if
+                                        // the watchdog later reaps the
+                                        // corpse its Reaped terminal
+                                        // wins (last terminal wins).
+                                        flight_end(traced, handle.id.0, Terminal::Abandoned);
                                         break 'retry;
                                     }
                                     FaultKind::Stall { after_ops, micros } if ops >= after_ops => {
@@ -234,13 +295,20 @@ pub fn run_chaos(
                                         tries += 1;
                                         if Instant::now() >= deadline {
                                             deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                            flight_end(
+                                                traced,
+                                                handle.id.0,
+                                                Terminal::DeadlineExceeded,
+                                            );
                                             break 'retry;
                                         }
                                         if tries > cfg.max_restarts {
                                             gave_up.fetch_add(1, Ordering::Relaxed);
+                                            flight_end(traced, handle.id.0, Terminal::GaveUp);
                                             break 'retry;
                                         }
                                         restarts.fetch_add(1, Ordering::Relaxed);
+                                        flight_end(traced, handle.id.0, Terminal::Aborted);
                                         continue 'retry;
                                     }
                                 },
@@ -259,13 +327,20 @@ pub fn run_chaos(
                                             tries += 1;
                                             if Instant::now() >= deadline {
                                                 deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                                flight_end(
+                                                    traced,
+                                                    handle.id.0,
+                                                    Terminal::DeadlineExceeded,
+                                                );
                                                 break 'retry;
                                             }
                                             if tries > cfg.max_restarts {
                                                 gave_up.fetch_add(1, Ordering::Relaxed);
+                                                flight_end(traced, handle.id.0, Terminal::GaveUp);
                                                 break 'retry;
                                             }
                                             restarts.fetch_add(1, Ordering::Relaxed);
+                                            flight_end(traced, handle.id.0, Terminal::Aborted);
                                             continue 'retry;
                                         }
                                     }
@@ -275,6 +350,7 @@ pub fn run_chaos(
                                 if Instant::now() >= deadline {
                                     scheduler.abort(&handle);
                                     deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                    flight_end(traced, handle.id.0, Terminal::DeadlineExceeded);
                                     break 'retry;
                                 }
                                 spins += 1;
@@ -292,6 +368,7 @@ pub fn run_chaos(
                                         fault: FaultCode::Crash,
                                     });
                                     crashed.fetch_add(1, Ordering::Relaxed);
+                                    flight_end(traced, handle.id.0, Terminal::Abandoned);
                                     break 'retry;
                                 }
                                 FaultKind::Stall { micros, .. } => {
@@ -323,12 +400,14 @@ pub fn run_chaos(
                             match scheduler.commit(&handle) {
                                 CommitOutcome::Committed(_) => {
                                     committed.fetch_add(1, Ordering::Relaxed);
+                                    flight_end(traced, handle.id.0, Terminal::Committed);
                                     break 'retry;
                                 }
                                 CommitOutcome::Block => {
                                     if Instant::now() >= deadline {
                                         scheduler.abort(&handle);
                                         deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                        flight_end(traced, handle.id.0, Terminal::DeadlineExceeded);
                                         break 'retry;
                                     }
                                     commit_spins += 1;
@@ -338,13 +417,16 @@ pub fn run_chaos(
                                     tries += 1;
                                     if Instant::now() >= deadline {
                                         deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                        flight_end(traced, handle.id.0, Terminal::DeadlineExceeded);
                                         break 'retry;
                                     }
                                     if tries > cfg.max_restarts {
                                         gave_up.fetch_add(1, Ordering::Relaxed);
+                                        flight_end(traced, handle.id.0, Terminal::GaveUp);
                                         break 'retry;
                                     }
                                     restarts.fetch_add(1, Ordering::Relaxed);
+                                    flight_end(traced, handle.id.0, Terminal::Aborted);
                                     continue 'retry;
                                 }
                             }
@@ -490,6 +572,46 @@ mod tests {
             .collect();
         assert!(kinds.contains(&"crash-point"));
         assert!(kinds.contains(&"watchdog-abort"));
+    }
+
+    #[test]
+    fn crash_flights_close_as_abandoned_or_reaped_with_no_open_spans() {
+        let sched = setup(Some(Duration::from_millis(5)));
+        let programs = mixed_programs(24);
+        let mut plan = FaultPlan::clean(programs.len());
+        plan.faults[2] = FaultKind::Crash { after_ops: 1 };
+        plan.faults[9] = FaultKind::Crash { after_ops: 2 };
+        let cfg = ChaosRunConfig {
+            drain: Duration::from_millis(50),
+            flight_sample: 1,
+            ..ChaosRunConfig::default()
+        };
+        let report = run_chaos(&sched, programs, &plan, &cfg);
+        assert_eq!(report.crashed, 2);
+        let log = obs::assemble(&sched.metrics().obs.flight.drain());
+        assert_eq!(log.open, 0, "every admitted flight must close");
+        let crash_terminals = log
+            .flights
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f.terminal,
+                    Some(Terminal::Abandoned) | Some(Terminal::Reaped)
+                )
+            })
+            .count();
+        assert!(
+            crash_terminals >= report.crashed,
+            "each crash closes its flight as Abandoned (or Reaped by the \
+             watchdog): {crash_terminals} < {}",
+            report.crashed
+        );
+        let committed_flights = log
+            .flights
+            .iter()
+            .filter(|f| f.terminal == Some(Terminal::Committed))
+            .count();
+        assert_eq!(committed_flights, report.committed);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::activity::{ActivityFuncs, ActivityRegistry};
 use crate::analysis::Hierarchy;
 use crate::timewall::{TimeWall, TimeWallService};
 use mvstore::{MvStore, MvtoReadResult, MvtoWriteResult};
-use obs::{RejectReason, TraceEvent};
+use obs::{RejectReason, SpanEvent, Terminal, TraceEvent, WaitCause, NO_CLASS};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -310,6 +310,15 @@ impl HddScheduler {
                 anchor: w.anchor_time.raw(),
                 released_at: w.released_at.raw(),
             });
+            // Flight-recorder wake event: wall-pending cause edges in
+            // sampled flights resolve to this release.
+            let obs = &self.core.metrics.obs;
+            if obs.enabled() && obs.flight.active() {
+                obs.flight.push(SpanEvent::WallRelease {
+                    anchor: w.anchor_time.raw(),
+                    at_ns: obs.flight.now_ns(),
+                });
+            }
         }
         released.is_some()
     }
@@ -500,6 +509,18 @@ impl HddScheduler {
                 start: st.start.raw(),
                 overdue_micros,
             });
+            // Close the sampled flight: a crashed worker never reaches
+            // a driver terminal, so the reap is what guarantees no
+            // span leaks (E16 invariant). Last terminal wins in
+            // assembly, so this supersedes a chaos `Abandoned`.
+            let obs = &self.core.metrics.obs;
+            if obs.enabled() && obs.flight.sampled(id.0) {
+                obs.flight.push(SpanEvent::End {
+                    txn: id.0,
+                    at_ns: obs.flight.now_ns(),
+                    terminal: Terminal::Reaped,
+                });
+            }
         }
         reaped
     }
@@ -510,6 +531,47 @@ impl HddScheduler {
 
     fn funcs(&self) -> ActivityFuncs<'_> {
         ActivityFuncs::new(&self.hierarchy, &self.registry)
+    }
+
+    /// Record a pending-transaction cause edge for `txn`'s block, if
+    /// the flight recorder sampled it: the wait ends when `holder`
+    /// commits or aborts. The holder's class is resolved with an O(1)
+    /// shard lookup — called only after chain locks are released, so
+    /// the chain → txn-shard lock order is never nested.
+    fn flight_block_on_txn(&self, txn: TxnId, holder: TxnId) {
+        let obs = &self.core.metrics.obs;
+        if obs.enabled() && obs.flight.sampled(txn.0) {
+            let class = self
+                .txns
+                .with(holder, |st| st.and_then(|s| s.class).map(|c| c.0))
+                .unwrap_or(NO_CLASS);
+            obs.flight.push(SpanEvent::BlockCause {
+                txn: txn.0,
+                at_ns: obs.flight.now_ns(),
+                cause: WaitCause::TxnPending {
+                    txn: holder.0,
+                    class,
+                },
+            });
+        }
+    }
+
+    /// Record a time-wall cause edge for `txn`'s block (Protocol C
+    /// before any wall has been released), if the flight recorder
+    /// sampled it: the wait ends at the next wall release.
+    fn flight_block_on_wall(&self, txn: TxnId) {
+        let obs = &self.core.metrics.obs;
+        if obs.enabled() && obs.flight.sampled(txn.0) {
+            let anchor = self
+                .walls
+                .pending_anchor()
+                .map_or(0, txn_model::Timestamp::raw);
+            obs.flight.push(SpanEvent::BlockCause {
+                txn: txn.0,
+                at_ns: obs.flight.now_ns(),
+                cause: WaitCause::WallPending { anchor },
+            });
+        }
     }
 
     /// Protocol A read: serve the latest committed version below `bound`
@@ -540,7 +602,12 @@ impl HddScheduler {
                     version,
                     writer,
                 });
-                if self.core.metrics.obs.enabled() {
+                // Sampled mode (flight recorder active): only sampled
+                // transactions pay for per-op decision traces; the rest
+                // stay counter-only. With the recorder inactive,
+                // `trace_txn` is always true — behavior as before.
+                if self.core.metrics.obs.enabled() && self.core.metrics.obs.flight.trace_txn(h.id.0)
+                {
                     let target_class = self.hierarchy.class_of(g.segment).0;
                     // Cross-read staleness gauge: how far behind the
                     // reader's logical present (`read_ts − version_ts`)
@@ -593,11 +660,12 @@ impl HddScheduler {
             }
             // Unreachable by the bound proof; block defensively — and
             // count the violation loudly (`wall_violations`).
-            MvtoReadResult::BlockOn(_) => {
+            MvtoReadResult::BlockOn(waiting_for) => {
                 self.core
                     .metrics
                     .reject(RejectReason::WallViolation, h.id.0, g.segment.0, g.key);
                 Metrics::bump(&self.core.metrics.blocks);
+                self.flight_block_on_txn(h.id, waiting_for);
                 ReadOutcome::Block
             }
         }
@@ -628,52 +696,68 @@ impl HddScheduler {
                         // Reading one's own pending version must not block.
                         debug_assert_ne!(waiting_for, h.id);
                         Metrics::bump(&self.core.metrics.blocks);
+                        self.flight_block_on_txn(h.id, waiting_for);
                         ReadOutcome::Block
                     }
                 }
             }
-            ProtocolBMode::BasicTo => self.core.store.with_chain(g, |c| {
-                let latest = match c.latest() {
-                    Some(v) => v,
-                    None => unreachable!("chains are seeded on first touch"),
-                };
-                if latest.writer == h.id {
-                    // Own pending write: read it back.
-                    let (value, version, writer) = (latest.value.clone(), latest.ts, latest.writer);
+            ProtocolBMode::BasicTo => {
+                // Captured inside the chain closure, attributed after
+                // it returns: the cause push takes the holder's txn
+                // shard lock, which must not nest inside a chain lock.
+                let mut blocked_on = None;
+                let out = self.core.store.with_chain(g, |c| {
+                    let latest = match c.latest() {
+                        Some(v) => v,
+                        None => unreachable!("chains are seeded on first touch"),
+                    };
+                    if latest.writer == h.id {
+                        // Own pending write: read it back.
+                        let (value, version, writer) =
+                            (latest.value.clone(), latest.ts, latest.writer);
+                        Metrics::bump(&self.core.metrics.reads);
+                        self.core.log.record(ScheduleEvent::Read {
+                            txn: h.id,
+                            granule: g,
+                            version,
+                            writer,
+                        });
+                        return ReadOutcome::Value(value);
+                    }
+                    if latest.ts > h.start_ts {
+                        // Overwritten by a younger transaction: reject.
+                        self.core.metrics.reject(
+                            RejectReason::ReadTooLate,
+                            h.id.0,
+                            g.segment.0,
+                            g.key,
+                        );
+                        return ReadOutcome::Abort;
+                    }
+                    if !latest.committed {
+                        Metrics::bump(&self.core.metrics.blocks);
+                        blocked_on = Some(latest.writer);
+                        return ReadOutcome::Block;
+                    }
+                    if h.start_ts > c.max_rts {
+                        c.max_rts = h.start_ts;
+                    }
                     Metrics::bump(&self.core.metrics.reads);
+                    Metrics::bump(&self.core.metrics.read_registrations);
+                    let v = c.latest().expect("checked above");
                     self.core.log.record(ScheduleEvent::Read {
                         txn: h.id,
                         granule: g,
-                        version,
-                        writer,
+                        version: v.ts,
+                        writer: v.writer,
                     });
-                    return ReadOutcome::Value(value);
-                }
-                if latest.ts > h.start_ts {
-                    // Overwritten by a younger transaction: reject.
-                    self.core
-                        .metrics
-                        .reject(RejectReason::ReadTooLate, h.id.0, g.segment.0, g.key);
-                    return ReadOutcome::Abort;
-                }
-                if !latest.committed {
-                    Metrics::bump(&self.core.metrics.blocks);
-                    return ReadOutcome::Block;
-                }
-                if h.start_ts > c.max_rts {
-                    c.max_rts = h.start_ts;
-                }
-                Metrics::bump(&self.core.metrics.reads);
-                Metrics::bump(&self.core.metrics.read_registrations);
-                let v = c.latest().expect("checked above");
-                self.core.log.record(ScheduleEvent::Read {
-                    txn: h.id,
-                    granule: g,
-                    version: v.ts,
-                    writer: v.writer,
+                    ReadOutcome::Value(v.value.clone())
                 });
-                ReadOutcome::Value(v.value.clone())
-            }),
+                if let Some(holder) = blocked_on {
+                    self.flight_block_on_txn(h.id, holder);
+                }
+                out
+            }
         }
     }
 
@@ -811,6 +895,7 @@ impl Scheduler for HddScheduler {
                                     // for the service (the only wait
                                     // Protocol C has).
                                     Metrics::bump(&self.core.metrics.blocks);
+                                    self.flight_block_on_wall(h.id);
                                     return ReadOutcome::Block;
                                 }
                             }
@@ -855,6 +940,9 @@ impl Scheduler for HddScheduler {
         );
         // Wrap the payload once; the chain and the schedule log share it.
         let v = Arc::new(v);
+        // Captured inside the chain closure, attributed after it
+        // returns (the cause push must not nest inside a chain lock).
+        let mut blocked_on = None;
         let result = match self.config.protocol_b {
             ProtocolBMode::Mvto => {
                 let value = Arc::clone(&v);
@@ -879,6 +967,7 @@ impl Scheduler for HddScheduler {
                         Some(latest) if latest.ts > h.start_ts => MvtoWriteResult::Rejected,
                         Some(latest) if !latest.committed && latest.writer != h.id => {
                             // Pending older write: wait for its commit bit.
+                            blocked_on = Some(latest.writer);
                             MvtoWriteResult::Blocked
                         }
                         _ => c.mvto_write(h.start_ts, value, h.id),
@@ -889,6 +978,9 @@ impl Scheduler for HddScheduler {
         match result {
             MvtoWriteResult::Blocked => {
                 Metrics::bump(&self.core.metrics.blocks);
+                if let Some(holder) = blocked_on {
+                    self.flight_block_on_txn(h.id, holder);
+                }
                 WriteOutcome::Block
             }
             MvtoWriteResult::Installed => {

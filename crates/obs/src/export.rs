@@ -26,6 +26,7 @@ use std::fmt::Write as _;
 
 use crate::gauges::GaugeSnapshot;
 use crate::hist::HistogramSnapshot;
+use crate::span::{FlightLog, Terminal, WaitCause, NO_CLASS};
 use crate::trace::TraceEvent;
 use crate::ObsSnapshot;
 
@@ -75,6 +76,23 @@ pub fn prometheus_text(
         let n = format!("hdd_{}_total", metric_fragment(name));
         let _ = writeln!(out, "# TYPE {n} counter");
         let _ = writeln!(out, "{n} {v}");
+    }
+    // Per-reason rejection breakdown as one labelled family, derived
+    // from the `rej_*` counters (`MetricsSnapshot::counter_pairs`
+    // naming): `rej_write_too_late` becomes
+    // `hdd_rejections_by_reason_total{reason="write-too-late"}`.
+    let rejections: Vec<(String, u64)> = counters
+        .iter()
+        .filter_map(|(name, v)| name.strip_prefix("rej_").map(|r| (r.replace('_', "-"), *v)))
+        .collect();
+    if !rejections.is_empty() {
+        let _ = writeln!(out, "# TYPE hdd_rejections_by_reason_total counter");
+        for (reason, v) in &rejections {
+            let _ = writeln!(
+                out,
+                "hdd_rejections_by_reason_total{{reason=\"{reason}\"}} {v}"
+            );
+        }
     }
     let _ = writeln!(out, "# TYPE hdd_trace_recorded_total counter");
     let _ = writeln!(out, "hdd_trace_recorded_total {}", obs.trace_recorded);
@@ -462,6 +480,167 @@ pub fn chrome_trace(events: &[(u64, TraceEvent)]) -> String {
     out
 }
 
+/// Track id of the maintenance/time-wall thread in
+/// [`flight_chrome_trace`] output; worker `w` renders on track `w + 1`.
+const FLIGHT_TID_MAINTENANCE: u64 = 0;
+
+#[inline]
+fn flight_us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn flight_class_label(class: u32) -> String {
+    if class == NO_CLASS {
+        "ro".to_string()
+    } else {
+        format!("c{class}")
+    }
+}
+
+/// Render an assembled [`FlightLog`] as Chrome trace-event JSON with
+/// **nested duration spans and flow arrows along cause edges**:
+///
+/// * one track per driver worker (tid `worker + 1`), plus tid 0 for
+///   the maintenance thread's wall releases;
+/// * each flight is an enclosing `"ph":"X"` span (`txn N [terminal]`)
+///   with its op service spans and wait spans nested inside (Perfetto
+///   nests same-track spans by time containment);
+/// * each attributed wait emits a flow arrow (`"ph":"s"` → `"ph":"f"`)
+///   from the blocking flight's end (or the unblocking wall release)
+///   to the wait span's end — the cause edges, visible as arrows in
+///   the Perfetto UI.
+///
+/// Timestamps are recorder-epoch microseconds (fractional, so the
+/// nanosecond clock survives). Output passes [`validate_chrome_trace`].
+pub fn flight_chrome_trace(log: &FlightLog) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, s: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&s);
+    };
+    let mut tids: Vec<u64> = log
+        .flights
+        .iter()
+        .map(|f| u64::from(f.worker) + 1)
+        .collect();
+    tids.push(FLIGHT_TID_MAINTENANCE);
+    tids.sort_unstable();
+    tids.dedup();
+    for &tid in &tids {
+        let name = if tid == FLIGHT_TID_MAINTENANCE {
+            "maintenance / time walls".to_string()
+        } else {
+            format!("worker {}", tid - 1)
+        };
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+        );
+    }
+    for &(anchor, at_ns) in &log.wall_releases {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"wall-release\",\"cat\":\"wall\",\"ph\":\"i\",\"ts\":{:.3},\
+                 \"s\":\"t\",\"pid\":1,\"tid\":{FLIGHT_TID_MAINTENANCE},\
+                 \"args\":{{\"anchor\":{anchor}}}}}",
+                flight_us(at_ns)
+            ),
+        );
+    }
+    let mut flow_id = 0u64;
+    for f in &log.flights {
+        let tid = u64::from(f.worker) + 1;
+        let terminal = f.terminal.map_or("open", Terminal::label);
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"txn {} [{terminal}]\",\"cat\":\"flight\",\"ph\":\"X\",\
+                 \"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"txn\":{},\"class\":\"{}\",\"worker\":{}}}}}",
+                f.txn,
+                flight_us(f.admit_ns),
+                flight_us(f.total_ns().max(1)),
+                f.txn,
+                flight_class_label(f.class),
+                f.worker
+            ),
+        );
+        for op in &f.ops {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"op\",\"ph\":\"X\",\"ts\":{:.3},\
+                     \"dur\":{:.3},\"pid\":1,\"tid\":{tid},\
+                     \"args\":{{\"segment\":{},\"key\":{}}}}}",
+                    op.kind.label(),
+                    flight_us(op.start_ns),
+                    flight_us(op.dur_ns.max(1)),
+                    op.segment,
+                    op.key
+                ),
+            );
+        }
+        for w in &f.waits {
+            let wait_end_ns = w.start_ns + w.dur_ns;
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"wait: {}\",\"cat\":\"wait\",\"ph\":\"X\",\"ts\":{:.3},\
+                     \"dur\":{:.3},\"pid\":1,\"tid\":{tid},\
+                     \"args\":{{\"cause\":\"{}\",\"slept_ns\":{}}}}}",
+                    w.cause.label(),
+                    flight_us(w.start_ns),
+                    flight_us(w.dur_ns.max(1)),
+                    w.cause,
+                    w.slept_ns
+                ),
+            );
+            // Cause edge as a flow arrow: source at the unblocking
+            // event, sink at the wait span's end.
+            let source: Option<(u64, u64)> = match w.cause {
+                WaitCause::TxnPending { txn, .. } => {
+                    log.flight(txn).map(|h| (u64::from(h.worker) + 1, h.end_ns))
+                }
+                WaitCause::WallPending { .. } => log
+                    .wall_releases
+                    .iter()
+                    .find(|&&(_, at)| at >= w.start_ns)
+                    .map(|&(_, at)| (FLIGHT_TID_MAINTENANCE, at)),
+                WaitCause::Unattributed => None,
+            };
+            if let Some((src_tid, src_ns)) = source {
+                flow_id += 1;
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"cause\",\"cat\":\"cause\",\"ph\":\"s\",\"id\":{flow_id},\
+                         \"ts\":{:.3},\"pid\":1,\"tid\":{src_tid},\"args\":{{}}}}",
+                        flight_us(src_ns)
+                    ),
+                );
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"cause\",\"cat\":\"cause\",\"ph\":\"f\",\"bp\":\"e\",\
+                         \"id\":{flow_id},\"ts\":{:.3},\"pid\":1,\"tid\":{tid},\"args\":{{}}}}",
+                        flight_us(wait_end_ns)
+                    ),
+                );
+            }
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
 /// Validate Chrome trace JSON shape without a JSON library: the text
 /// must open with `{"traceEvents":[`, every brace/bracket must balance
 /// outside string literals, and every object directly inside the
@@ -716,6 +895,114 @@ mod tests {
         assert!(text.contains("\"staleness\":9")); // 18 - 9
         assert!(text.contains("\"ph\":\"X\",\"ts\":3,\"dur\":1500"));
         assert!(text.contains("\"fault\":\"stall\""));
+    }
+
+    #[test]
+    fn prometheus_rejection_breakdown_renders_labelled_family() {
+        let obs = ObsSnapshot::default();
+        let gauges = GaugeSnapshot::default();
+        let counters = [
+            ("committed", 90u64),
+            ("rej_write_too_late", 5),
+            ("rej_read_too_late", 2),
+            ("rej_deadlock_victim", 0),
+            ("rej_watchdog_abort", 3),
+        ];
+        let text = prometheus_text(&counters, &obs, &gauges);
+        let expected_block = "# TYPE hdd_rejections_by_reason_total counter\n\
+             hdd_rejections_by_reason_total{reason=\"write-too-late\"} 5\n\
+             hdd_rejections_by_reason_total{reason=\"read-too-late\"} 2\n\
+             hdd_rejections_by_reason_total{reason=\"deadlock-victim\"} 0\n\
+             hdd_rejections_by_reason_total{reason=\"watchdog-abort\"} 3\n";
+        assert!(
+            text.contains(expected_block),
+            "labelled rejection family drifted:\n{text}"
+        );
+        let stats = validate_prometheus(&text).expect("self-validates");
+        // 5 plain counters + the labelled family + 2 trace + 5 summaries
+        // + 15 scalar gauges.
+        assert_eq!(stats.families, 5 + 1 + 2 + 5 + 15);
+        // Without rej_* counters the family must not appear (golden
+        // minimal output is unchanged).
+        let bare = prometheus_text(&[("committed", 7)], &obs, &gauges);
+        assert!(!bare.contains("hdd_rejections_by_reason_total"));
+    }
+
+    #[test]
+    fn flight_chrome_trace_nests_spans_and_draws_cause_arrows() {
+        use crate::span::{OpSpan, SpanKind, TxnFlight, WaitSpan};
+        let log = FlightLog {
+            flights: vec![
+                TxnFlight {
+                    txn: 1,
+                    class: 0,
+                    worker: 0,
+                    admit_ns: 1_000,
+                    end_ns: 9_000,
+                    terminal: Some(Terminal::Committed),
+                    ops: vec![OpSpan {
+                        kind: SpanKind::Read,
+                        segment: 2,
+                        key: 7,
+                        start_ns: 1_500,
+                        dur_ns: 400,
+                    }],
+                    waits: vec![
+                        WaitSpan {
+                            start_ns: 2_000,
+                            dur_ns: 3_000,
+                            slept_ns: 1_000,
+                            cause: WaitCause::TxnPending { txn: 2, class: 1 },
+                        },
+                        WaitSpan {
+                            start_ns: 6_000,
+                            dur_ns: 1_000,
+                            slept_ns: 0,
+                            cause: WaitCause::WallPending { anchor: 4 },
+                        },
+                    ],
+                },
+                TxnFlight {
+                    txn: 2,
+                    class: 1,
+                    worker: 1,
+                    admit_ns: 500,
+                    end_ns: 4_800,
+                    terminal: Some(Terminal::Aborted),
+                    ops: vec![],
+                    waits: vec![],
+                },
+            ],
+            wall_releases: vec![(4, 6_800)],
+            open: 0,
+        };
+        let text = flight_chrome_trace(&log);
+        let n = validate_chrome_trace(&text).expect("validates");
+        // 3 thread metadata + 1 wall release + 2 flights + 1 op + 2
+        // waits + 2 flow arrows per attributed wait (2 attributed).
+        assert_eq!(n, 3 + 1 + 2 + 1 + 2 + 4);
+        assert!(text.contains("\"name\":\"txn 1 [committed]\""));
+        assert!(text.contains("\"name\":\"txn 2 [aborted]\""));
+        assert!(text.contains("\"name\":\"wait: txn-pending\""));
+        assert!(text.contains("\"name\":\"wait: wall-pending\""));
+        assert!(text.contains("\"ph\":\"s\""), "flow start missing");
+        assert!(
+            text.contains("\"ph\":\"f\",\"bp\":\"e\""),
+            "flow finish missing"
+        );
+        assert!(text.contains("\"name\":\"worker 1\""));
+        assert!(text.contains("\"name\":\"maintenance / time walls\""));
+        // txn 1's first wait ends at 5 µs, caused by txn 2 ending at
+        // 4.8 µs on worker 1's track.
+        assert!(text.contains("\"ph\":\"s\",\"id\":1,\"ts\":4.800,\"pid\":1,\"tid\":2"));
+        assert!(
+            text.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":1,\"ts\":5.000,\"pid\":1,\"tid\":1")
+        );
+        // Wall edge flows from the release instant on the maintenance
+        // track.
+        assert!(text.contains("\"ph\":\"s\",\"id\":2,\"ts\":6.800,\"pid\":1,\"tid\":0"));
+        assert!(flight_chrome_trace(&FlightLog::default()).contains("maintenance"));
+        assert!(validate_chrome_trace(&flight_chrome_trace(&FlightLog::default())).is_ok());
     }
 
     #[test]

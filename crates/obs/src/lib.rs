@@ -24,16 +24,25 @@
 
 #![warn(missing_docs)]
 
+pub mod blame;
 pub mod export;
 pub mod gauges;
 pub mod hist;
 pub mod recorder;
+pub mod span;
 pub mod trace;
 
-pub use export::{chrome_trace, prometheus_text, validate_chrome_trace, validate_prometheus};
+pub use blame::{critical_chain, BlameReport, CauseBucket, ChainHop, PhaseBreakdown};
+pub use export::{
+    chrome_trace, flight_chrome_trace, prometheus_text, validate_chrome_trace, validate_prometheus,
+};
 pub use gauges::{ClassGauges, GaugeBoard, GaugeSnapshot, StalenessCell, WALL_READER};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use recorder::LatencyRecorder;
+pub use span::{
+    assemble, FlightLog, FlightRecorder, SpanEvent, SpanKind, Terminal, TxnFlight, WaitCause,
+    NO_CLASS,
+};
 pub use trace::{FaultCode, RejectReason, TraceEvent, TraceRing};
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -68,6 +77,10 @@ pub struct Obs {
     /// refreshed by the scheduler's maintenance tick (see
     /// [`gauges::GaugeBoard`]).
     pub gauges: GaugeBoard,
+    /// Transaction flight recorder: causal span trees with wait-cause
+    /// edges, sampled every Nth transaction (see [`span`]). Inert until
+    /// both [`Obs::enabled`] and a sampling stride are set.
+    pub flight: FlightRecorder,
 }
 
 impl Obs {
@@ -110,8 +123,9 @@ impl Obs {
         }
     }
 
-    /// Clear every histogram, the trace ring and the gauge board (the
-    /// enable flag and the board's configuration are left as-is).
+    /// Clear every histogram, the trace ring, the gauge board and the
+    /// flight recorder (the enable flag, the board's configuration and
+    /// the sampling stride are left as-is).
     pub fn reset(&self) {
         self.commit_latency.reset();
         self.op_service.reset();
@@ -120,6 +134,7 @@ impl Obs {
         self.registry_scan.reset();
         self.trace.reset();
         self.gauges.reset();
+        self.flight.reset();
     }
 }
 

@@ -1,0 +1,54 @@
+//! Reading recorded throughput baselines out of the `BENCH_*.json`
+//! artifacts (hand-rolled line scan; no serde in the offline build).
+//!
+//! `BENCH_hotpath.json` and `BENCH_obs.json` serialize one result per
+//! line in the shape emitted by `e13_hotpath::to_json`, so a baseline
+//! lookup is a scan for the line carrying the right `scheduler` and
+//! `workers` pair — the same contract the CI gates have relied on since
+//! the first bench gate, now shared instead of re-implemented per gate.
+
+/// Recorded commits/sec for `scheduler` at `workers` in the JSON
+/// artifact at `path`. `None` when the file is missing or carries no
+/// matching line — callers downgrade their floor to report-only.
+pub fn recorded_commits_per_sec(path: &str, scheduler: &str, workers: usize) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let sched_key = format!("\"scheduler\": \"{scheduler}\"");
+    let workers_key = format!("\"workers\": {workers},");
+    for line in text.lines() {
+        if line.contains(&sched_key) && line.contains(&workers_key) {
+            let key = "\"commits_per_sec\": ";
+            let at = line.find(key)? + key.len();
+            let rest = &line[at..];
+            let end = rest.find(',').unwrap_or(rest.len());
+            return rest[..end].trim().parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scans_the_matching_scheduler_and_worker_line() {
+        let json = "{\n  \"results\": [\n    \
+                    {\"scheduler\": \"hdd\", \"workers\": 1, \"commits_per_sec\": 100.5, \"x\": 1}\n    \
+                    {\"scheduler\": \"hdd\", \"workers\": 16, \"commits_per_sec\": 88.0, \"x\": 1}\n    \
+                    {\"scheduler\": \"mvto\", \"workers\": 1, \"commits_per_sec\": 50.0, \"x\": 1}\n  ]\n}\n";
+        let dir = std::env::temp_dir().join("hdd-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        std::fs::write(&path, json).unwrap();
+        let p = path.to_str().unwrap();
+        assert_eq!(recorded_commits_per_sec(p, "hdd", 1), Some(100.5));
+        assert_eq!(recorded_commits_per_sec(p, "hdd", 16), Some(88.0));
+        assert_eq!(recorded_commits_per_sec(p, "mvto", 1), Some(50.0));
+        // `workers: 1` must not match the `workers: 16` line.
+        assert_eq!(recorded_commits_per_sec(p, "twopl", 1), None);
+        assert_eq!(
+            recorded_commits_per_sec("/no/such/file.json", "hdd", 1),
+            None
+        );
+    }
+}

@@ -29,6 +29,14 @@
 //! cargo run --release -p sim --bin experiments -- bench-gate
 //!     # throughput floors: obs-disabled hdd 8w vs BENCH_hotpath.json
 //!     # (>90%) and obs-enabled hdd 8w vs BENCH_obs.json (>50%)
+//! cargo run --release -p sim --bin experiments -- e18      # E18 only,
+//!                                                          # emits BENCH_e18.json
+//! cargo run --release -p sim --bin experiments -- blame-smoke
+//!     # flight-recorder gate: an 8-worker traced run must attribute
+//!     # ≥95% of measured block time to a cause edge, leak no open
+//!     # spans, produce a valid Perfetto trace, and sampled-mode
+//!     # tracing (stride 32) must hold ≥85% of the BENCH_hotpath.json
+//!     # disabled baseline; exits 1 on any violation
 //! ```
 
 use certify::certifier::{attach_trace, certify_log};
@@ -44,20 +52,10 @@ use workloads::inventory::{Inventory, InventoryConfig};
 use workloads::synthetic::{Synthetic, SyntheticConfig};
 use workloads::Workload;
 
-/// Read the recorded hdd 8-worker commits/sec out of
-/// `BENCH_hotpath.json` (hand-rolled scan; no serde in this build).
+/// Read the recorded hdd 8-worker commits/sec out of a `BENCH_*.json`
+/// artifact (shared scanner; see [`sim::baseline`]).
 fn recorded_hdd_8w_baseline(path: &str) -> Option<f64> {
-    let text = std::fs::read_to_string(path).ok()?;
-    for line in text.lines() {
-        if line.contains("\"scheduler\": \"hdd\"") && line.contains("\"workers\": 8") {
-            let key = "\"commits_per_sec\": ";
-            let at = line.find(key)? + key.len();
-            let rest = &line[at..];
-            let end = rest.find(',').unwrap_or(rest.len());
-            return rest[..end].trim().parse().ok();
-        }
-    }
-    None
+    sim::baseline::recorded_commits_per_sec(path, "hdd", 8)
 }
 
 /// Best-of-3 hdd 8-worker throughput with obs *disabled*, compared
@@ -405,6 +403,116 @@ fn chaos_smoke() -> i32 {
     }
 }
 
+/// CI gate for the flight recorder: one 8-worker traced run over the
+/// inventory batch whose blame report must attribute ≥95% of measured
+/// block time to a cause edge with zero open spans and a Perfetto
+/// export that passes the in-repo validator, plus a best-of-3
+/// sampled-mode (stride 32) throughput floor at ≥85% of the
+/// `BENCH_hotpath.json` disabled baseline. Returns the exit code.
+fn blame_smoke() -> i32 {
+    use obs::{assemble, flight_chrome_trace, validate_chrome_trace, BlameReport, PhaseBreakdown};
+
+    let mut failed = false;
+
+    // 1. Traced run: attribution coverage, span hygiene, exporter.
+    let (w, programs) = batch(8_000, 0x00F1_B1A3);
+    let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+    let cfg = ConcurrentConfig {
+        workers: 8,
+        obs: true,
+        flight_sample: 4,
+        verify: false,
+        capture_log: false,
+        ..ConcurrentConfig::default()
+    };
+    let out = run_concurrent(sched.as_ref(), programs, &cfg);
+    let log = assemble(&sched.metrics().obs.flight.drain());
+    let blame = BlameReport::build(&log);
+    print!("{}", blame.render_top(5));
+    println!(
+        "blame-smoke: phases — {}",
+        PhaseBreakdown::of_commits(&log).render()
+    );
+    if out.stats.committed == 0 {
+        eprintln!("blame-smoke: FAIL — the traced run committed nothing");
+        failed = true;
+    }
+    if log.open > 0 {
+        eprintln!("blame-smoke: FAIL — {} flights never terminated", log.open);
+        failed = true;
+    }
+    if log.flights.is_empty() {
+        eprintln!("blame-smoke: FAIL — the 1-in-4 stride sampled no flights");
+        failed = true;
+    }
+    if blame.coverage() < 0.95 {
+        eprintln!(
+            "blame-smoke: FAIL — only {:.1}% of measured block time carries a cause edge \
+             (floor 95%)",
+            blame.coverage() * 100.0
+        );
+        failed = true;
+    }
+    let trace = flight_chrome_trace(&log);
+    match validate_chrome_trace(&trace) {
+        Ok(n) if n > 0 => println!("blame-smoke: perfetto trace OK — {n} events"),
+        Ok(_) => {
+            eprintln!("blame-smoke: FAIL — perfetto trace is empty");
+            failed = true;
+        }
+        Err(e) => {
+            eprintln!("blame-smoke: FAIL — invalid perfetto trace: {e}");
+            failed = true;
+        }
+    }
+
+    // 2. Sampled-mode overhead floor: best-of-3 with the recorder at
+    //    the coarse CI stride, vs the recorded disabled baseline.
+    let n_txns = 20_000;
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let (w, programs) = batch(n_txns, 0x00F1_6011);
+        let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+        let cfg = ConcurrentConfig {
+            workers: 8,
+            obs: true,
+            flight_sample: 32,
+            verify: false,
+            capture_log: false,
+            ..ConcurrentConfig::default()
+        };
+        let out = run_concurrent(sched.as_ref(), programs, &cfg);
+        best = best.max(out.throughput);
+    }
+    match recorded_hdd_8w_baseline("BENCH_hotpath.json") {
+        Some(baseline) => {
+            let floor = baseline * 0.85;
+            println!(
+                "blame-smoke: hdd 8-worker stride-32 best-of-3 = {best:.1} commits/sec \
+                 (disabled baseline {baseline:.1}, floor {floor:.1})"
+            );
+            if best < floor {
+                eprintln!("blame-smoke: FAIL — sampled-mode tracing costs >15%");
+                failed = true;
+            }
+        }
+        None => {
+            println!(
+                "blame-smoke: no BENCH_hotpath.json baseline found; \
+                 measured {best:.1} commits/sec at stride 32 (not enforced)"
+            );
+        }
+    }
+
+    if failed {
+        eprintln!("blame-smoke: FAIL");
+        1
+    } else {
+        println!("blame-smoke: OK");
+        0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
@@ -434,6 +542,13 @@ fn main() {
     }
     if args.iter().any(|a| a == "chaos-smoke") {
         std::process::exit(chaos_smoke());
+    }
+    if args.iter().any(|a| a == "blame-smoke") {
+        std::process::exit(blame_smoke());
+    }
+    if args.iter().any(|a| a == "e18") {
+        println!("{}", sim::experiments::e18_blame::run(quick));
+        return;
     }
     if args.iter().any(|a| a == "hotpath") {
         println!("{}", sim::experiments::e13_hotpath::run(quick));

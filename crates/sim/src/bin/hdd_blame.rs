@@ -1,0 +1,151 @@
+//! `hdd-blame` — transaction flight-recorder profiler.
+//!
+//! Runs the inventory batch against the hdd scheduler with the flight
+//! recorder on, assembles the sampled span trees, and prints the
+//! wait-cause blame table, the committed-flight phase profile and the
+//! longest critical wait chain. Optionally dumps the span trees as a
+//! Perfetto/`chrome://tracing` JSON file with flow arrows along the
+//! cause edges.
+//!
+//! ```text
+//! cargo run --release -p sim --bin hdd-blame
+//! cargo run --release -p sim --bin hdd-blame -- --workers 8 --txns 20000 \
+//!     --sample 4 --top 10 --chrome-trace flights.json
+//! cargo run --release -p sim --bin hdd-blame -- --quick   # CI sizes
+//! ```
+
+use obs::{assemble, critical_chain, flight_chrome_trace, validate_chrome_trace};
+use obs::{BlameReport, PhaseBreakdown, Terminal, NO_CLASS};
+use sim::concurrent::{run_concurrent, ConcurrentConfig};
+use sim::experiments::e02_inventory::batch;
+use sim::factory::{build_scheduler, SchedulerKind};
+
+struct Args {
+    workers: usize,
+    txns: usize,
+    sample: u64,
+    top: usize,
+    chrome_trace: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| -> Option<String> {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    let num = |name: &str, default: usize| -> usize {
+        flag(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    let quick = argv.iter().any(|a| a == "--quick" || a == "quick");
+    Args {
+        workers: num("--workers", if quick { 4 } else { 8 }),
+        txns: num("--txns", if quick { 2_000 } else { 20_000 }),
+        sample: num("--sample", 4) as u64,
+        top: num("--top", 10),
+        chrome_trace: flag("--chrome-trace"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let sample = args.sample.max(1);
+    println!(
+        "hdd-blame: inventory, {} workers, {} txns, sampling 1-in-{sample}",
+        args.workers, args.txns
+    );
+
+    let (w, programs) = batch(args.txns, 0x00F1_B1A3);
+    let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+    let cfg = ConcurrentConfig {
+        workers: args.workers,
+        obs: true,
+        flight_sample: sample,
+        verify: false,
+        capture_log: false,
+        ..ConcurrentConfig::default()
+    };
+    let out = run_concurrent(sched.as_ref(), programs, &cfg);
+    println!(
+        "run: {} committed in {:.3} s ({:.1} commits/sec), {} sampled flights, {} span events \
+         ({} evicted)",
+        out.stats.committed,
+        out.elapsed.as_secs_f64(),
+        out.throughput,
+        sched.metrics().obs.flight.sampled_count(),
+        sched.metrics().obs.flight.recorded(),
+        sched.metrics().obs.flight.dropped(),
+    );
+
+    let log = assemble(&sched.metrics().obs.flight.drain());
+    if log.open > 0 {
+        eprintln!("hdd-blame: WARNING — {} flights never terminated", log.open);
+    }
+
+    let blame = BlameReport::build(&log);
+    println!();
+    print!("{}", blame.render_top(args.top));
+
+    let phases = PhaseBreakdown::of_commits(&log);
+    println!();
+    println!("phase profile (committed flights):");
+    println!("  {}", phases.render());
+    for (label, share) in phases.shares() {
+        println!("  {label:>7}: {:5.1}%", share * 100.0);
+    }
+
+    // Critical chain: start from the committed flight that waited
+    // longest and follow its cause edges backwards.
+    let victim = log
+        .flights
+        .iter()
+        .filter(|f| f.terminal == Some(Terminal::Committed))
+        .max_by_key(|f| f.wait_ns());
+    if let Some(f) = victim {
+        let chain = critical_chain(&log, f);
+        if chain.is_empty() {
+            println!("\ncritical chain: the slowest commit never blocked");
+        } else {
+            println!("\ncritical chain (slowest committed flight, longest wait per hop):");
+            for hop in &chain {
+                let class = if hop.class == NO_CLASS {
+                    "ro".to_string()
+                } else {
+                    format!("c{}", hop.class)
+                };
+                println!(
+                    "  t{} ({class}) waited {:.3} ms on {}",
+                    hop.txn,
+                    hop.wait_ns as f64 / 1e6,
+                    hop.cause
+                );
+            }
+        }
+    }
+
+    if let Some(path) = &args.chrome_trace {
+        let trace = flight_chrome_trace(&log);
+        match validate_chrome_trace(&trace) {
+            Ok(n) => {
+                if let Err(e) = std::fs::write(path, &trace) {
+                    eprintln!("hdd-blame: could not write {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("\nwrote {path}: {n} trace events (open in https://ui.perfetto.dev)");
+            }
+            Err(e) => {
+                eprintln!("hdd-blame: generated trace failed validation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if blame.coverage() < 0.95 {
+        eprintln!(
+            "hdd-blame: WARNING — only {:.1}% of measured block time carries a cause edge",
+            blame.coverage() * 100.0
+        );
+    }
+}

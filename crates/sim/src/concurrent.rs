@@ -9,6 +9,7 @@
 //! source differs.
 
 use crate::driver::RunStats;
+use obs::{SpanEvent, SpanKind, Terminal, NO_CLASS};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use txn_model::program::ReadCtx;
@@ -44,6 +45,13 @@ pub struct ConcurrentConfig {
     /// bound (a wedged scheduler otherwise hangs the whole run). `None`
     /// disables the deadline.
     pub txn_deadline: Option<Duration>,
+    /// Flight-recorder sampling stride, applied when `obs` is on: `N`
+    /// traces every Nth transaction attempt fully (admission, op and
+    /// wait spans, terminal) while the other N−1 run counter-only —
+    /// including the scheduler's per-op decision traces, which follow
+    /// the same stride. 0 (the default) leaves the recorder untouched:
+    /// plain obs mode, exactly as before the flight recorder existed.
+    pub flight_sample: u64,
 }
 
 impl Default for ConcurrentConfig {
@@ -56,6 +64,7 @@ impl Default for ConcurrentConfig {
             capture_log: true,
             obs: false,
             txn_deadline: None,
+            flight_sample: 0,
         }
     }
 }
@@ -134,10 +143,21 @@ pub fn run_concurrent(
     if cfg.obs {
         scheduler.metrics().obs.set_enabled(true);
     }
+    if cfg.flight_sample > 0 {
+        scheduler
+            .metrics()
+            .obs
+            .flight
+            .set_sample_every(cfg.flight_sample);
+    }
     // One load up front: the flag is stable for the whole run, so the
     // disabled path costs a branch per operation, not an atomic load.
     let obs_on = scheduler.metrics().obs.enabled();
     let mobs = &scheduler.metrics().obs;
+    // Sampled mode: every Nth transaction attempt gets the full span
+    // treatment, the rest stay counter-only (op timing included — that
+    // is what keeps sampled-mode overhead near the disabled baseline).
+    let flight_on = obs_on && mobs.flight.active();
     let programs = &programs[..];
     let cursor = AtomicUsize::new(0);
     let committed = AtomicUsize::new(0);
@@ -147,6 +167,18 @@ pub fn run_concurrent(
     let attempts = AtomicU64::new(0);
     let done = AtomicBool::new(false);
     let active_workers = AtomicUsize::new(cfg.workers);
+    // Reference bindings so the worker closures can be `move` (they
+    // need their worker index by value) while sharing the counters.
+    let (cursor, committed, restarts, gave_up, deadline_exceeded, attempts, done, active_workers) = (
+        &cursor,
+        &committed,
+        &restarts,
+        &gave_up,
+        &deadline_exceeded,
+        &attempts,
+        &done,
+        &active_workers,
+    );
 
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -159,11 +191,23 @@ pub fn run_concurrent(
                 std::thread::sleep(cfg.maintenance_interval);
             }
         });
-        for _ in 0..cfg.workers {
-            scope.spawn(|| {
+        for wi in 0..cfg.workers {
+            scope.spawn(move || {
                 let _guard = WorkerGuard {
-                    active: &active_workers,
-                    done: &done,
+                    active: active_workers,
+                    done,
+                };
+                // Close a sampled flight (each begin is its own flight;
+                // restarts begin fresh transactions, hence fresh
+                // flights).
+                let flight_end = |traced: bool, txn: u64, terminal: Terminal| {
+                    if traced {
+                        mobs.flight.push(SpanEvent::End {
+                            txn,
+                            at_ns: mobs.flight.now_ns(),
+                            terminal,
+                        });
+                    }
                 };
                 loop {
                     // Claim the next program: one uncontended fetch_add.
@@ -187,18 +231,45 @@ pub fn run_concurrent(
                     let mut tries = 0usize;
                     'retry: loop {
                         let handle = scheduler.begin(&program.profile);
+                        // Admission: every attempt is its own flight
+                        // (`begin` draws a fresh id); `admit` counts it
+                        // and returns true when it falls on the stride.
+                        let traced = flight_on
+                            && mobs.flight.admit(
+                                handle.id.0,
+                                handle.class.map_or(NO_CLASS, |c| c.0),
+                                wi as u32,
+                            );
+                        // In sampled mode, unsampled transactions skip
+                        // op timing too (counter-only hot path).
+                        let time_ops = obs_on && (!flight_on || traced);
                         let mut ctx = ReadCtx::default();
                         let mut pc = 0usize;
                         let mut spins = 0u32;
-                        // Start of the current contiguous Block streak.
+                        // Start of the current contiguous Block streak,
+                        // plus its flight-clock twin and the portion
+                        // actually slept (for the wait span).
                         let mut block_since: Option<Instant> = None;
+                        let mut streak_start_ns: Option<u64> = None;
+                        let mut streak_slept_ns = 0u64;
                         while pc < program.steps.len() {
                             attempts.fetch_add(1, Ordering::Relaxed);
+                            let span_start = traced.then(|| mobs.flight.now_ns());
                             let outcome_block = match &program.steps[pc] {
-                                Step::Read(g) => match timed(obs_on, &mobs.op_service, || {
+                                Step::Read(g) => match timed(time_ops, &mobs.op_service, || {
                                     scheduler.read(&handle, *g)
                                 }) {
                                     ReadOutcome::Value(v) => {
+                                        if let Some(s) = span_start {
+                                            mobs.flight.push(SpanEvent::Op {
+                                                txn: handle.id.0,
+                                                kind: SpanKind::Read,
+                                                segment: g.segment.0,
+                                                key: g.key,
+                                                start_ns: s,
+                                                dur_ns: mobs.flight.now_ns().saturating_sub(s),
+                                            });
+                                        }
                                         ctx.record(*g, v);
                                         pc += 1;
                                         spins = 0;
@@ -210,22 +281,39 @@ pub fn run_concurrent(
                                         tries += 1;
                                         if past(deadline) {
                                             deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                            flight_end(
+                                                traced,
+                                                handle.id.0,
+                                                Terminal::DeadlineExceeded,
+                                            );
                                             break 'retry;
                                         }
                                         if tries > cfg.max_restarts {
                                             gave_up.fetch_add(1, Ordering::Relaxed);
+                                            flight_end(traced, handle.id.0, Terminal::GaveUp);
                                             break 'retry;
                                         }
                                         restarts.fetch_add(1, Ordering::Relaxed);
+                                        flight_end(traced, handle.id.0, Terminal::Aborted);
                                         continue 'retry;
                                     }
                                 },
                                 Step::Write(g, src) => {
                                     let v = src.resolve(&ctx);
-                                    match timed(obs_on, &mobs.op_service, || {
+                                    match timed(time_ops, &mobs.op_service, || {
                                         scheduler.write(&handle, *g, v)
                                     }) {
                                         WriteOutcome::Done => {
+                                            if let Some(s) = span_start {
+                                                mobs.flight.push(SpanEvent::Op {
+                                                    txn: handle.id.0,
+                                                    kind: SpanKind::Write,
+                                                    segment: g.segment.0,
+                                                    key: g.key,
+                                                    start_ns: s,
+                                                    dur_ns: mobs.flight.now_ns().saturating_sub(s),
+                                                });
+                                            }
                                             pc += 1;
                                             spins = 0;
                                             false
@@ -236,13 +324,20 @@ pub fn run_concurrent(
                                             tries += 1;
                                             if past(deadline) {
                                                 deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                                flight_end(
+                                                    traced,
+                                                    handle.id.0,
+                                                    Terminal::DeadlineExceeded,
+                                                );
                                                 break 'retry;
                                             }
                                             if tries > cfg.max_restarts {
                                                 gave_up.fetch_add(1, Ordering::Relaxed);
+                                                flight_end(traced, handle.id.0, Terminal::GaveUp);
                                                 break 'retry;
                                             }
                                             restarts.fetch_add(1, Ordering::Relaxed);
+                                            flight_end(traced, handle.id.0, Terminal::Aborted);
                                             continue 'retry;
                                         }
                                     }
@@ -252,62 +347,109 @@ pub fn run_concurrent(
                                 if past(deadline) {
                                     scheduler.abort(&handle);
                                     deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                    flight_end(traced, handle.id.0, Terminal::DeadlineExceeded);
                                     break 'retry;
                                 }
                                 if obs_on && block_since.is_none() {
                                     block_since = Some(Instant::now());
+                                    if traced {
+                                        streak_start_ns = span_start;
+                                        streak_slept_ns = 0;
+                                    }
                                 }
                                 spins += 1;
                                 let slept = backoff(spins);
                                 if obs_on && !slept.is_zero() {
                                     mobs.backoff_sleep.record(slept.as_nanos() as u64);
+                                    streak_slept_ns += slept.as_nanos() as u64;
                                 }
                             } else if let Some(t) = block_since.take() {
-                                mobs.block_wait.record(t.elapsed().as_nanos() as u64);
+                                let dur_ns = t.elapsed().as_nanos() as u64;
+                                mobs.block_wait.record(dur_ns);
+                                if let Some(s) = streak_start_ns.take() {
+                                    mobs.flight.push(SpanEvent::Wait {
+                                        txn: handle.id.0,
+                                        start_ns: s,
+                                        dur_ns,
+                                        slept_ns: streak_slept_ns,
+                                    });
+                                }
                             }
                         }
                         // Commit loop.
                         let mut commit_spins = 0u32;
                         let mut commit_block_since: Option<Instant> = None;
+                        let mut commit_streak_start_ns: Option<u64> = None;
+                        let mut commit_streak_slept_ns = 0u64;
                         loop {
                             attempts.fetch_add(1, Ordering::Relaxed);
-                            match timed(obs_on, &mobs.op_service, || scheduler.commit(&handle)) {
+                            let span_start = traced.then(|| mobs.flight.now_ns());
+                            match timed(time_ops, &mobs.op_service, || scheduler.commit(&handle)) {
                                 CommitOutcome::Committed(_) => {
                                     committed.fetch_add(1, Ordering::Relaxed);
                                     if let Some(t) = commit_block_since.take() {
-                                        mobs.block_wait.record(t.elapsed().as_nanos() as u64);
+                                        let dur_ns = t.elapsed().as_nanos() as u64;
+                                        mobs.block_wait.record(dur_ns);
+                                        if let Some(s) = commit_streak_start_ns.take() {
+                                            mobs.flight.push(SpanEvent::Wait {
+                                                txn: handle.id.0,
+                                                start_ns: s,
+                                                dur_ns,
+                                                slept_ns: commit_streak_slept_ns,
+                                            });
+                                        }
+                                    }
+                                    if let Some(s) = span_start {
+                                        mobs.flight.push(SpanEvent::Op {
+                                            txn: handle.id.0,
+                                            kind: SpanKind::Commit,
+                                            segment: 0,
+                                            key: 0,
+                                            start_ns: s,
+                                            dur_ns: mobs.flight.now_ns().saturating_sub(s),
+                                        });
                                     }
                                     if let Some(t) = claimed_at {
                                         mobs.commit_latency.record(t.elapsed().as_nanos() as u64);
                                     }
+                                    flight_end(traced, handle.id.0, Terminal::Committed);
                                     break 'retry;
                                 }
                                 CommitOutcome::Block => {
                                     if past(deadline) {
                                         scheduler.abort(&handle);
                                         deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                        flight_end(traced, handle.id.0, Terminal::DeadlineExceeded);
                                         break 'retry;
                                     }
                                     if obs_on && commit_block_since.is_none() {
                                         commit_block_since = Some(Instant::now());
+                                        if traced {
+                                            commit_streak_start_ns = span_start;
+                                            commit_streak_slept_ns = 0;
+                                        }
                                     }
                                     commit_spins += 1;
                                     let slept = backoff(commit_spins);
                                     if obs_on && !slept.is_zero() {
                                         mobs.backoff_sleep.record(slept.as_nanos() as u64);
+                                        commit_streak_slept_ns += slept.as_nanos() as u64;
                                     }
                                 }
                                 CommitOutcome::Aborted => {
                                     tries += 1;
                                     if past(deadline) {
                                         deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                        flight_end(traced, handle.id.0, Terminal::DeadlineExceeded);
                                         break 'retry;
                                     }
                                     if tries > cfg.max_restarts {
                                         gave_up.fetch_add(1, Ordering::Relaxed);
+                                        flight_end(traced, handle.id.0, Terminal::GaveUp);
                                         break 'retry;
                                     }
                                     restarts.fetch_add(1, Ordering::Relaxed);
+                                    flight_end(traced, handle.id.0, Terminal::Aborted);
                                     continue 'retry;
                                 }
                             }
@@ -411,6 +553,78 @@ mod tests {
             "every attempted operation is timed"
         );
         assert!(snap.commit_latency.p50() > 0);
+    }
+
+    #[test]
+    fn flight_sampling_records_span_trees_that_all_terminate() {
+        let mut w = Banking::new(8);
+        let mut rng = StdRng::seed_from_u64(17);
+        let programs: Vec<_> = (0..60).map(|_| w.generate(&mut rng)).collect();
+        let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+        let cfg = ConcurrentConfig {
+            obs: true,
+            flight_sample: 1,
+            ..ConcurrentConfig::default()
+        };
+        let out = run_concurrent(sched.as_ref(), programs, &cfg);
+        assert_eq!(out.stats.committed, 60);
+        let fr = &sched.metrics().obs.flight;
+        assert!(fr.admitted() >= 60, "every attempt is admitted");
+        assert_eq!(fr.dropped(), 0, "small run must fit the ring");
+        let log = obs::assemble(&fr.drain());
+        assert_eq!(log.open, 0, "no span leaks: every flight terminates");
+        let committed: Vec<_> = log
+            .flights
+            .iter()
+            .filter(|f| f.terminal == Some(obs::Terminal::Committed))
+            .collect();
+        assert_eq!(committed.len(), 60);
+        for f in &committed {
+            assert!(
+                f.ops.iter().any(|o| o.kind == obs::SpanKind::Commit),
+                "committed flight without a commit span"
+            );
+            assert!(f.ops.len() >= 2, "reads/writes plus commit");
+        }
+        // The exporter renders the log and self-validates.
+        let trace = obs::flight_chrome_trace(&log);
+        assert!(obs::validate_chrome_trace(&trace).is_ok());
+        // Phase breakdown accounts the committed flights.
+        let phases = obs::PhaseBreakdown::of_commits(&log);
+        assert_eq!(phases.flights, 60);
+        assert!(phases.total_ns > 0);
+    }
+
+    #[test]
+    fn flight_stride_keeps_unsampled_txns_counter_only() {
+        let mut w = Banking::new(8);
+        let mut rng = StdRng::seed_from_u64(23);
+        let programs: Vec<_> = (0..80).map(|_| w.generate(&mut rng)).collect();
+        let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+        let cfg = ConcurrentConfig {
+            obs: true,
+            flight_sample: 8,
+            ..ConcurrentConfig::default()
+        };
+        let out = run_concurrent(sched.as_ref(), programs, &cfg);
+        assert_eq!(out.stats.committed, 80);
+        let fr = &sched.metrics().obs.flight;
+        assert!(fr.admitted() >= 80);
+        assert!(
+            fr.sampled_count() < fr.admitted(),
+            "stride 8 must leave most txns counter-only"
+        );
+        let snap = sched.metrics().obs.snapshot();
+        assert!(
+            snap.op_service.count < out.stats.steps,
+            "unsampled txns skip op timing in sampled mode \
+             ({} timed of {} steps)",
+            snap.op_service.count,
+            out.stats.steps
+        );
+        let log = obs::assemble(&fr.drain());
+        assert_eq!(log.open, 0);
+        assert_eq!(log.flights.len() as u64, fr.sampled_count());
     }
 
     #[test]

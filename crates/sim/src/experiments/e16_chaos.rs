@@ -14,6 +14,11 @@
 //! * **The time wall resumes within a bounded interval.** The chaos
 //!   monitor samples `timewalls_released`; the longest release gap stays
 //!   bounded (lease + reap latency), never "forever".
+//! * **Crashes never leak open flight spans.** The soak runs with the
+//!   flight recorder sampling every transaction; a crash fault closes
+//!   its span tree as `Abandoned` at the fault point and the watchdog's
+//!   reap overrides it with `Reaped`, so assembling the span stream
+//!   after the drain finds zero open flights.
 //! * **Recovery never reuses pre-crash timestamps.** Each run's log is
 //!   encoded into the checksummed WAL format, its tail torn, decoded
 //!   back (truncating at the first bad frame), and resumed via
@@ -56,6 +61,8 @@ struct Tally {
     recovered_certified: usize,
     ts_collisions: usize,
     max_gap: Duration,
+    open_spans: usize,
+    crash_spans: usize,
 }
 
 fn workload() -> Inventory {
@@ -130,6 +137,7 @@ fn soak_one(seed: u64, n: usize, tally: &mut Tally) {
         &plan,
         &ChaosRunConfig {
             drain: 10 * LEASE,
+            flight_sample: 1,
             ..ChaosRunConfig::default()
         },
     );
@@ -143,6 +151,21 @@ fn soak_one(seed: u64, n: usize, tally: &mut Tally) {
     if certify_log("hdd", sched.log(), Some(&hierarchy)).ok() {
         tally.certified += 1;
     }
+    // Span-lifecycle invariant: every admitted flight must have closed
+    // — crashes as Abandoned (or Reaped once the watchdog catches up),
+    // everything else with its driver terminal.
+    let flight_log = obs::assemble(&sched.metrics().obs.flight.drain());
+    tally.open_spans += flight_log.open;
+    tally.crash_spans += flight_log
+        .flights
+        .iter()
+        .filter(|f| {
+            matches!(
+                f.terminal,
+                Some(obs::Terminal::Abandoned) | Some(obs::Terminal::Reaped)
+            )
+        })
+        .count();
 
     // Torn-tail recovery leg: WAL round trip with a damaged tail, then
     // resume and run a second phase on the survivor.
@@ -186,6 +209,8 @@ pub fn run(quick: bool) -> Table {
             "stalled",
             "delayed",
             "watchdog-reaps",
+            "open-spans",
+            "crash-spans",
             "torn-tails",
             "certified-ok",
             "ts-collisions",
@@ -200,6 +225,8 @@ pub fn run(quick: bool) -> Table {
         tally.stalled.to_string(),
         tally.delayed.to_string(),
         tally.reaped.to_string(),
+        tally.open_spans.to_string(),
+        tally.crash_spans.to_string(),
         "-".to_string(),
         tally.certified.to_string(),
         "-".to_string(),
@@ -208,6 +235,8 @@ pub fn run(quick: bool) -> Table {
     table.row(&[
         "recovery".to_string(),
         tally.seeds.to_string(),
+        "-".to_string(),
+        "-".to_string(),
         "-".to_string(),
         "-".to_string(),
         "-".to_string(),
@@ -247,6 +276,17 @@ mod tests {
         assert!(
             reaped >= crashed,
             "every crashed corpse must be reaped ({reaped} reaps, {crashed} crashes)"
+        );
+        assert_eq!(
+            cell("soak", "open-spans"),
+            "0",
+            "crashes and reaps must close every sampled flight span"
+        );
+        let crash_spans: usize = cell("soak", "crash-spans").parse().unwrap();
+        assert!(
+            crash_spans >= crashed,
+            "each crash must terminate its flight as Abandoned/Reaped \
+             ({crash_spans} crash spans, {crashed} crashes)"
         );
         let torn: usize = cell("recovery", "torn-tails").parse().unwrap();
         assert!(torn > 0, "the tear must actually corrupt some WAL tails");

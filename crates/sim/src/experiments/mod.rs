@@ -21,14 +21,15 @@ pub mod e14_obs_profile;
 pub mod e15_certify;
 pub mod e16_chaos;
 pub mod e17_gauges;
+pub mod e18_blame;
 
 use crate::report::Table;
 
 /// Run every experiment (E1–E10 per figure, plus the E11 sweep, the
 /// E12 message analysis, the E13 hot-path throughput trajectory, the
 /// E14 observability profile, the E15 certification sweep, the E16
-/// chaos soak and the E17 staleness-gauge observatory) and return the
-/// tables in order.
+/// chaos soak, the E17 staleness-gauge observatory and the E18
+/// flight-recorder blame profile) and return the tables in order.
 pub fn run_all(quick: bool) -> Vec<Table> {
     vec![
         e01_lost_update::run(quick),
@@ -48,5 +49,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e15_certify::run(quick),
         e16_chaos::run(quick),
         e17_gauges::run(quick),
+        e18_blame::run(quick),
     ]
 }

@@ -60,4 +60,12 @@ echo "== chaos smoke (release, quick) =="
 # never reuse a pre-crash timestamp.
 cargo run --release -q -p sim --bin experiments -- chaos-smoke
 
+echo "== blame smoke (release) =="
+# Flight-recorder gate: an 8-worker traced run must attribute >=95% of
+# measured block time to a cause edge, leak no open spans, and emit a
+# Perfetto trace that passes the in-repo validator; sampled-mode
+# tracing (stride 32) must hold >=85% of the BENCH_hotpath.json
+# disabled baseline.
+cargo run --release -q -p sim --bin experiments -- blame-smoke
+
 echo "CI OK"
