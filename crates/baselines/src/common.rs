@@ -63,6 +63,9 @@ impl Base {
 
     /// Allocate a handle, record the begin, register the txn table entry.
     pub fn begin(&self, profile: &TxnProfile) -> TxnHandle {
+        // ordering: Relaxed — txn-id ticket; uniqueness comes from
+        // fetch_add atomicity, and the id is published to other threads
+        // via the `txns` mutex below, not via this atomic.
         let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
         let start = self.clock.tick();
         Metrics::bump(&self.metrics.begins);

@@ -1,0 +1,189 @@
+//! `hdd-ordering-lint` — the memory-ordering audit gate.
+//!
+//! Every `Ordering::Relaxed` site in the workspace must say *why*
+//! relaxed is enough: a `// ordering:` comment on the same line or
+//! within the preceding few lines. The justification discipline is what
+//! makes the audit (DESIGN.md §12) checkable — an unannotated site is
+//! either an unreviewed ordering or a silent downgrade, and both fail
+//! CI here.
+//!
+//! Usage:
+//!
+//! ```text
+//! hdd-ordering-lint [ROOT]          audit ROOT (default: .), exit 1 on
+//!                                   any unjustified Relaxed site
+//! hdd-ordering-lint [ROOT] --list   also print every justified site
+//! ```
+//!
+//! Scope: `.rs` files under ROOT, excluding build output (`target*/`),
+//! VCS metadata, and this linter's own source (its patterns would
+//! otherwise count as sites). Stronger orderings (`Acquire`, `Release`,
+//! `SeqCst`) need no justification — they are the safe direction; the
+//! audit exists to keep the *weakest* ordering honest.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// How many lines above a site a `// ordering:` justification may sit
+/// (multi-line argument lists push the `Relaxed` token several lines
+/// below the comment that governs the whole call).
+const LOOKBACK: usize = 10;
+
+/// One `Ordering::Relaxed` occurrence.
+struct Site {
+    file: PathBuf,
+    line: usize,
+    justified: bool,
+}
+
+/// Scan one file's text for Relaxed sites and their justifications.
+fn scan_text(file: &Path, text: &str) -> Vec<Site> {
+    // Built by concatenation so this linter never flags its own source
+    // when scanned from a different checkout layout.
+    let needle = format!("Ordering::{}", "Relaxed");
+    let marker = format!("// {}:", "ordering");
+    let lines: Vec<&str> = text.lines().collect();
+    let mut sites = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if !line.contains(&needle) {
+            continue;
+        }
+        let justified = line.contains(&marker)
+            || lines[i.saturating_sub(LOOKBACK)..i]
+                .iter()
+                .any(|l| l.contains(&marker));
+        sites.push(Site {
+            file: file.to_path_buf(),
+            line: i + 1,
+            justified,
+        });
+    }
+    sites
+}
+
+fn is_excluded_dir(name: &str) -> bool {
+    name.starts_with('.') || name.starts_with("target")
+}
+
+fn walk(root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !is_excluded_dir(&name) {
+                walk(&path, out);
+            }
+        } else if name.ends_with(".rs") && name != "hdd-ordering-lint.rs" {
+            out.push(path);
+        }
+    }
+}
+
+fn audit(root: &Path) -> Vec<Site> {
+    let mut files = Vec::new();
+    walk(root, &mut files);
+    files.sort();
+    let mut sites = Vec::new();
+    for f in &files {
+        if let Ok(text) = std::fs::read_to_string(f) {
+            sites.extend(scan_text(f, &text));
+        }
+    }
+    sites
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let list = args.iter().any(|a| a == "--list");
+    let root = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| ".".to_string());
+
+    let sites = audit(Path::new(&root));
+    let bad: Vec<&Site> = sites.iter().filter(|s| !s.justified).collect();
+
+    let mut out = String::new();
+    if list {
+        for s in sites.iter().filter(|s| s.justified) {
+            let _ = writeln!(out, "ok   {}:{}", s.file.display(), s.line);
+        }
+    }
+    for s in &bad {
+        let _ = writeln!(
+            out,
+            "FAIL {}:{}: Ordering::Relaxed without a `// ordering:` justification \
+             (same line or <= {LOOKBACK} lines above)",
+            s.file.display(),
+            s.line
+        );
+    }
+    print!("{out}");
+    println!(
+        "hdd-ordering-lint: {} Relaxed site(s), {} justified, {} unjustified",
+        sites.len(),
+        sites.len() - bad.len(),
+        bad.len()
+    );
+    std::process::exit(i32::from(!bad.is_empty()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_line_justification_passes() {
+        let src = "x.load(Ordering::Relaxed); // ordering: Relaxed — advisory\n";
+        let sites = scan_text(Path::new("t.rs"), src);
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].justified);
+    }
+
+    #[test]
+    fn lookback_justification_passes_and_is_bounded() {
+        let near = format!(
+            "// ordering: Relaxed — counter\n{}x.load(Ordering::Relaxed);\n",
+            "// filler\n".repeat(LOOKBACK - 1)
+        );
+        let sites = scan_text(Path::new("t.rs"), &near);
+        assert!(sites[0].justified, "within lookback");
+
+        let far = format!(
+            "// ordering: Relaxed — counter\n{}x.load(Ordering::Relaxed);\n",
+            "// filler\n".repeat(LOOKBACK)
+        );
+        let sites = scan_text(Path::new("t.rs"), &far);
+        assert!(!sites[0].justified, "beyond lookback must fail");
+    }
+
+    #[test]
+    fn unjustified_site_fails_and_line_is_reported() {
+        let src = "fn f() {\n    x.store(1, Ordering::Relaxed);\n}\n";
+        let sites = scan_text(Path::new("t.rs"), src);
+        assert_eq!(sites.len(), 1);
+        assert!(!sites[0].justified);
+        assert_eq!(sites[0].line, 2);
+    }
+
+    #[test]
+    fn one_comment_covers_a_multiline_call() {
+        let src = "// ordering: Relaxed — CAS loop re-reads on failure\n\
+                   x.compare_exchange_weak(\n    a,\n    b,\n    \
+                   Ordering::Relaxed,\n    Ordering::Relaxed,\n);\n";
+        let sites = scan_text(Path::new("t.rs"), src);
+        assert_eq!(sites.len(), 2);
+        assert!(sites.iter().all(|s| s.justified));
+    }
+
+    #[test]
+    fn stronger_orderings_need_no_justification() {
+        let src = "x.load(Ordering::Acquire);\ny.store(1, Ordering::SeqCst);\n";
+        assert!(scan_text(Path::new("t.rs"), src).is_empty());
+    }
+}

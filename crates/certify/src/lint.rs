@@ -17,7 +17,10 @@
 //!   (two distinct undirected paths connect the same pair of classes);
 //! * `CERT005` — a script profile is illegal under the hierarchy;
 //! * `CERT006` — a read-only profile spans several critical paths
-//!   (legal, but served by Protocol C's time wall — a note).
+//!   (legal, but served by Protocol C's time wall — a note);
+//! * `CERT007` — a read-only profile reads only segments no transaction
+//!   in the script ever writes (static data: it pays protocol overhead
+//!   for isolation it cannot need, or a writer is missing).
 
 use crate::diag::{json_escape, Diagnostic};
 use hdd::analysis::{build_dhg, AccessSpec, Hierarchy};
@@ -256,6 +259,13 @@ pub fn lint_workload(w: &dyn Workload) -> LintReport {
 /// Lint a script's transaction profiles against a validated hierarchy.
 pub fn lint_script(script: &Script, hierarchy: &Hierarchy) -> LintReport {
     let mut diagnostics = Vec::new();
+    // Segments some transaction in this script declares it may write —
+    // the universe a read-only profile could conflict with (CERT007).
+    let written: std::collections::BTreeSet<_> = script
+        .transactions
+        .iter()
+        .flat_map(|p| p.write_segments.iter().copied())
+        .collect();
     for (i, profile) in script.transactions.iter().enumerate() {
         if let Err(v) = hierarchy.validate_profile(profile) {
             diagnostics.push(
@@ -269,28 +279,52 @@ pub fn lint_script(script: &Script, hierarchy: &Hierarchy) -> LintReport {
                          re-root the transaction in the lowest class it writes",
                 ),
             );
-        } else if profile.is_read_only()
-            && !profile.read_segments.is_empty()
-            && !hierarchy.read_only_on_one_critical_path(&profile.read_segments)
-        {
-            diagnostics.push(
-                Diagnostic::note(
-                    "CERT006",
-                    format!(
-                        "read-only transaction #{i} spans several critical paths; \
-                         it will be served through Protocol C's time wall"
+        } else if profile.is_read_only() && !profile.read_segments.is_empty() {
+            if profile.read_segments.iter().all(|s| !written.contains(s)) {
+                diagnostics.push(
+                    Diagnostic::warning(
+                        "CERT007",
+                        format!(
+                            "read-only transaction #{i} reads only segments no \
+                             transaction in this script writes"
+                        ),
+                    )
+                    .with_witness(format!(
+                        "read segments never written here: {}",
+                        profile
+                            .read_segments
+                            .iter()
+                            .map(|s| hierarchy.segment_name(*s).to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                    .with_help(
+                        "its reads can never conflict: serve it outside the \
+                         protocol (a plain snapshot read, no timestamp draw and \
+                         no time-wall wait) — or, if these segments do change, \
+                         add the missing update transaction to the script",
                     ),
-                )
-                .with_witness(format!(
-                    "read segments: {}",
-                    profile
-                        .read_segments
-                        .iter()
-                        .map(|s| hierarchy.segment_name(*s).to_string())
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                )),
-            );
+                );
+            } else if !hierarchy.read_only_on_one_critical_path(&profile.read_segments) {
+                diagnostics.push(
+                    Diagnostic::note(
+                        "CERT006",
+                        format!(
+                            "read-only transaction #{i} spans several critical paths; \
+                             it will be served through Protocol C's time wall"
+                        ),
+                    )
+                    .with_witness(format!(
+                        "read segments: {}",
+                        profile
+                            .read_segments
+                            .iter()
+                            .map(|s| hierarchy.segment_name(*s).to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )),
+                );
+            }
         }
     }
     LintReport {
@@ -372,6 +406,47 @@ mod tests {
         let d = r.diagnostics.iter().find(|d| d.code == "CERT003").unwrap();
         assert!(d.witness.iter().any(|w| w.contains("'fwd'")));
         assert!(d.witness.iter().any(|w| w.contains("'back'")));
+    }
+
+    #[test]
+    fn conflict_free_reader_gets_cert007_with_repair() {
+        use workloads::anomalies::AnomalyWorkload;
+        use workloads::script::Script;
+        use workloads::Workload as _;
+        let h = AnomalyWorkload.hierarchy();
+        // One updater writing on-order (segment 2); one reader touching
+        // only events (segment 0), which nothing in this script writes.
+        let script = Script {
+            name: "static-reader",
+            transactions: vec![
+                txn_model::TxnProfile::update(txn_model::ClassId(2), vec![s(2)]),
+                txn_model::TxnProfile::read_only(vec![s(0)]),
+            ],
+            steps: vec![],
+            setup: vec![],
+        };
+        let r = lint_script(&script, &h);
+        assert!(r.ok(), "CERT007 is a warning, not an error: {}", r.render());
+        let d = r.diagnostics.iter().find(|d| d.code == "CERT007").unwrap();
+        assert!(d.witness[0].contains("events"), "{:?}", d.witness);
+        assert!(d.help.as_ref().unwrap().contains("outside the"));
+
+        // A reader overlapping the writer's segment is not flagged.
+        let script = Script {
+            name: "conflicting-reader",
+            transactions: vec![
+                txn_model::TxnProfile::update(txn_model::ClassId(2), vec![s(2)]),
+                txn_model::TxnProfile::read_only(vec![s(2)]),
+            ],
+            steps: vec![],
+            setup: vec![],
+        };
+        let r = lint_script(&script, &h);
+        assert!(
+            r.diagnostics.iter().all(|d| d.code != "CERT007"),
+            "{}",
+            r.render()
+        );
     }
 
     #[test]

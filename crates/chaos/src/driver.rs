@@ -144,6 +144,7 @@ pub fn run_chaos(
         // watchdog reaps end-of-run corpses (the controller below flips
         // `done`).
         scope.spawn(|| {
+            // ordering: Relaxed — advisory stop flag; one extra iteration after the store is harmless.
             while !done.load(Ordering::Relaxed) {
                 scheduler.maintenance();
                 std::thread::sleep(cfg.maintenance_interval);
@@ -159,9 +160,11 @@ pub fn run_chaos(
         });
         // Wall-release monitor.
         scope.spawn(|| {
+            // ordering: Relaxed — monitor peek at a release counter; a stale read only widens the observed gap.
             let mut last = walls.load(Ordering::Relaxed);
             let mut last_change = Instant::now();
             let mut max_gap = Duration::ZERO;
+            // ordering: Relaxed — advisory stop flag; one extra iteration after the store is harmless.
             while !done.load(Ordering::Relaxed) {
                 let cur = walls.load(Ordering::Relaxed);
                 if cur != last {
@@ -215,6 +218,7 @@ pub fn run_chaos(
                     }
                 };
                 loop {
+                    // ordering: Relaxed — work-claim ticket; uniqueness comes from fetch_add atomicity and the claimed program is immutable.
                     let idx = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(program) = programs.get(idx) else {
                         active_workers.fetch_sub(1, Ordering::AcqRel);
@@ -255,6 +259,7 @@ pub fn run_chaos(
                                             op_index: ops as u64,
                                             fault: FaultCode::Crash,
                                         });
+                                        // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                         crashed.fetch_add(1, Ordering::Relaxed);
                                         // Abandon WITHOUT abort: pending
                                         // versions and the registry
@@ -272,6 +277,7 @@ pub fn run_chaos(
                                             op_index: ops as u64,
                                             fault: FaultCode::Stall,
                                         });
+                                        // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                         stalled.fetch_add(1, Ordering::Relaxed);
                                         armed = false;
                                         std::thread::sleep(Duration::from_micros(micros));
@@ -294,6 +300,7 @@ pub fn run_chaos(
                                         scheduler.abort(&handle);
                                         tries += 1;
                                         if Instant::now() >= deadline {
+                                            // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                             deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                                             flight_end(
                                                 traced,
@@ -307,6 +314,7 @@ pub fn run_chaos(
                                             flight_end(traced, handle.id.0, Terminal::GaveUp);
                                             break 'retry;
                                         }
+                                        // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                         restarts.fetch_add(1, Ordering::Relaxed);
                                         flight_end(traced, handle.id.0, Terminal::Aborted);
                                         continue 'retry;
@@ -326,6 +334,7 @@ pub fn run_chaos(
                                             scheduler.abort(&handle);
                                             tries += 1;
                                             if Instant::now() >= deadline {
+                                                // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                                 deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                                                 flight_end(
                                                     traced,
@@ -339,6 +348,7 @@ pub fn run_chaos(
                                                 flight_end(traced, handle.id.0, Terminal::GaveUp);
                                                 break 'retry;
                                             }
+                                            // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                             restarts.fetch_add(1, Ordering::Relaxed);
                                             flight_end(traced, handle.id.0, Terminal::Aborted);
                                             continue 'retry;
@@ -349,6 +359,7 @@ pub fn run_chaos(
                             if blocked {
                                 if Instant::now() >= deadline {
                                     scheduler.abort(&handle);
+                                    // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                     deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                                     flight_end(traced, handle.id.0, Terminal::DeadlineExceeded);
                                     break 'retry;
@@ -367,6 +378,7 @@ pub fn run_chaos(
                                         op_index: ops as u64,
                                         fault: FaultCode::Crash,
                                     });
+                                    // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                     crashed.fetch_add(1, Ordering::Relaxed);
                                     flight_end(traced, handle.id.0, Terminal::Abandoned);
                                     break 'retry;
@@ -377,6 +389,7 @@ pub fn run_chaos(
                                         op_index: ops as u64,
                                         fault: FaultCode::Stall,
                                     });
+                                    // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                     stalled.fetch_add(1, Ordering::Relaxed);
                                     armed = false;
                                     std::thread::sleep(Duration::from_micros(micros));
@@ -387,6 +400,7 @@ pub fn run_chaos(
                                         op_index: ops as u64,
                                         fault: FaultCode::DelayCommit,
                                     });
+                                    // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                     delayed.fetch_add(1, Ordering::Relaxed);
                                     armed = false;
                                     std::thread::sleep(Duration::from_micros(micros));
@@ -399,6 +413,7 @@ pub fn run_chaos(
                             attempts.fetch_add(1, Ordering::Relaxed);
                             match scheduler.commit(&handle) {
                                 CommitOutcome::Committed(_) => {
+                                    // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                     committed.fetch_add(1, Ordering::Relaxed);
                                     flight_end(traced, handle.id.0, Terminal::Committed);
                                     break 'retry;
@@ -416,6 +431,7 @@ pub fn run_chaos(
                                 CommitOutcome::Aborted => {
                                     tries += 1;
                                     if Instant::now() >= deadline {
+                                        // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                         deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                                         flight_end(traced, handle.id.0, Terminal::DeadlineExceeded);
                                         break 'retry;
@@ -442,6 +458,7 @@ pub fn run_chaos(
         .unwrap_or_else(std::sync::PoisonError::into_inner);
 
     ChaosReport {
+        // ordering: Relaxed — read after the worker scope joined; the join edge orders every counter write before it.
         committed: committed.load(Ordering::Relaxed),
         restarts: restarts.load(Ordering::Relaxed),
         gave_up: gave_up.load(Ordering::Relaxed),

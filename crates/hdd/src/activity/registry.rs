@@ -37,7 +37,7 @@
 //! History is pruned by garbage collection: an interval that ended before
 //! the GC watermark can never again satisfy `end > m` for future queries.
 
-use parking_lot::Mutex;
+use mc::sync::Mutex;
 use std::cell::Cell;
 use txn_model::{ClassId, Timestamp};
 

@@ -355,6 +355,8 @@ impl Scheduler for AdaptiveScheduler {
         if Self::is_parked_profile(&e, profile) {
             // Parked: hand out a provisional handle; the real begin
             // happens after the switch.
+            // ordering: Relaxed — id uniqueness from fetch_add atomicity;
+            // nothing else is published through the id counter.
             let id = TxnId(self.core.txn_ids.fetch_add(1, Ordering::Relaxed));
             let start = self.core.clock.tick();
             drop(e);
@@ -445,6 +447,7 @@ impl Scheduler for AdaptiveScheduler {
         }
         self.try_switch();
 
+        // ordering: Relaxed — private cadence counter for interval gating.
         let n = self.maintenance_calls.fetch_add(1, Ordering::Relaxed) + 1;
         let e = self.epochs.read();
         if self.config.wall_interval > 0 && n.is_multiple_of(self.config.wall_interval) {

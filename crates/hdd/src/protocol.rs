@@ -778,6 +778,8 @@ impl Scheduler for HddScheduler {
                  use dynamic restructuring for ad-hoc update patterns"
             );
         }
+        // ordering: Relaxed — id uniqueness comes from fetch_add atomicity;
+        // ids publish no memory (txn state is built after, under locks).
         let id = TxnId(self.core.txn_ids.fetch_add(1, Ordering::Relaxed));
         Metrics::bump(&self.core.metrics.begins);
 
@@ -1073,6 +1075,8 @@ impl Scheduler for HddScheduler {
     }
 
     fn maintenance(&self) {
+        // ordering: Relaxed — private cadence counter for interval gating;
+        // no cross-thread data depends on it.
         let n = self.maintenance_calls.fetch_add(1, Ordering::Relaxed) + 1;
         if self.config.txn_lease.is_some() {
             self.reap_stragglers();

@@ -18,7 +18,7 @@
 
 use crate::activity::{ActivityFuncs, CLate};
 use crate::analysis::Hierarchy;
-use parking_lot::RwLock;
+use mc::sync::RwLock;
 use std::sync::Arc;
 use txn_model::{ClassId, Timestamp};
 

@@ -1,0 +1,80 @@
+//! `mc` — a zero-dependency, loom-style interleaving model checker, plus
+//! the [`sync`] facade the workspace's lock-free core routes through.
+//!
+//! # Why
+//!
+//! HDD's serializability argument rests on small lock-free protocols: the
+//! activity registry's begin/end vs `I_old(m)` evaluation, the time-wall
+//! release vs unregistered readers, ticket stamping in the striped
+//! schedule log, gauge cells, and the span ring. Stress tests *sample*
+//! interleavings of those protocols; the two real Protocol A races fixed
+//! in PR 1 survived hundreds of seeds before being caught. This crate
+//! *enumerates* the interleavings of small models of those protocols
+//! instead, so an invariant that holds after a check holds for **every**
+//! schedule the model can produce, not just the sampled ones.
+//!
+//! # How it plugs in
+//!
+//! Production code never imports `std::sync::atomic` or `parking_lot`
+//! directly for the checked structures — it imports [`mc::sync`](sync):
+//!
+//! - In a **normal build**, `mc::sync` types are `#[inline]` newtypes over
+//!   the std primitives. Zero cost, identical semantics (mutexes do not
+//!   poison, matching the `parking_lot` shim they replace).
+//! - Under **`RUSTFLAGS="--cfg mc"`**, the same names become instrumented
+//!   model types. Code running inside `check` executes every atomic
+//!   load/store/rmw, lock acquire/release and `OnceLock` init as a
+//!   *scheduling point* of a deterministic scheduler, which explores the
+//!   interleaving space by depth-first search with dynamic partial-order
+//!   reduction and an optional bounded-preemption budget.
+//!
+//! The scheduler also models **declared memory orderings**: a `Relaxed`
+//! load may observe any coherence-allowed earlier value, not just the
+//! newest one, so an assertion that only fails when a stale value is
+//! observed produces a counterexample trace pinpointing the exact load
+//! (file:line) and the value it observed vs the newest. `check_ordering`
+//! runs the same model under sequentially-consistent semantics and under
+//! the declared orderings, and reports whether the declared orderings are
+//! what makes the model fail.
+//!
+//! # Scope and approximations
+//!
+//! This is a *small-model* checker, not a proof of the full system:
+//!
+//! - Values flow through the model as `u64` (atomics); data protected by
+//!   modeled mutexes is real memory, made race-free by the model's
+//!   serialization of lock grants.
+//! - Weak memory is the operational store-buffer-free approximation loom
+//!   uses: a load may read any store already executed that coherence,
+//!   happens-before and SC constraints allow. Load-buffering and OOTA
+//!   behaviours are not generated.
+//! - `compare_exchange_weak` never fails spuriously.
+//! - SC is approximated per object (an SC load cannot observe anything
+//!   older than the newest SC store of that object); the global SC order
+//!   across distinct objects is not enforced.
+//!
+//! Those approximations are all on the *permissive* side for the
+//! invariants checked here, and each model in `crates/mc/tests` states
+//! which approximation it leans on.
+
+pub mod sync;
+
+#[cfg(not(mc))]
+mod passthrough;
+
+#[cfg(mc)]
+mod model;
+#[cfg(mc)]
+mod rt;
+
+#[cfg(mc)]
+pub use rt::{check, check_ordering, Config, Failure, OrderingVerdict, Report};
+
+pub mod thread;
+
+/// True when this build of `mc` is the instrumented model runtime
+/// (compiled under `--cfg mc`), false for the zero-cost passthrough.
+#[must_use]
+pub const fn model_build() -> bool {
+    cfg!(mc)
+}

@@ -1,0 +1,620 @@
+//! Instrumented facade types (only compiled under `--cfg mc`).
+//!
+//! Same API as `crate::passthrough`, but every operation on an object
+//! created *inside* a model execution becomes a scheduling point of the
+//! runtime in `crate::rt`. Objects created outside an execution fall
+//! back to plain std behavior, so instrumented builds of the routed
+//! crates still work when run normally (e.g. their own unit tests).
+
+pub mod sync {
+    //! Model-side sync primitives.
+
+    use crate::rt::{self, Backing, Op, RmwKind};
+    use std::ops::{Deref, DerefMut};
+    use std::panic::Location;
+    use std::sync::atomic::Ordering;
+    use std::sync::PoisonError;
+
+    /// Instrumented facade over `AtomicU64`.
+    #[derive(Debug)]
+    pub struct AtomicU64 {
+        real: std::sync::atomic::AtomicU64,
+        backing: Backing,
+    }
+
+    impl Default for AtomicU64 {
+        fn default() -> Self {
+            Self::new(0)
+        }
+    }
+
+    impl AtomicU64 {
+        /// A new atomic with initial value `v`.
+        #[track_caller]
+        #[must_use]
+        pub fn new(v: u64) -> Self {
+            AtomicU64 {
+                real: std::sync::atomic::AtomicU64::new(v),
+                backing: rt::register(rt::atomic_state(v), "AtomicU64", Location::caller()),
+            }
+        }
+
+        /// Atomic load with the declared ordering.
+        #[track_caller]
+        pub fn load(&self, ord: Ordering) -> u64 {
+            match rt::obj_op(
+                &self.backing,
+                |obj| Op::Load { obj, ord },
+                Location::caller(),
+            ) {
+                Some(v) => v,
+                None => self.real.load(ord),
+            }
+        }
+
+        /// Atomic store with the declared ordering.
+        #[track_caller]
+        pub fn store(&self, v: u64, ord: Ordering) {
+            if rt::obj_op(
+                &self.backing,
+                |obj| Op::Store { obj, ord, val: v },
+                Location::caller(),
+            )
+            .is_none()
+            {
+                self.real.store(v, ord);
+            }
+        }
+
+        #[track_caller]
+        fn rmw(&self, rmw: RmwKind, ord: Ordering) -> Option<u64> {
+            rt::obj_op(
+                &self.backing,
+                |obj| Op::Rmw { obj, ord, rmw },
+                Location::caller(),
+            )
+        }
+
+        /// Atomic add; returns the previous value.
+        #[track_caller]
+        pub fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
+            self.rmw(RmwKind::Add(v), ord)
+                .unwrap_or_else(|| self.real.fetch_add(v, ord))
+        }
+
+        /// Atomic minimum; returns the previous value.
+        #[track_caller]
+        pub fn fetch_min(&self, v: u64, ord: Ordering) -> u64 {
+            self.rmw(RmwKind::Min(v), ord)
+                .unwrap_or_else(|| self.real.fetch_min(v, ord))
+        }
+
+        /// Atomic maximum; returns the previous value.
+        #[track_caller]
+        pub fn fetch_max(&self, v: u64, ord: Ordering) -> u64 {
+            self.rmw(RmwKind::Max(v), ord)
+                .unwrap_or_else(|| self.real.fetch_max(v, ord))
+        }
+
+        /// Atomic swap; returns the previous value.
+        #[track_caller]
+        pub fn swap(&self, v: u64, ord: Ordering) -> u64 {
+            self.rmw(RmwKind::Swap(v), ord)
+                .unwrap_or_else(|| self.real.swap(v, ord))
+        }
+
+        /// Atomic compare-exchange.
+        ///
+        /// # Errors
+        /// Returns the observed value if it differed from `current`.
+        #[track_caller]
+        pub fn compare_exchange(
+            &self,
+            current: u64,
+            new: u64,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<u64, u64> {
+            match self.rmw(
+                RmwKind::Cas {
+                    expect: current,
+                    new,
+                },
+                success,
+            ) {
+                Some(old) if old == current => Ok(old),
+                Some(old) => Err(old),
+                None => self.real.compare_exchange(current, new, success, failure),
+            }
+        }
+
+        /// Atomic compare-exchange; the model never fails spuriously.
+        ///
+        /// # Errors
+        /// Returns the observed value on failure.
+        #[track_caller]
+        pub fn compare_exchange_weak(
+            &self,
+            current: u64,
+            new: u64,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<u64, u64> {
+            self.compare_exchange(current, new, success, failure)
+        }
+    }
+
+    /// Instrumented facade over `AtomicUsize` (modeled as `u64`).
+    #[derive(Debug)]
+    pub struct AtomicUsize(AtomicU64);
+
+    impl Default for AtomicUsize {
+        fn default() -> Self {
+            Self::new(0)
+        }
+    }
+
+    impl AtomicUsize {
+        /// A new atomic with initial value `v`.
+        #[track_caller]
+        #[must_use]
+        pub fn new(v: usize) -> Self {
+            AtomicUsize(AtomicU64::new(v as u64))
+        }
+
+        /// Atomic load with the declared ordering.
+        #[track_caller]
+        pub fn load(&self, ord: Ordering) -> usize {
+            usize::try_from(self.0.load(ord)).expect("usize value")
+        }
+
+        /// Atomic store with the declared ordering.
+        #[track_caller]
+        pub fn store(&self, v: usize, ord: Ordering) {
+            self.0.store(v as u64, ord);
+        }
+
+        /// Atomic add; returns the previous value.
+        #[track_caller]
+        pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+            usize::try_from(self.0.fetch_add(v as u64, ord)).expect("usize value")
+        }
+    }
+
+    /// Instrumented facade over `AtomicBool` (modeled as `u64` 0/1).
+    #[derive(Debug)]
+    pub struct AtomicBool(AtomicU64);
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    impl AtomicBool {
+        /// A new atomic with initial value `v`.
+        #[track_caller]
+        #[must_use]
+        pub fn new(v: bool) -> Self {
+            AtomicBool(AtomicU64::new(u64::from(v)))
+        }
+
+        /// Atomic load with the declared ordering.
+        #[track_caller]
+        pub fn load(&self, ord: Ordering) -> bool {
+            self.0.load(ord) != 0
+        }
+
+        /// Atomic store with the declared ordering.
+        #[track_caller]
+        pub fn store(&self, v: bool, ord: Ordering) {
+            self.0.store(u64::from(v), ord);
+        }
+
+        /// Atomic swap; returns the previous value.
+        #[track_caller]
+        pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+            self.0.swap(u64::from(v), ord) != 0
+        }
+    }
+
+    /// Non-poisoning, model-scheduled mutex.
+    #[derive(Debug)]
+    pub struct Mutex<T> {
+        real: std::sync::Mutex<T>,
+        backing: Backing,
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Self::new(T::default())
+        }
+    }
+
+    impl std::fmt::Debug for Backing {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Backing::Std => f.write_str("Std"),
+                Backing::Model { id, .. } => write!(f, "Model#{id}"),
+            }
+        }
+    }
+
+    /// RAII guard for [`Mutex`].
+    pub struct MutexGuard<'a, T> {
+        real: Option<std::sync::MutexGuard<'a, T>>,
+        model: Option<&'a Backing>,
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.real.as_ref().expect("guard live")
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.real.as_mut().expect("guard live")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Release the real lock before the model unlock: the next
+            // model-granted locker must find it uncontended.
+            self.real.take();
+            if let Some(b) = self.model {
+                rt::obj_op(b, |obj| Op::Unlock { obj }, Location::caller());
+            }
+        }
+    }
+
+    impl<T> Mutex<T> {
+        /// A new mutex protecting `value`.
+        #[track_caller]
+        pub fn new(value: T) -> Self {
+            Mutex {
+                real: std::sync::Mutex::new(value),
+                backing: rt::register(rt::mutex_state(), "Mutex", Location::caller()),
+            }
+        }
+
+        fn real_guard(&self) -> std::sync::MutexGuard<'_, T> {
+            self.real.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Block until the lock is acquired.
+        #[track_caller]
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            let model = rt::obj_op(&self.backing, |obj| Op::Lock { obj }, Location::caller());
+            MutexGuard {
+                real: Some(self.real_guard()),
+                model: model.map(|_| &self.backing),
+            }
+        }
+
+        /// Acquire the lock only if it is free right now.
+        #[track_caller]
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            match rt::obj_op(&self.backing, |obj| Op::TryLock { obj }, Location::caller()) {
+                Some(1) => Some(MutexGuard {
+                    real: Some(self.real_guard()),
+                    model: Some(&self.backing),
+                }),
+                Some(_) => None,
+                None => match self.real.try_lock() {
+                    Ok(g) => Some(MutexGuard {
+                        real: Some(g),
+                        model: None,
+                    }),
+                    Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                        real: Some(p.into_inner()),
+                        model: None,
+                    }),
+                    Err(std::sync::TryLockError::WouldBlock) => None,
+                },
+            }
+        }
+
+        /// Lock-free access through exclusive borrow.
+        pub fn get_mut(&mut self) -> &mut T {
+            self.real.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Consume the mutex, returning the data.
+        pub fn into_inner(self) -> T {
+            self.real
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Shared-read RAII guard for [`RwLock`].
+    pub struct RwLockReadGuard<'a, T> {
+        real: Option<std::sync::RwLockReadGuard<'a, T>>,
+        model: Option<&'a Backing>,
+    }
+
+    impl<T> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.real.as_ref().expect("guard live")
+        }
+    }
+
+    impl<T> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            self.real.take();
+            if let Some(b) = self.model {
+                rt::obj_op(b, |obj| Op::RwUnlockRead { obj }, Location::caller());
+            }
+        }
+    }
+
+    /// Exclusive-write RAII guard for [`RwLock`].
+    pub struct RwLockWriteGuard<'a, T> {
+        real: Option<std::sync::RwLockWriteGuard<'a, T>>,
+        model: Option<&'a Backing>,
+    }
+
+    impl<T> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.real.as_ref().expect("guard live")
+        }
+    }
+
+    impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.real.as_mut().expect("guard live")
+        }
+    }
+
+    impl<T> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            self.real.take();
+            if let Some(b) = self.model {
+                rt::obj_op(b, |obj| Op::RwUnlockWrite { obj }, Location::caller());
+            }
+        }
+    }
+
+    /// Non-poisoning, model-scheduled reader-writer lock.
+    #[derive(Debug)]
+    pub struct RwLock<T> {
+        real: std::sync::RwLock<T>,
+        backing: Backing,
+    }
+
+    impl<T: Default> Default for RwLock<T> {
+        fn default() -> Self {
+            Self::new(T::default())
+        }
+    }
+
+    impl<T> RwLock<T> {
+        /// A new lock protecting `value`.
+        #[track_caller]
+        pub fn new(value: T) -> Self {
+            RwLock {
+                real: std::sync::RwLock::new(value),
+                backing: rt::register(rt::rw_state(), "RwLock", Location::caller()),
+            }
+        }
+
+        /// Block until a shared read guard is acquired.
+        #[track_caller]
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            let model = rt::obj_op(&self.backing, |obj| Op::RwRead { obj }, Location::caller());
+            RwLockReadGuard {
+                real: Some(self.real.read().unwrap_or_else(PoisonError::into_inner)),
+                model: model.map(|_| &self.backing),
+            }
+        }
+
+        /// Block until the exclusive write guard is acquired.
+        #[track_caller]
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            let model = rt::obj_op(&self.backing, |obj| Op::RwWrite { obj }, Location::caller());
+            RwLockWriteGuard {
+                real: Some(self.real.write().unwrap_or_else(PoisonError::into_inner)),
+                model: model.map(|_| &self.backing),
+            }
+        }
+
+        /// Lock-free access through exclusive borrow.
+        pub fn get_mut(&mut self) -> &mut T {
+            self.real.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Consume the lock, returning the data.
+        pub fn into_inner(self) -> T {
+            self.real
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Model-scheduled once cell.
+    #[derive(Debug)]
+    pub struct OnceLock<T> {
+        real: std::sync::OnceLock<T>,
+        backing: Backing,
+    }
+
+    impl<T> Default for OnceLock<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> OnceLock<T> {
+        /// A new, uninitialized cell.
+        #[track_caller]
+        #[must_use]
+        pub fn new() -> Self {
+            OnceLock {
+                real: std::sync::OnceLock::new(),
+                backing: rt::register(rt::once_state(), "OnceLock", Location::caller()),
+            }
+        }
+
+        /// The value, if initialized.
+        #[track_caller]
+        pub fn get(&self) -> Option<&T> {
+            match rt::obj_op(&self.backing, |obj| Op::OnceGet { obj }, Location::caller()) {
+                Some(1) => self.real.get(),
+                Some(_) => None,
+                None => self.real.get(),
+            }
+        }
+
+        /// Initialize the cell if no other thread has; first write wins.
+        ///
+        /// # Errors
+        /// Returns `value` back if the cell was already initialized.
+        #[track_caller]
+        pub fn set(&self, value: T) -> Result<(), T> {
+            match rt::obj_op(
+                &self.backing,
+                |obj| Op::OnceAcquire { obj },
+                Location::caller(),
+            ) {
+                Some(0) => {
+                    let _ = self.real.set(value);
+                    rt::obj_op(
+                        &self.backing,
+                        |obj| Op::OnceRelease { obj },
+                        Location::caller(),
+                    );
+                    Ok(())
+                }
+                Some(_) => Err(value),
+                None => self.real.set(value),
+            }
+        }
+
+        /// The value, initializing it from `f` if the cell is empty.
+        #[track_caller]
+        pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+            match rt::obj_op(
+                &self.backing,
+                |obj| Op::OnceAcquire { obj },
+                Location::caller(),
+            ) {
+                Some(0) => {
+                    let v = f();
+                    let _ = self.real.set(v);
+                    rt::obj_op(
+                        &self.backing,
+                        |obj| Op::OnceRelease { obj },
+                        Location::caller(),
+                    );
+                    self.real.get().expect("just set")
+                }
+                Some(_) => self.real.get().expect("once ready"),
+                None => self.real.get_or_init(f),
+            }
+        }
+    }
+
+    /// Allocator of stable per-`(thread, instance)` stripe indices.
+    ///
+    /// Model threads get their deterministic thread id, so explored
+    /// interleavings are replayable; outside an execution the behavior
+    /// matches the passthrough build.
+    #[derive(Debug, Default)]
+    pub struct ThreadStripe {
+        next: std::sync::atomic::AtomicUsize,
+    }
+
+    impl ThreadStripe {
+        /// A new allocator (place it in a `static`).
+        #[must_use]
+        pub const fn new() -> Self {
+            ThreadStripe {
+                next: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+
+        /// This thread's stripe index, masked to `mask`.
+        pub fn index_for_thread(&self, mask: usize) -> usize {
+            if let Some(tid) = rt::current_tid() {
+                return tid & mask;
+            }
+            thread_local! {
+                static ASSIGNED: std::cell::RefCell<Vec<(usize, usize)>> =
+                    const { std::cell::RefCell::new(Vec::new()) };
+            }
+            let key = self as *const Self as usize;
+            ASSIGNED.with(|a| {
+                let mut a = a.borrow_mut();
+                if let Some(&(_, v)) = a.iter().find(|&&(k, _)| k == key) {
+                    return v & mask;
+                }
+                // ordering: Relaxed — round-robin ticket; uniqueness
+                // comes from fetch_add atomicity, nothing is published.
+                let v = self.next.fetch_add(1, Ordering::Relaxed);
+                a.push((key, v));
+                v & mask
+            })
+        }
+    }
+}
+
+pub mod thread {
+    //! Model-managed virtual threads.
+
+    use crate::rt::{self, Op};
+    use std::panic::Location;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Handle to a model virtual thread.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        result: Arc<Mutex<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait (as a scheduling point) for the thread to finish and
+        /// return its result. Model failures abort the execution before
+        /// this returns, so the `Err` arm is never produced.
+        ///
+        /// # Errors
+        /// Mirrors `std::thread::JoinHandle::join`'s signature.
+        #[track_caller]
+        pub fn join(self) -> std::thread::Result<T> {
+            rt::join_thread(self.tid);
+            Ok(self
+                .result
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("joined thread stored its result"))
+        }
+    }
+
+    /// Spawn a model virtual thread. Must be called inside a model
+    /// execution.
+    #[track_caller]
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let r2 = Arc::clone(&result);
+        let tid = rt::spawn_thread(Box::new(move || {
+            let v = f();
+            *r2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+        }));
+        JoinHandle { tid, result }
+    }
+
+    /// Voluntary scheduling point (no-op outside a model execution).
+    #[track_caller]
+    pub fn yield_now() {
+        rt::ctx_op(Op::Yield, Location::caller());
+    }
+}

@@ -1,0 +1,314 @@
+//! Normal-build side of the facade: `#[inline]` newtypes over `std`
+//! primitives with identical semantics (mutexes do not poison — a
+//! panicking holder simply releases, matching the `parking_lot` shim the
+//! routed code used before).
+//!
+//! Everything here must stay API-compatible with the instrumented types
+//! in `crate::model::sync`; the routed crates compile against whichever
+//! side `--cfg mc` selects.
+
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::PoisonError;
+
+/// Facade over [`std::sync::atomic::AtomicU64`].
+#[derive(Debug, Default)]
+pub struct AtomicU64(std::sync::atomic::AtomicU64);
+
+impl AtomicU64 {
+    /// A new atomic with initial value `v`.
+    #[must_use]
+    pub const fn new(v: u64) -> Self {
+        AtomicU64(std::sync::atomic::AtomicU64::new(v))
+    }
+
+    /// Atomic load with the declared ordering.
+    #[inline]
+    pub fn load(&self, ord: Ordering) -> u64 {
+        self.0.load(ord)
+    }
+
+    /// Atomic store with the declared ordering.
+    #[inline]
+    pub fn store(&self, v: u64, ord: Ordering) {
+        self.0.store(v, ord);
+    }
+
+    /// Atomic add; returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
+        self.0.fetch_add(v, ord)
+    }
+
+    /// Atomic minimum; returns the previous value.
+    #[inline]
+    pub fn fetch_min(&self, v: u64, ord: Ordering) -> u64 {
+        self.0.fetch_min(v, ord)
+    }
+
+    /// Atomic maximum; returns the previous value.
+    #[inline]
+    pub fn fetch_max(&self, v: u64, ord: Ordering) -> u64 {
+        self.0.fetch_max(v, ord)
+    }
+
+    /// Atomic swap; returns the previous value.
+    #[inline]
+    pub fn swap(&self, v: u64, ord: Ordering) -> u64 {
+        self.0.swap(v, ord)
+    }
+
+    /// Atomic compare-exchange.
+    ///
+    /// # Errors
+    /// Returns the observed value if it differed from `current`.
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.0.compare_exchange(current, new, success, failure)
+    }
+
+    /// Atomic compare-exchange that may fail spuriously.
+    ///
+    /// # Errors
+    /// Returns the observed value on failure (possibly equal to `current`).
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.0.compare_exchange_weak(current, new, success, failure)
+    }
+}
+
+/// Facade over [`std::sync::atomic::AtomicUsize`].
+#[derive(Debug, Default)]
+pub struct AtomicUsize(std::sync::atomic::AtomicUsize);
+
+impl AtomicUsize {
+    /// A new atomic with initial value `v`.
+    #[must_use]
+    pub const fn new(v: usize) -> Self {
+        AtomicUsize(std::sync::atomic::AtomicUsize::new(v))
+    }
+
+    /// Atomic load with the declared ordering.
+    #[inline]
+    pub fn load(&self, ord: Ordering) -> usize {
+        self.0.load(ord)
+    }
+
+    /// Atomic store with the declared ordering.
+    #[inline]
+    pub fn store(&self, v: usize, ord: Ordering) {
+        self.0.store(v, ord);
+    }
+
+    /// Atomic add; returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+        self.0.fetch_add(v, ord)
+    }
+}
+
+/// Facade over [`std::sync::atomic::AtomicBool`].
+#[derive(Debug, Default)]
+pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+impl AtomicBool {
+    /// A new atomic with initial value `v`.
+    #[must_use]
+    pub const fn new(v: bool) -> Self {
+        AtomicBool(std::sync::atomic::AtomicBool::new(v))
+    }
+
+    /// Atomic load with the declared ordering.
+    #[inline]
+    pub fn load(&self, ord: Ordering) -> bool {
+        self.0.load(ord)
+    }
+
+    /// Atomic store with the declared ordering.
+    #[inline]
+    pub fn store(&self, v: bool, ord: Ordering) {
+        self.0.store(v, ord);
+    }
+
+    /// Atomic swap; returns the previous value.
+    #[inline]
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        self.0.swap(v, ord)
+    }
+}
+
+/// RAII guard for [`Mutex`]; derefs to the protected data.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// Non-poisoning facade over [`std::sync::Mutex`].
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// A new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Block until the lock is acquired.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire the lock only if it is free right now.
+    #[inline]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Lock-free access through exclusive borrow.
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consume the mutex, returning the data.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Shared-read RAII guard for [`RwLock`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Exclusive-write RAII guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// Non-poisoning facade over [`std::sync::RwLock`].
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// A new lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Block until a shared read guard is acquired.
+    #[inline]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Block until the exclusive write guard is acquired.
+    #[inline]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Lock-free access through exclusive borrow.
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consume the lock, returning the data.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Facade over [`std::sync::OnceLock`].
+#[derive(Debug)]
+pub struct OnceLock<T>(std::sync::OnceLock<T>);
+
+impl<T> Default for OnceLock<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> OnceLock<T> {
+    /// A new, uninitialized cell.
+    #[must_use]
+    pub const fn new() -> Self {
+        OnceLock(std::sync::OnceLock::new())
+    }
+
+    /// The value, if initialized.
+    #[inline]
+    pub fn get(&self) -> Option<&T> {
+        self.0.get()
+    }
+
+    /// Initialize the cell if no other thread has; first write wins.
+    ///
+    /// # Errors
+    /// Returns `value` back if the cell was already initialized.
+    #[inline]
+    pub fn set(&self, value: T) -> Result<(), T> {
+        self.0.set(value)
+    }
+
+    /// The value, initializing it from `f` if the cell is empty.
+    #[inline]
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        self.0.get_or_init(f)
+    }
+}
+
+/// Allocator of stable per-`(thread, instance)` stripe indices.
+///
+/// Replaces the `static NEXT_STRIPE: AtomicUsize` + `thread_local!`
+/// pattern the striped rings used: each instance hands every thread a
+/// round-robin index on first use and the same index afterwards, and
+/// distinct instances spread threads independently. Under the model
+/// runtime the index is the deterministic model thread id instead, so
+/// explored interleavings are replayable.
+#[derive(Debug, Default)]
+pub struct ThreadStripe {
+    next: std::sync::atomic::AtomicUsize,
+}
+
+impl ThreadStripe {
+    /// A new allocator (place it in a `static`).
+    #[must_use]
+    pub const fn new() -> Self {
+        ThreadStripe {
+            next: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// This thread's stripe index, masked to `mask` (stripe count − 1;
+    /// stripe counts are powers of two).
+    pub fn index_for_thread(&self, mask: usize) -> usize {
+        thread_local! {
+            static ASSIGNED: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
+        }
+        let key = self as *const Self as usize;
+        ASSIGNED.with(|a| {
+            let mut a = a.borrow_mut();
+            if let Some(&(_, v)) = a.iter().find(|&&(k, _)| k == key) {
+                return v & mask;
+            }
+            // ordering: Relaxed — round-robin ticket; uniqueness comes from
+            // fetch_add atomicity, no other memory is published with it.
+            let v = self.next.fetch_add(1, Ordering::Relaxed);
+            a.push((key, v));
+            v & mask
+        })
+    }
+}

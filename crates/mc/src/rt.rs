@@ -1,0 +1,1564 @@
+//! The model-checker runtime (only compiled under `--cfg mc`).
+//!
+//! # Architecture
+//!
+//! Each *execution* runs the model closure on real OS threads, but every
+//! instrumented operation (atomic access, lock, once-init, spawn, join)
+//! parks the issuing thread and waits for a grant from the coordinator —
+//! the thread that called [`check`]. The coordinator therefore sees, at
+//! every step, the full set of runnable threads and each one's declared
+//! next operation, and picks which thread moves via a DFS stack: the
+//! first execution follows a default policy, and subsequent executions
+//! replay a recorded prefix and then flip the deepest undone choice.
+//!
+//! Exploration is pruned by dynamic partial-order reduction (only
+//! schedules that reorder *dependent* operations are distinguished) and
+//! optionally by a bounded-preemption budget (Musuvathi/Qadeer-style:
+//! context switches away from a still-runnable thread are rationed;
+//! switches at blocking points are free).
+//!
+//! # Weak memory
+//!
+//! Atomics keep their full store history per execution. A load may
+//! observe any store allowed by coherence (never older than something
+//! the thread already read or wrote), happens-before (never older than a
+//! store the thread provably knows is overwritten, via vector clocks),
+//! and the per-object SC approximation (an `SeqCst` load cannot observe
+//! anything older than the newest `SeqCst` store). Acquire loads of
+//! release stores join vector clocks; RMWs always read the newest store
+//! (atomicity) and continue release sequences. Reading anything but the
+//! newest store marks the step *stale*, and failing executions render
+//! every stale read with its source location — that is the
+//! "`Relaxed` load changed the assertion outcome" evidence the audit
+//! pairs with.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeSet;
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
+
+/// Hard cap on virtual threads per execution (vector clocks are fixed
+/// arrays; small models need 2–4).
+pub(crate) const MAX_THREADS: usize = 8;
+
+pub(crate) type Tid = usize;
+pub(crate) type ObjId = usize;
+pub(crate) type VClock = [u64; MAX_THREADS];
+
+fn vjoin(a: &mut VClock, b: &VClock) {
+    for i in 0..MAX_THREADS {
+        if b[i] > a[i] {
+            a[i] = b[i];
+        }
+    }
+}
+
+fn acquire_like(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn release_like(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
+
+/// Read-modify-write flavors the facade needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RmwKind {
+    Add(u64),
+    Min(u64),
+    Max(u64),
+    Swap(u64),
+    Cas { expect: u64, new: u64 },
+}
+
+/// One instrumented operation — the unit the scheduler interleaves.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Op {
+    Start,
+    Load {
+        obj: ObjId,
+        ord: Ordering,
+    },
+    Store {
+        obj: ObjId,
+        ord: Ordering,
+        val: u64,
+    },
+    Rmw {
+        obj: ObjId,
+        ord: Ordering,
+        rmw: RmwKind,
+    },
+    Lock {
+        obj: ObjId,
+    },
+    TryLock {
+        obj: ObjId,
+    },
+    Unlock {
+        obj: ObjId,
+    },
+    RwRead {
+        obj: ObjId,
+    },
+    RwWrite {
+        obj: ObjId,
+    },
+    RwUnlockRead {
+        obj: ObjId,
+    },
+    RwUnlockWrite {
+        obj: ObjId,
+    },
+    OnceAcquire {
+        obj: ObjId,
+    },
+    OnceRelease {
+        obj: ObjId,
+    },
+    OnceGet {
+        obj: ObjId,
+    },
+    Yield,
+    Spawn,
+    Join {
+        target: Tid,
+    },
+}
+
+impl Op {
+    fn obj(self) -> Option<ObjId> {
+        match self {
+            Op::Load { obj, .. }
+            | Op::Store { obj, .. }
+            | Op::Rmw { obj, .. }
+            | Op::Lock { obj }
+            | Op::TryLock { obj }
+            | Op::Unlock { obj }
+            | Op::RwRead { obj }
+            | Op::RwWrite { obj }
+            | Op::RwUnlockRead { obj }
+            | Op::RwUnlockWrite { obj }
+            | Op::OnceAcquire { obj }
+            | Op::OnceRelease { obj }
+            | Op::OnceGet { obj } => Some(obj),
+            Op::Start | Op::Yield | Op::Spawn | Op::Join { .. } => None,
+        }
+    }
+
+    /// Operations that commute with each other on the same object
+    /// (pure observers: they change no object or cross-thread state).
+    fn pure_read(self) -> bool {
+        matches!(self, Op::Load { .. } | Op::OnceGet { .. })
+    }
+}
+
+/// Do two operations conflict for partial-order reduction purposes?
+fn dependent(a: Op, b: Op) -> bool {
+    match (a.obj(), b.obj()) {
+        (Some(x), Some(y)) if x == y => !(a.pure_read() && b.pure_read()),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Object and thread state
+// ---------------------------------------------------------------------------
+
+/// One store in an atomic's modification order.
+#[derive(Clone, Debug)]
+pub(crate) struct StoreRec {
+    /// Position in this object's modification order (starts at 1).
+    idx: u64,
+    val: u64,
+    writer: Tid,
+    /// Writer's own clock component at store time: a thread with
+    /// `vc[writer] >= writer_pos` provably knows this store happened.
+    writer_pos: u64,
+    /// Clock released with the store (None for relaxed stores, which
+    /// also break release sequences; RMWs propagate it).
+    rel_vc: Option<VClock>,
+}
+
+/// Model state of one instrumented object.
+#[derive(Clone, Debug)]
+pub(crate) enum ObjState {
+    Atomic {
+        stores: Vec<StoreRec>,
+        next_idx: u64,
+        /// Modification-order index of the newest `SeqCst` store (0 = none).
+        last_sc_idx: u64,
+    },
+    Mutex {
+        held: Option<Tid>,
+        rel_vc: VClock,
+    },
+    Rw {
+        writer: Option<Tid>,
+        readers: Vec<Tid>,
+        /// Released by any unlock (read or write): acquired by writers.
+        rel_all: VClock,
+        /// Released by write unlocks only: acquired by readers.
+        rel_w: VClock,
+    },
+    Once {
+        st: OnceSt,
+        rel_vc: VClock,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OnceSt {
+    Empty,
+    Busy(Tid),
+    Ready,
+}
+
+struct ObjInfo {
+    state: ObjState,
+    kind: &'static str,
+    loc: &'static Location<'static>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Running,
+    Parked,
+    Finished,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    op: Op,
+    loc: &'static Location<'static>,
+}
+
+/// Per-(thread, atomic) coherence bounds: a thread may never observe a
+/// store older than one it already read or issued.
+#[derive(Clone, Copy, Debug, Default)]
+struct Coh {
+    last_read_idx: u64,
+    last_store_idx: u64,
+}
+
+struct TState {
+    status: Status,
+    pending: Option<Pending>,
+    vc: VClock,
+    coh: Vec<(ObjId, Coh)>,
+    final_vc: VClock,
+}
+
+impl TState {
+    fn new() -> Self {
+        TState {
+            status: Status::Running,
+            pending: None,
+            vc: [0; MAX_THREADS],
+            coh: Vec::new(),
+            final_vc: [0; MAX_THREADS],
+        }
+    }
+}
+
+fn coh_of(t: &TState, obj: ObjId) -> Coh {
+    t.coh
+        .iter()
+        .find(|&&(o, _)| o == obj)
+        .map_or(Coh::default(), |&(_, c)| c)
+}
+
+fn coh_mut(t: &mut TState, obj: ObjId) -> &mut Coh {
+    if let Some(pos) = t.coh.iter().position(|&(o, _)| o == obj) {
+        &mut t.coh[pos].1
+    } else {
+        t.coh.push((obj, Coh::default()));
+        &mut t.coh.last_mut().expect("just pushed").1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution-shared state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+struct Stale {
+    newest: u64,
+    behind: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct StepTrace {
+    tid: Tid,
+    op: Op,
+    result: u64,
+    stale: Option<Stale>,
+    loc: &'static Location<'static>,
+}
+
+struct Inner {
+    threads: Vec<TState>,
+    objects: Vec<ObjInfo>,
+    /// Thread currently granted one step (None while the coordinator
+    /// decides or the granted thread runs non-instrumented code).
+    active: Option<Tid>,
+    /// Which readable store the granted load should observe.
+    value_choice: usize,
+    abort: bool,
+    failure: Option<String>,
+    /// `file:line: message` captured by the panic hook.
+    panic_info: Option<String>,
+    steps: Vec<StepTrace>,
+    weak: bool,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Shared {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+fn lock_inner(shared: &Shared) -> MutexGuard<'_, Inner> {
+    shared.inner.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How a facade object is backed: `Std` outside any model execution
+/// (plain std behavior), `Model` when created inside one.
+pub(crate) enum Backing {
+    Std,
+    Model { shared: Weak<Shared>, id: ObjId },
+}
+
+#[derive(Clone)]
+struct Ctx {
+    shared: Arc<Shared>,
+    tid: Tid,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+    static IN_MODEL: Cell<bool> = const { Cell::new(false) };
+}
+
+fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// True when the calling thread is a model virtual thread.
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// The calling model thread's id (used for deterministic stripe hints).
+pub(crate) fn current_tid() -> Option<Tid> {
+    current().map(|c| c.tid)
+}
+
+/// Panic payload used to tear an execution down without reporting.
+struct AbortExec;
+
+/// Unwind out of a torn-down execution — unless this thread is already
+/// unwinding (ops issued by guard drops during a panic), where a second
+/// panic would abort the process; those ops become silent no-ops.
+fn abort_thread() {
+    if !std::thread::panicking() {
+        std::panic::panic_any(AbortExec);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Facade entry points (called by `crate::model`)
+// ---------------------------------------------------------------------------
+
+/// Register a new object. Outside an execution this returns
+/// [`Backing::Std`] and the facade behaves like the passthrough build.
+pub(crate) fn register(
+    mut state: ObjState,
+    kind: &'static str,
+    loc: &'static Location<'static>,
+) -> Backing {
+    let Some(ctx) = current() else {
+        return Backing::Std;
+    };
+    let mut g = lock_inner(&ctx.shared);
+    let tid = ctx.tid;
+    // Creation is a clock tick: anyone who inherits this clock (spawn,
+    // acquire) provably knows the object and its initial value.
+    g.threads[tid].vc[tid] += 1;
+    let vc = g.threads[tid].vc;
+    match &mut state {
+        ObjState::Atomic { stores, .. } => {
+            for s in stores.iter_mut() {
+                s.writer = tid;
+                s.writer_pos = vc[tid];
+                s.rel_vc = Some(vc);
+            }
+        }
+        ObjState::Mutex { rel_vc, .. } => *rel_vc = vc,
+        ObjState::Rw { rel_all, rel_w, .. } => {
+            *rel_all = vc;
+            *rel_w = vc;
+        }
+        ObjState::Once { rel_vc, .. } => *rel_vc = vc,
+    }
+    let id = g.objects.len();
+    g.objects.push(ObjInfo { state, kind, loc });
+    Backing::Model {
+        shared: Arc::downgrade(&ctx.shared),
+        id,
+    }
+}
+
+/// Fresh atomic object state with one initial store.
+pub(crate) fn atomic_state(init: u64) -> ObjState {
+    ObjState::Atomic {
+        stores: vec![StoreRec {
+            idx: 1,
+            val: init,
+            writer: 0,
+            writer_pos: 0,
+            rel_vc: None,
+        }],
+        next_idx: 2,
+        last_sc_idx: 0,
+    }
+}
+
+/// Fresh mutex object state.
+pub(crate) fn mutex_state() -> ObjState {
+    ObjState::Mutex {
+        held: None,
+        rel_vc: [0; MAX_THREADS],
+    }
+}
+
+/// Fresh rwlock object state.
+pub(crate) fn rw_state() -> ObjState {
+    ObjState::Rw {
+        writer: None,
+        readers: Vec::new(),
+        rel_all: [0; MAX_THREADS],
+        rel_w: [0; MAX_THREADS],
+    }
+}
+
+/// Fresh once-cell object state.
+pub(crate) fn once_state() -> ObjState {
+    ObjState::Once {
+        st: OnceSt::Empty,
+        rel_vc: [0; MAX_THREADS],
+    }
+}
+
+/// Run one instrumented operation on a backed object. Returns `None`
+/// for std-backed objects (caller falls through to the std primitive).
+///
+/// Panics if a model-backed object outlives its execution or is touched
+/// from a non-model thread — both are model-harness bugs worth failing
+/// loudly on.
+pub(crate) fn obj_op(
+    backing: &Backing,
+    mk: impl FnOnce(ObjId) -> Op,
+    loc: &'static Location<'static>,
+) -> Option<u64> {
+    let Backing::Model { shared, id } = backing else {
+        return None;
+    };
+    let shared = shared
+        .upgrade()
+        .expect("mc: model object used after its execution ended");
+    let ctx = current().expect("mc: model object touched from a non-model thread");
+    assert!(
+        Arc::ptr_eq(&shared, &ctx.shared),
+        "mc: model object touched from a different execution"
+    );
+    Some(exec_op(&shared, ctx.tid, mk(*id), loc))
+}
+
+/// Run a context operation (yield) for the calling model thread; no-op
+/// outside a model execution.
+pub(crate) fn ctx_op(op: Op, loc: &'static Location<'static>) {
+    if let Some(ctx) = current() {
+        exec_op(&ctx.shared, ctx.tid, op, loc);
+    }
+}
+
+/// Park at `op`, wait for the coordinator's grant, apply it.
+fn exec_op(shared: &Arc<Shared>, tid: Tid, op: Op, loc: &'static Location<'static>) -> u64 {
+    let mut g = lock_inner(shared);
+    if g.abort {
+        drop(g);
+        abort_thread();
+        return 0;
+    }
+    g.threads[tid].pending = Some(Pending { op, loc });
+    g.threads[tid].status = Status::Parked;
+    shared.cv.notify_all();
+    loop {
+        if g.abort {
+            g.threads[tid].status = Status::Running;
+            g.threads[tid].pending = None;
+            drop(g);
+            abort_thread();
+            return 0;
+        }
+        if g.active == Some(tid) {
+            break;
+        }
+        g = shared.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+    }
+    g.active = None;
+    g.threads[tid].status = Status::Running;
+    g.threads[tid].pending = None;
+    let choice = g.value_choice;
+    apply(&mut g, tid, op, choice, loc)
+}
+
+// ---------------------------------------------------------------------------
+// Operation semantics
+// ---------------------------------------------------------------------------
+
+/// Is `op` by thread `t` currently runnable?
+fn op_enabled(g: &Inner, t: Tid, op: Op) -> bool {
+    match op {
+        Op::Lock { obj } => matches!(g.objects[obj].state, ObjState::Mutex { held: None, .. }),
+        Op::RwRead { obj } => {
+            matches!(g.objects[obj].state, ObjState::Rw { writer: None, .. })
+        }
+        Op::RwWrite { obj } => {
+            if let ObjState::Rw {
+                writer, readers, ..
+            } = &g.objects[obj].state
+            {
+                writer.is_none() && readers.is_empty()
+            } else {
+                false
+            }
+        }
+        Op::OnceAcquire { obj } => {
+            !matches!(g.objects[obj].state, ObjState::Once { st: OnceSt::Busy(o), .. } if o != t)
+        }
+        Op::Join { target } => g.threads[target].status == Status::Finished,
+        _ => true,
+    }
+}
+
+/// The modification-order positions a load of `obj` by `t` may observe.
+fn readable_indices(g: &Inner, t: Tid, obj: ObjId, ord: Ordering) -> Vec<usize> {
+    let ObjState::Atomic {
+        stores,
+        last_sc_idx,
+        ..
+    } = &g.objects[obj].state
+    else {
+        unreachable!("load on non-atomic object");
+    };
+    if !g.weak {
+        return vec![stores.len() - 1];
+    }
+    let vc = &g.threads[t].vc;
+    let coh = coh_of(&g.threads[t], obj);
+    let mut out = Vec::new();
+    for (p, s) in stores.iter().enumerate() {
+        if s.idx < coh.last_read_idx || s.idx < coh.last_store_idx {
+            continue; // coherence: never travel backwards
+        }
+        if ord == Ordering::SeqCst && s.idx < *last_sc_idx {
+            continue; // per-object SC: can't observe past the newest SC store
+        }
+        // happens-before: if t provably knows a newer store exists, the
+        // older one is no longer observable.
+        if stores[p + 1..]
+            .iter()
+            .any(|s2| s2.writer_pos > 0 && s2.writer_pos <= vc[s2.writer])
+        {
+            continue;
+        }
+        out.push(p);
+    }
+    debug_assert!(!out.is_empty(), "newest store must always be readable");
+    out
+}
+
+fn apply(g: &mut Inner, t: Tid, op: Op, choice: usize, loc: &'static Location<'static>) -> u64 {
+    let mut result = 0u64;
+    let mut stale = None;
+    match op {
+        Op::Start | Op::Yield | Op::Spawn => {}
+        Op::Join { target } => {
+            let fv = g.threads[target].final_vc;
+            vjoin(&mut g.threads[t].vc, &fv);
+        }
+        Op::Load { obj, ord } => {
+            let list = readable_indices(g, t, obj, ord);
+            let pick = list[choice.min(list.len() - 1)];
+            let (val, idx, rel, n_stores, newest_val) = {
+                let ObjState::Atomic { stores, .. } = &g.objects[obj].state else {
+                    unreachable!()
+                };
+                let s = &stores[pick];
+                (
+                    s.val,
+                    s.idx,
+                    s.rel_vc,
+                    stores.len(),
+                    stores.last().expect("nonempty").val,
+                )
+            };
+            let c = coh_mut(&mut g.threads[t], obj);
+            c.last_read_idx = c.last_read_idx.max(idx);
+            if acquire_like(ord) {
+                if let Some(rv) = rel {
+                    vjoin(&mut g.threads[t].vc, &rv);
+                }
+            }
+            if pick + 1 != n_stores {
+                stale = Some(Stale {
+                    newest: newest_val,
+                    behind: (n_stores - 1 - pick) as u64,
+                });
+            }
+            result = val;
+        }
+        Op::Store { obj, ord, val } => {
+            atomic_store(g, t, obj, ord, val, None);
+        }
+        Op::Rmw { obj, ord, rmw } => {
+            let (old, old_idx, old_rel) = {
+                let ObjState::Atomic { stores, .. } = &g.objects[obj].state else {
+                    unreachable!()
+                };
+                let s = stores.last().expect("nonempty");
+                (s.val, s.idx, s.rel_vc)
+            };
+            let c = coh_mut(&mut g.threads[t], obj);
+            c.last_read_idx = c.last_read_idx.max(old_idx);
+            if acquire_like(ord) {
+                if let Some(rv) = old_rel {
+                    vjoin(&mut g.threads[t].vc, &rv);
+                }
+            }
+            result = old;
+            let new = match rmw {
+                RmwKind::Add(n) => Some(old.wrapping_add(n)),
+                RmwKind::Min(n) => Some(old.min(n)),
+                RmwKind::Max(n) => Some(old.max(n)),
+                RmwKind::Swap(n) => Some(n),
+                RmwKind::Cas { expect, new } => (old == expect).then_some(new),
+            };
+            if let Some(new) = new {
+                // RMWs continue release sequences: propagate the clock the
+                // read store released even if this RMW is relaxed.
+                atomic_store(g, t, obj, ord, new, old_rel);
+            }
+        }
+        Op::Lock { obj } => {
+            let ObjState::Mutex { held, rel_vc } = &mut g.objects[obj].state else {
+                unreachable!()
+            };
+            debug_assert!(held.is_none(), "lock granted while held");
+            *held = Some(t);
+            let rv = *rel_vc;
+            vjoin(&mut g.threads[t].vc, &rv);
+        }
+        Op::TryLock { obj } => {
+            let (free, rv) = {
+                let ObjState::Mutex { held, rel_vc } = &mut g.objects[obj].state else {
+                    unreachable!()
+                };
+                if held.is_none() {
+                    *held = Some(t);
+                    (true, *rel_vc)
+                } else {
+                    (false, [0; MAX_THREADS])
+                }
+            };
+            if free {
+                vjoin(&mut g.threads[t].vc, &rv);
+                result = 1;
+            }
+        }
+        Op::Unlock { obj } => {
+            g.threads[t].vc[t] += 1;
+            let tv = g.threads[t].vc;
+            let ObjState::Mutex { held, rel_vc } = &mut g.objects[obj].state else {
+                unreachable!()
+            };
+            debug_assert_eq!(*held, Some(t), "unlock by non-holder");
+            *held = None;
+            vjoin(rel_vc, &tv);
+        }
+        Op::RwRead { obj } => {
+            let rv = {
+                let ObjState::Rw {
+                    writer,
+                    readers,
+                    rel_w,
+                    ..
+                } = &mut g.objects[obj].state
+                else {
+                    unreachable!()
+                };
+                debug_assert!(writer.is_none());
+                readers.push(t);
+                *rel_w
+            };
+            vjoin(&mut g.threads[t].vc, &rv);
+        }
+        Op::RwWrite { obj } => {
+            let rv = {
+                let ObjState::Rw {
+                    writer,
+                    readers,
+                    rel_all,
+                    ..
+                } = &mut g.objects[obj].state
+                else {
+                    unreachable!()
+                };
+                debug_assert!(writer.is_none() && readers.is_empty());
+                *writer = Some(t);
+                *rel_all
+            };
+            vjoin(&mut g.threads[t].vc, &rv);
+        }
+        Op::RwUnlockRead { obj } => {
+            g.threads[t].vc[t] += 1;
+            let tv = g.threads[t].vc;
+            let ObjState::Rw {
+                readers, rel_all, ..
+            } = &mut g.objects[obj].state
+            else {
+                unreachable!()
+            };
+            if let Some(pos) = readers.iter().position(|&r| r == t) {
+                readers.swap_remove(pos);
+            }
+            vjoin(rel_all, &tv);
+        }
+        Op::RwUnlockWrite { obj } => {
+            g.threads[t].vc[t] += 1;
+            let tv = g.threads[t].vc;
+            let ObjState::Rw {
+                writer,
+                rel_all,
+                rel_w,
+                ..
+            } = &mut g.objects[obj].state
+            else {
+                unreachable!()
+            };
+            debug_assert_eq!(*writer, Some(t));
+            *writer = None;
+            vjoin(rel_all, &tv);
+            vjoin(rel_w, &tv);
+        }
+        Op::OnceAcquire { obj } => {
+            let (r, rv) = {
+                let ObjState::Once { st, rel_vc } = &mut g.objects[obj].state else {
+                    unreachable!()
+                };
+                match *st {
+                    OnceSt::Empty => {
+                        *st = OnceSt::Busy(t);
+                        (0, None)
+                    }
+                    OnceSt::Ready => (1, Some(*rel_vc)),
+                    OnceSt::Busy(_) => unreachable!("granted while busy"),
+                }
+            };
+            if let Some(rv) = rv {
+                vjoin(&mut g.threads[t].vc, &rv);
+            }
+            result = r;
+        }
+        Op::OnceRelease { obj } => {
+            g.threads[t].vc[t] += 1;
+            let tv = g.threads[t].vc;
+            let ObjState::Once { st, rel_vc } = &mut g.objects[obj].state else {
+                unreachable!()
+            };
+            *st = OnceSt::Ready;
+            vjoin(rel_vc, &tv);
+        }
+        Op::OnceGet { obj } => {
+            let rv = {
+                let ObjState::Once { st, rel_vc } = &g.objects[obj].state else {
+                    unreachable!()
+                };
+                (*st == OnceSt::Ready).then_some(*rel_vc)
+            };
+            if let Some(rv) = rv {
+                vjoin(&mut g.threads[t].vc, &rv);
+                result = 1;
+            }
+        }
+    }
+    g.steps.push(StepTrace {
+        tid: t,
+        op,
+        result,
+        stale,
+        loc,
+    });
+    result
+}
+
+/// Push a store, optionally continuing a release sequence (`carry` is
+/// the clock released by the store an RMW read).
+fn atomic_store(g: &mut Inner, t: Tid, obj: ObjId, ord: Ordering, val: u64, carry: Option<VClock>) {
+    g.threads[t].vc[t] += 1;
+    let vc = g.threads[t].vc;
+    let wpos = vc[t];
+    let rel_vc = if release_like(ord) {
+        let mut r = vc;
+        if let Some(c) = carry {
+            vjoin(&mut r, &c);
+        }
+        Some(r)
+    } else {
+        carry
+    };
+    let ObjState::Atomic {
+        stores,
+        next_idx,
+        last_sc_idx,
+    } = &mut g.objects[obj].state
+    else {
+        unreachable!()
+    };
+    let idx = *next_idx;
+    *next_idx += 1;
+    if ord == Ordering::SeqCst {
+        *last_sc_idx = idx;
+    }
+    stores.push(StoreRec {
+        idx,
+        val,
+        writer: t,
+        writer_pos: wpos,
+        rel_vc,
+    });
+    coh_mut(&mut g.threads[t], obj).last_store_idx = idx;
+}
+
+// ---------------------------------------------------------------------------
+// Virtual threads
+// ---------------------------------------------------------------------------
+
+fn install_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if IN_MODEL.with(Cell::get) {
+                // Model panics are reported through the coordinator with a
+                // rendered interleaving; keep stderr quiet. Capture the
+                // location+message std formats for us (try_lock: never
+                // deadlock inside a hook).
+                if info.payload().downcast_ref::<AbortExec>().is_none() {
+                    if let Some(ctx) = current() {
+                        if let Ok(mut g) = ctx.shared.inner.try_lock() {
+                            if g.panic_info.is_none() {
+                                g.panic_info = Some(info.to_string());
+                            }
+                        }
+                    }
+                }
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn payload_msg(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+/// Body run by every model OS thread.
+fn run_thread(shared: &Arc<Shared>, tid: Tid, body: Box<dyn FnOnce() + Send>) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            shared: Arc::clone(shared),
+            tid,
+        });
+    });
+    IN_MODEL.with(|f| f.set(true));
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    IN_MODEL.with(|f| f.set(false));
+    CTX.with(|c| *c.borrow_mut() = None);
+    let mut g = lock_inner(shared);
+    match r {
+        Ok(()) => {
+            g.threads[tid].final_vc = g.threads[tid].vc;
+        }
+        Err(p) => {
+            if p.downcast_ref::<AbortExec>().is_none() {
+                let msg = g
+                    .panic_info
+                    .take()
+                    .unwrap_or_else(|| payload_msg(p.as_ref()));
+                if g.failure.is_none() {
+                    g.failure = Some(format!("thread T{tid} {msg}"));
+                }
+                g.abort = true;
+            }
+        }
+    }
+    g.threads[tid].status = Status::Finished;
+    g.threads[tid].pending = None;
+    shared.cv.notify_all();
+}
+
+/// Spawn a virtual thread (used by `mc::thread::spawn`); returns its id.
+#[track_caller]
+pub(crate) fn spawn_thread(body: Box<dyn FnOnce() + Send>) -> Tid {
+    let loc = Location::caller();
+    let ctx = current().expect("mc::thread::spawn outside a model execution");
+    exec_op(&ctx.shared, ctx.tid, Op::Spawn, loc);
+    let child = {
+        let mut g = lock_inner(&ctx.shared);
+        let child = g.threads.len();
+        assert!(
+            child < MAX_THREADS,
+            "mc: model exceeds {MAX_THREADS} threads"
+        );
+        g.threads[ctx.tid].vc[ctx.tid] += 1;
+        let vc = g.threads[ctx.tid].vc;
+        let mut t = TState::new();
+        t.vc = vc; // spawn edge: the child knows everything the parent did
+        t.status = Status::Parked;
+        t.pending = Some(Pending { op: Op::Start, loc });
+        g.threads.push(t);
+        child
+    };
+    let sh = Arc::clone(&ctx.shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("mc-T{child}"))
+        .spawn(move || run_thread(&sh, child, body))
+        .expect("mc: OS thread spawn failed");
+    lock_inner(&ctx.shared).os_handles.push(handle);
+    ctx.shared.cv.notify_all();
+    child
+}
+
+/// Join a virtual thread (used by `mc::thread::JoinHandle::join`).
+#[track_caller]
+pub(crate) fn join_thread(target: Tid) {
+    let loc = Location::caller();
+    let ctx = current().expect("mc: join outside a model execution");
+    exec_op(&ctx.shared, ctx.tid, Op::Join { target }, loc);
+}
+
+// ---------------------------------------------------------------------------
+// Public API: Config / Report / check
+// ---------------------------------------------------------------------------
+
+/// Exploration limits and semantics switches.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Max context switches away from a still-runnable thread per
+    /// execution (`None` = unbounded: full exhaustive exploration).
+    pub preemption_bound: Option<u32>,
+    /// Stop after this many executions and report `complete: false`.
+    pub max_executions: u64,
+    /// Fail an execution that exceeds this many steps (livelock guard).
+    pub max_steps: usize,
+    /// Model declared orderings (weak memory). `false` = every load
+    /// observes the newest store (sequential consistency).
+    pub weak_memory: bool,
+    /// Dynamic partial-order reduction (disable to force enumeration of
+    /// every thread choice — mainly for testing the checker itself).
+    pub dpor: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: None,
+            max_executions: 500_000,
+            max_steps: 20_000,
+            weak_memory: true,
+            dpor: true,
+        }
+    }
+}
+
+impl Config {
+    /// Exhaustive exploration under declared (weak) orderings.
+    #[must_use]
+    pub fn exhaustive() -> Self {
+        Config::default()
+    }
+
+    /// Exploration bounded to `k` preemptions per execution.
+    #[must_use]
+    pub fn bounded(k: u32) -> Self {
+        Config {
+            preemption_bound: Some(k),
+            ..Config::default()
+        }
+    }
+
+    /// Same exploration with sequentially-consistent memory.
+    #[must_use]
+    pub fn sequentially_consistent(mut self) -> Self {
+        self.weak_memory = false;
+        self
+    }
+
+    /// Cap the number of executions.
+    #[must_use]
+    pub fn with_max_executions(mut self, n: u64) -> Self {
+        self.max_executions = n;
+        self
+    }
+}
+
+/// A failing interleaving, rendered for humans.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The panic/assertion message (with source location when known).
+    pub message: String,
+    /// The full interleaving, one line per scheduled operation.
+    pub trace: String,
+    /// The stale (non-newest) atomic reads in the failing execution —
+    /// the smoking gun when a relaxed load changes an assertion outcome.
+    pub stale_reads: Vec<String>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.message)?;
+        if !self.stale_reads.is_empty() {
+            writeln!(f, "stale reads in this execution:")?;
+            for s in &self.stale_reads {
+                writeln!(f, "  {s}")?;
+            }
+        }
+        write!(f, "{}", self.trace)
+    }
+}
+
+/// Outcome of a [`check`] run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of executions explored.
+    pub executions: u64,
+    /// True when the DFS exhausted the (reduced, bounded) space.
+    pub complete: bool,
+    /// Choices suppressed by the preemption bound (0 under exhaustive
+    /// configs; nonzero means `complete` is relative to the bound).
+    pub bound_skips: u64,
+    /// Deepest execution seen, in scheduling points.
+    pub max_depth: usize,
+    /// The first failing interleaving, if any.
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Assert no interleaving failed; panics with the rendered
+    /// counterexample otherwise.
+    pub fn assert_clean(&self, model: &str) {
+        if let Some(f) = &self.failure {
+            panic!(
+                "model `{model}` failed (execution {} of the search):\n{f}",
+                self.executions
+            );
+        }
+    }
+
+    /// Assert some interleaving failed (for known-bug regression
+    /// models); returns the counterexample.
+    pub fn assert_fails(&self, model: &str) -> &Failure {
+        self.failure.as_ref().unwrap_or_else(|| {
+            panic!(
+                "model `{model}` expected a failing interleaving but {} executions passed (complete: {})",
+                self.executions, self.complete
+            )
+        })
+    }
+}
+
+/// Verdict of [`check_ordering`]: the same model under SC and under the
+/// declared orderings.
+#[derive(Clone, Debug)]
+pub struct OrderingVerdict {
+    /// Result with every load forced to observe the newest store.
+    pub sc: Report,
+    /// Result under the declared (possibly relaxed) orderings.
+    pub weak: Report,
+}
+
+impl OrderingVerdict {
+    /// True when the model is correct under SC but fails under the
+    /// declared orderings — i.e. a declared `Relaxed` (or missing
+    /// acquire/release pairing) is what breaks it.
+    #[must_use]
+    pub fn ordering_sensitive(&self) -> bool {
+        self.sc.failure.is_none() && self.weak.failure.is_some()
+    }
+}
+
+/// Explore every schedule of `f` (up to DPOR equivalence and the
+/// configured bounds). `f` is re-run once per execution and must be
+/// deterministic apart from scheduling.
+pub fn check<F>(config: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Checker::new(config, Arc::new(f)).run()
+}
+
+/// Run `f` under sequential consistency and under declared orderings,
+/// reporting both (see [`OrderingVerdict::ordering_sensitive`]).
+pub fn check_ordering<F>(config: Config, f: F) -> OrderingVerdict
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let sc = Checker::new(config.clone().sequentially_consistent(), Arc::clone(&f)).run();
+    let mut weak_cfg = config;
+    weak_cfg.weak_memory = true;
+    let weak = Checker::new(weak_cfg, f).run();
+    OrderingVerdict { sc, weak }
+}
+
+// ---------------------------------------------------------------------------
+// The DFS coordinator
+// ---------------------------------------------------------------------------
+
+/// One decision point in the DFS stack. `enabled`, `prev_tid`,
+/// `preempt_in` and `opts` are replay-stable; `backtrack` grows as later
+/// executions discover dependent operations (DPOR).
+struct Node {
+    chosen: (Tid, usize),
+    done: BTreeSet<(Tid, usize)>,
+    backtrack: BTreeSet<Tid>,
+    enabled: Vec<Tid>,
+    /// Discovered value-option counts per tried thread (loads with
+    /// multiple readable stores).
+    opts: Vec<(Tid, usize)>,
+    /// Preemptions consumed before this node's choice.
+    preempt_in: u32,
+    prev_tid: Option<Tid>,
+    /// The operation the chosen thread executed here (for DPOR lookback).
+    step_op: Op,
+}
+
+struct Checker {
+    config: Config,
+    f: Arc<dyn Fn() + Send + Sync>,
+    stack: Vec<Node>,
+    bound_skips: u64,
+    max_depth: usize,
+}
+
+enum ExecOutcome {
+    Passed,
+    Failed(Failure),
+}
+
+impl Checker {
+    fn new(config: Config, f: Arc<dyn Fn() + Send + Sync>) -> Self {
+        Checker {
+            config,
+            f,
+            stack: Vec::new(),
+            bound_skips: 0,
+            max_depth: 0,
+        }
+    }
+
+    fn run(&mut self) -> Report {
+        install_hook();
+        assert!(
+            !in_model(),
+            "mc::check cannot be nested inside a model execution"
+        );
+        let mut executions = 0u64;
+        let mut failure = None;
+        let mut exhausted = false;
+        loop {
+            executions += 1;
+            match self.run_execution() {
+                ExecOutcome::Failed(f) => {
+                    failure = Some(f);
+                    break;
+                }
+                ExecOutcome::Passed => {}
+            }
+            // Backtrack: flip the deepest node with an untried candidate.
+            let mut advanced = false;
+            while let Some(i) = self.stack.len().checked_sub(1) {
+                if let Some(c) = self.pick_next(i) {
+                    let n = &mut self.stack[i];
+                    n.chosen = c;
+                    n.done.insert(c);
+                    advanced = true;
+                    break;
+                }
+                self.stack.pop();
+            }
+            if !advanced {
+                exhausted = true;
+                break;
+            }
+            if executions >= self.config.max_executions {
+                break;
+            }
+        }
+        Report {
+            executions,
+            complete: exhausted && failure.is_none(),
+            bound_skips: self.bound_skips,
+            max_depth: self.max_depth,
+            failure,
+        }
+    }
+
+    /// Next untried (thread, value) candidate at node `i`, respecting
+    /// DPOR backtrack sets and the preemption bound.
+    fn pick_next(&mut self, i: usize) -> Option<(Tid, usize)> {
+        let cand_tids: Vec<Tid> = {
+            let n = &self.stack[i];
+            if self.config.dpor {
+                let mut s: BTreeSet<Tid> = n
+                    .backtrack
+                    .iter()
+                    .copied()
+                    .filter(|t| n.enabled.contains(t))
+                    .collect();
+                for &(t, _) in &n.done {
+                    s.insert(t);
+                }
+                s.into_iter().collect()
+            } else {
+                n.enabled.clone()
+            }
+        };
+        for t in cand_tids {
+            let vmax = {
+                let n = &self.stack[i];
+                n.opts
+                    .iter()
+                    .find(|&&(t2, _)| t2 == t)
+                    .map_or(1, |&(_, k)| k)
+            };
+            for v in 0..vmax {
+                if self.stack[i].done.contains(&(t, v)) {
+                    continue;
+                }
+                if let Some(b) = self.config.preemption_bound {
+                    let n = &self.stack[i];
+                    let cost = u32::from(
+                        n.prev_tid
+                            .is_some_and(|pt| pt != t && n.enabled.contains(&pt)),
+                    );
+                    if n.preempt_in + cost > b {
+                        self.bound_skips += 1;
+                        self.stack[i].done.insert((t, v));
+                        continue;
+                    }
+                }
+                return Some((t, v));
+            }
+        }
+        None
+    }
+
+    /// DPOR: the pending op of enabled thread `p` at depth `d` conflicts
+    /// with an earlier step by another thread → that earlier decision
+    /// point must also try `p`.
+    ///
+    /// When `p` was not enabled at the conflicting point (e.g. the
+    /// conflict is a mutex unlock and `p` was blocked on the lock), keep
+    /// scanning to older dependent steps until one where `p` *was*
+    /// enabled: that is where scheduling `p` earlier can actually change
+    /// the order of the dependent pair (stopping at the first conflict
+    /// would dead-end the backtrack chain on lock hand-offs).
+    fn dpor_update(&mut self, d: usize, p: Tid, pop: Op) {
+        for j in (0..d).rev() {
+            let n = &self.stack[j];
+            if n.chosen.0 != p && dependent(n.step_op, pop) {
+                if n.enabled.contains(&p) {
+                    self.stack[j].backtrack.insert(p);
+                    break;
+                }
+                let en = n.enabled.clone();
+                self.stack[j].backtrack.extend(en);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_execution(&mut self) -> ExecOutcome {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                threads: Vec::new(),
+                objects: Vec::new(),
+                active: None,
+                value_choice: 0,
+                abort: false,
+                failure: None,
+                panic_info: None,
+                steps: Vec::new(),
+                weak: self.config.weak_memory,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        });
+        {
+            let mut g = lock_inner(&shared);
+            let mut t0 = TState::new();
+            t0.status = Status::Parked;
+            t0.pending = Some(Pending {
+                op: Op::Start,
+                loc: Location::caller(),
+            });
+            g.threads.push(t0);
+        }
+        let f = Arc::clone(&self.f);
+        let sh = Arc::clone(&shared);
+        let h = std::thread::Builder::new()
+            .name("mc-T0".to_owned())
+            .spawn(move || run_thread(&sh, 0, Box::new(move || f())))
+            .expect("mc: OS thread spawn failed");
+        lock_inner(&shared).os_handles.push(h);
+
+        let mut depth = 0usize;
+        loop {
+            let mut g = lock_inner(&shared);
+            loop {
+                let quiescent =
+                    g.active.is_none() && !g.threads.iter().any(|t| t.status == Status::Running);
+                if quiescent || g.abort {
+                    break;
+                }
+                g = shared.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            if g.abort || g.failure.is_some() {
+                drop(g);
+                break;
+            }
+            if g.threads.iter().all(|t| t.status == Status::Finished) {
+                drop(g);
+                break;
+            }
+            let enabled: Vec<Tid> = (0..g.threads.len())
+                .filter(|&t| {
+                    g.threads[t].status == Status::Parked
+                        && g.threads[t]
+                            .pending
+                            .is_some_and(|p| op_enabled(&g, t, p.op))
+                })
+                .collect();
+            if enabled.is_empty() {
+                g.failure = Some(render_deadlock(&g));
+                drop(g);
+                break;
+            }
+            if depth >= self.config.max_steps {
+                g.failure = Some(format!(
+                    "execution exceeded max_steps ({}): livelock or model too large",
+                    self.config.max_steps
+                ));
+                drop(g);
+                break;
+            }
+            if self.config.dpor {
+                for &p in &enabled {
+                    let pop = g.threads[p].pending.expect("parked has pending").op;
+                    self.dpor_update(depth, p, pop);
+                }
+            }
+            let prev_tid = depth.checked_sub(1).map(|d| self.stack[d].chosen.0);
+            if depth >= self.stack.len() {
+                // Fresh node: default to the previous thread (fewest
+                // preemptions), else the lowest enabled tid.
+                let dflt = prev_tid
+                    .filter(|p| enabled.contains(p))
+                    .unwrap_or(enabled[0]);
+                let preempt_in = depth.checked_sub(1).map_or(0, |d| {
+                    let par = &self.stack[d];
+                    par.preempt_in
+                        + u32::from(
+                            par.prev_tid
+                                .is_some_and(|pt| pt != par.chosen.0 && par.enabled.contains(&pt)),
+                        )
+                });
+                let mut done = BTreeSet::new();
+                done.insert((dflt, 0));
+                self.stack.push(Node {
+                    chosen: (dflt, 0),
+                    done,
+                    backtrack: BTreeSet::new(),
+                    enabled,
+                    opts: Vec::new(),
+                    preempt_in,
+                    prev_tid,
+                    step_op: Op::Start,
+                });
+            }
+            let (tid, vchoice) = self.stack[depth].chosen;
+            let pending = g.threads[tid].pending.expect("chosen thread parked");
+            assert!(
+                op_enabled(&g, tid, pending.op),
+                "mc: replay divergence — model is nondeterministic beyond scheduling"
+            );
+            self.stack[depth].step_op = pending.op;
+            if let Op::Load { obj, ord } = pending.op {
+                let k = readable_indices(&g, tid, obj, ord).len();
+                let n = &mut self.stack[depth];
+                if !n.opts.iter().any(|&(t2, _)| t2 == tid) {
+                    n.opts.push((tid, k));
+                }
+            }
+            g.active = Some(tid);
+            g.value_choice = vchoice;
+            depth += 1;
+            shared.cv.notify_all();
+            drop(g);
+        }
+        self.max_depth = self.max_depth.max(depth);
+        // Teardown: release every surviving thread, reap OS threads.
+        let (failure, steps, labels) = {
+            let mut g = lock_inner(&shared);
+            g.abort = true;
+            shared.cv.notify_all();
+            let failure = g.failure.take();
+            let steps = std::mem::take(&mut g.steps);
+            let labels: Vec<String> = g
+                .objects
+                .iter()
+                .map(|o| format!("{}@{}:{}", o.kind, o.loc.file(), o.loc.line()))
+                .collect();
+            (failure, steps, labels)
+        };
+        loop {
+            let hs: Vec<_> = {
+                let mut g = lock_inner(&shared);
+                g.os_handles.drain(..).collect()
+            };
+            if hs.is_empty() {
+                break;
+            }
+            shared.cv.notify_all();
+            for h in hs {
+                let _ = h.join();
+            }
+        }
+        match failure {
+            Some(msg) => ExecOutcome::Failed(render_failure(&msg, &steps, &labels)),
+            None => ExecOutcome::Passed,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+fn short_file(loc: &Location<'_>) -> String {
+    let f = loc.file();
+    let tail: Vec<&str> = f.rsplit('/').take(2).collect();
+    let short: Vec<&str> = tail.into_iter().rev().collect();
+    format!("{}:{}", short.join("/"), loc.line())
+}
+
+fn op_line(step: &StepTrace, labels: &[String]) -> String {
+    let obj = step.op.obj().map_or(String::new(), |o| {
+        labels.get(o).cloned().unwrap_or_else(|| format!("obj#{o}"))
+    });
+    let body = match step.op {
+        Op::Start => "start".to_owned(),
+        Op::Yield => "yield".to_owned(),
+        Op::Spawn => "spawn".to_owned(),
+        Op::Join { target } => format!("join T{target}"),
+        Op::Load { ord, .. } => format!("load {obj} [{ord:?}] -> {}", step.result),
+        Op::Store { ord, val, .. } => format!("store {obj} := {val} [{ord:?}]"),
+        Op::Rmw { ord, rmw, .. } => {
+            let r = match rmw {
+                RmwKind::Add(n) => format!("fetch_add({n})"),
+                RmwKind::Min(n) => format!("fetch_min({n})"),
+                RmwKind::Max(n) => format!("fetch_max({n})"),
+                RmwKind::Swap(n) => format!("swap({n})"),
+                RmwKind::Cas { expect, new } => format!("cas({expect} -> {new})"),
+            };
+            format!("{r} {obj} [{ord:?}] -> {}", step.result)
+        }
+        Op::Lock { .. } => format!("lock {obj}"),
+        Op::TryLock { .. } => format!(
+            "try_lock {obj} -> {}",
+            if step.result == 1 { "acquired" } else { "busy" }
+        ),
+        Op::Unlock { .. } => format!("unlock {obj}"),
+        Op::RwRead { .. } => format!("read-lock {obj}"),
+        Op::RwWrite { .. } => format!("write-lock {obj}"),
+        Op::RwUnlockRead { .. } => format!("read-unlock {obj}"),
+        Op::RwUnlockWrite { .. } => format!("write-unlock {obj}"),
+        Op::OnceAcquire { .. } => format!(
+            "once-acquire {obj} -> {}",
+            if step.result == 1 { "ready" } else { "init" }
+        ),
+        Op::OnceRelease { .. } => format!("once-release {obj}"),
+        Op::OnceGet { .. } => format!(
+            "once-get {obj} -> {}",
+            if step.result == 1 { "ready" } else { "empty" }
+        ),
+    };
+    let stale = step.stale.map_or(String::new(), |s| {
+        format!(
+            "   ** STALE: newest is {}, read {} store(s) behind",
+            s.newest, s.behind
+        )
+    });
+    format!("T{} {body}  at {}{stale}", step.tid, short_file(step.loc))
+}
+
+fn render_failure(msg: &str, steps: &[StepTrace], labels: &[String]) -> Failure {
+    let mut trace = String::new();
+    trace.push_str(&format!("interleaving ({} steps):\n", steps.len()));
+    for (i, s) in steps.iter().enumerate() {
+        trace.push_str(&format!("  {:3}. {}\n", i + 1, op_line(s, labels)));
+    }
+    let stale_reads: Vec<String> = steps
+        .iter()
+        .filter(|s| s.stale.is_some())
+        .map(|s| op_line(s, labels))
+        .collect();
+    Failure {
+        message: msg.to_owned(),
+        trace,
+        stale_reads,
+    }
+}
+
+fn render_deadlock(g: &Inner) -> String {
+    let mut out = String::from("deadlock: no runnable thread\n");
+    for (t, ts) in g.threads.iter().enumerate() {
+        if ts.status == Status::Parked {
+            if let Some(p) = ts.pending {
+                out.push_str(&format!(
+                    "  T{t} blocked on {:?} at {}\n",
+                    p.op,
+                    short_file(p.loc)
+                ));
+            }
+        }
+    }
+    out
+}

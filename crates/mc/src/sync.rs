@@ -1,0 +1,15 @@
+//! The sync facade: `std` newtypes in normal builds, instrumented model
+//! types under `--cfg mc`.
+//!
+//! Routed crates (`hdd`, `txn-model`, `obs`) import *only* this module for
+//! the checked structures; the cfg switch lives here, never in the routed
+//! code. The API surface is exactly what the routed structures use — if a
+//! structure needs a new primitive or method, add it to **both** sides.
+
+#[cfg(not(mc))]
+pub use crate::passthrough::*;
+
+#[cfg(mc)]
+pub use crate::model::sync::*;
+
+pub use std::sync::atomic::Ordering;

@@ -1,0 +1,12 @@
+//! Thread facade: `std::thread` in normal builds; model-managed virtual
+//! threads under `--cfg mc`.
+//!
+//! Model code (and only model code) spawns through this module so the
+//! scheduler knows every participant. In a normal build the names resolve
+//! straight to `std::thread`, so shared helpers compile both ways.
+
+#[cfg(not(mc))]
+pub use std::thread::{spawn, yield_now, JoinHandle};
+
+#[cfg(mc)]
+pub use crate::model::thread::{spawn, yield_now, JoinHandle};

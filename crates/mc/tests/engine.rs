@@ -1,0 +1,272 @@
+//! Self-models for the checker: known-racy and known-clean protocols
+//! the engine must classify correctly before the HDD models mean
+//! anything. Run with `RUSTFLAGS="--cfg mc" cargo test -p mc`.
+#![cfg(mc)]
+
+use mc::sync::{AtomicBool, AtomicU64, Mutex, OnceLock, Ordering};
+use mc::{check, check_ordering, Config};
+use std::sync::Arc;
+
+/// Two unsynchronized increments (load; add; store) lose an update in
+/// some interleaving — the checker must find it.
+#[test]
+fn lost_update_is_found() {
+    let report = check(Config::exhaustive(), || {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let t = mc::thread::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = c.load(Ordering::SeqCst);
+        c.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    });
+    let f = report.assert_fails("lost_update");
+    assert!(
+        f.message.contains("lost update"),
+        "wrong failure: {}",
+        f.message
+    );
+}
+
+/// The same counter bumped with `fetch_add` is atomic — every
+/// interleaving passes, and the search terminates exhaustively.
+#[test]
+fn fetch_add_is_atomic() {
+    let report = check(Config::exhaustive(), || {
+        // ordering: Relaxed — the model under test: atomicity alone
+        // must suffice for a pure counter, which the checker verifies.
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let t = mc::thread::spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        c.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    });
+    report.assert_clean("fetch_add_atomic");
+    assert!(report.complete, "search must exhaust");
+    assert!(report.executions >= 2, "must explore both orders");
+}
+
+/// Message passing with Relaxed flag/data: the reader may see the flag
+/// set but stale data. Under SC the model is correct; under declared
+/// orderings it fails — the definition of ordering-sensitive, and the
+/// counterexample must blame the stale read.
+#[test]
+fn relaxed_message_passing_is_ordering_sensitive() {
+    let model = || {
+        // ordering: Relaxed — deliberately wrong: this is the broken
+        // message-passing idiom the checker must convict.
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = mc::thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(true, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "saw flag but stale data");
+        }
+        t.join().unwrap();
+    };
+    let verdict = check_ordering(Config::exhaustive(), model);
+    assert!(
+        verdict.ordering_sensitive(),
+        "sc: {:?}, weak: {:?}",
+        verdict.sc.failure.as_ref().map(|f| &f.message),
+        verdict.weak.failure.as_ref().map(|f| &f.message)
+    );
+    let f = verdict.weak.failure.expect("weak failure");
+    assert!(!f.stale_reads.is_empty(), "stale read must be blamed:\n{f}");
+    assert!(
+        f.trace.contains("STALE"),
+        "trace must mark the stale load:\n{f}"
+    );
+}
+
+/// The same handoff with Release store / Acquire load is clean in every
+/// interleaving, including under weak memory.
+#[test]
+fn release_acquire_message_passing_is_clean() {
+    let report = check(Config::exhaustive(), || {
+        // ordering: Relaxed — the data cell rides on the Release store /
+        // Acquire load of the flag; that edge orders the Relaxed accesses.
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = mc::thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join().unwrap();
+    });
+    report.assert_clean("release_acquire_mp");
+    assert!(report.complete);
+}
+
+/// Mutexed read-modify-write never loses updates; also exercises lock
+/// blocking/enabledness.
+#[test]
+fn mutex_protects_counter() {
+    let report = check(Config::exhaustive(), || {
+        let c = Arc::new(Mutex::new(0u64));
+        let c2 = Arc::clone(&c);
+        let t = mc::thread::spawn(move || {
+            *c2.lock() += 1;
+        });
+        *c.lock() += 1;
+        t.join().unwrap();
+        assert_eq!(*c.lock(), 2);
+    });
+    report.assert_clean("mutex_counter");
+    assert!(report.complete);
+}
+
+/// Classic AB/BA lock ordering deadlocks in some interleaving; the
+/// checker must report it rather than hang.
+#[test]
+fn lock_order_deadlock_is_found() {
+    let report = check(Config::exhaustive(), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = mc::thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        let _gb = b.lock();
+        let _ga = a.lock();
+        drop((_ga, _gb));
+        t.join().unwrap();
+    });
+    let f = report.assert_fails("ab_ba_deadlock");
+    assert!(f.message.contains("deadlock"), "got: {}", f.message);
+}
+
+/// OnceLock: exactly one initializer runs, losers see the winner's
+/// value, and a get racing the init never observes a half-built cell.
+#[test]
+fn once_lock_single_init() {
+    let report = check(Config::exhaustive(), || {
+        let cell: Arc<OnceLock<u64>> = Arc::new(OnceLock::new());
+        // ordering: Relaxed — init-count probe; the OnceLock itself
+        // serializes the initializers, the counter only tallies them.
+        let inits = Arc::new(AtomicU64::new(0));
+        let (c2, i2) = (Arc::clone(&cell), Arc::clone(&inits));
+        let t = mc::thread::spawn(move || {
+            *c2.get_or_init(|| {
+                i2.fetch_add(1, Ordering::Relaxed);
+                7
+            })
+        });
+        let v = *cell.get_or_init(|| {
+            // ordering: Relaxed — same init-count probe as above.
+            inits.fetch_add(1, Ordering::Relaxed);
+            7
+        });
+        let w = t.join().unwrap();
+        assert_eq!((v, w), (7, 7));
+        assert_eq!(inits.load(Ordering::Relaxed), 1, "double init");
+    });
+    report.assert_clean("once_single_init");
+    assert!(report.complete);
+}
+
+/// The preemption bound prunes the search (fewer executions than
+/// exhaustive, bound_skips reported) while staying sound for bugs that
+/// need few preemptions.
+#[test]
+fn preemption_bound_prunes_but_still_finds_shallow_bugs() {
+    let racy = || {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let t = mc::thread::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = c.load(Ordering::SeqCst);
+        c.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    };
+    let bounded = check(Config::bounded(1), racy);
+    bounded.assert_fails("bounded_lost_update");
+
+    // A clean model under a tight bound reports the skips it made.
+    let clean = check(Config::bounded(0), || {
+        // ordering: Relaxed — pure counter, atomicity suffices.
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let t = mc::thread::spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        c.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+    });
+    assert!(clean.failure.is_none());
+    assert!(
+        clean.bound_skips > 0,
+        "a 0-preemption budget must skip schedules"
+    );
+}
+
+/// DPOR prunes independent operations: two threads touching disjoint
+/// atomics need far fewer executions than the factorial interleaving
+/// count, and still terminate exhaustively.
+#[test]
+fn dpor_prunes_independent_work() {
+    let model = || {
+        // ordering: Relaxed — the two threads touch disjoint atomics and
+        // assert nothing across them; no ordering is needed at all.
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let a2 = Arc::clone(&a);
+        let t = mc::thread::spawn(move || {
+            a2.store(1, Ordering::Relaxed);
+            a2.store(2, Ordering::Relaxed);
+        });
+        b.store(1, Ordering::Relaxed);
+        b.store(2, Ordering::Relaxed);
+        t.join().unwrap();
+    };
+    let with_dpor = check(Config::exhaustive(), model);
+    with_dpor.assert_clean("independent");
+    assert!(with_dpor.complete);
+    let mut cfg = Config::exhaustive();
+    cfg.dpor = false;
+    let without = check(cfg, model);
+    without.assert_clean("independent_nodpor");
+    assert!(
+        with_dpor.executions < without.executions,
+        "DPOR must prune: {} vs {}",
+        with_dpor.executions,
+        without.executions
+    );
+}
+
+/// try_lock never blocks: both outcomes (acquired, busy) are explored.
+#[test]
+fn try_lock_explores_both_outcomes() {
+    let report = check(Config::exhaustive(), || {
+        let m = Arc::new(Mutex::new(0u64));
+        let m2 = Arc::clone(&m);
+        let t = mc::thread::spawn(move || {
+            let _g = m2.lock();
+        });
+        // Whether this succeeds depends on scheduling; both must run.
+        if let Some(mut g) = m.try_lock() {
+            *g += 1;
+        }
+        t.join().unwrap();
+    });
+    report.assert_clean("try_lock");
+    assert!(report.complete);
+    assert!(report.executions >= 2, "both try_lock outcomes explored");
+}

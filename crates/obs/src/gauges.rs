@@ -29,8 +29,7 @@
 //! correctness: the served version is below the reader's bound, and the
 //! bound never exceeds the reader's start timestamp (DESIGN.md §10).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use mc::sync::{AtomicU64, OnceLock, Ordering};
 
 use crate::hist::{Histogram, HistogramSnapshot};
 
@@ -153,6 +152,8 @@ impl GaugeBoard {
     /// Publish the scheduler clock.
     #[inline]
     pub fn set_clock(&self, now: u64) {
+        // ordering: Relaxed — independent gauge level; the board contract
+        // (struct docs) promises per-cell tear-freedom only.
         self.clock_now.store(now, Ordering::Relaxed);
     }
 
@@ -160,6 +161,8 @@ impl GaugeBoard {
     /// tick, floor (min component) and wall lag (`now − floor`).
     #[inline]
     pub fn set_wall(&self, anchor: u64, released_at: u64, floor: u64, lag: u64) {
+        // ordering: Relaxed — gauge levels; no cross-cell consistency is
+        // promised, a sampler may see the cells mid-update.
         self.wall_anchor.store(anchor, Ordering::Relaxed);
         self.wall_released_at.store(released_at, Ordering::Relaxed);
         self.wall_floor.store(floor, Ordering::Relaxed);
@@ -171,6 +174,7 @@ impl GaugeBoard {
     pub fn set_class(&self, class: u32, i_old: u64, active: u64, settled_lag: u64) {
         if let Some(d) = self.dims.get() {
             if let Some(i) = usize::try_from(class).ok().filter(|&i| i < d.i_old.len()) {
+                // ordering: Relaxed — per-class gauge levels, see set_wall.
                 d.i_old[i].store(i_old, Ordering::Relaxed);
                 d.active[i].store(active, Ordering::Relaxed);
                 d.settled_lag[i].store(settled_lag, Ordering::Relaxed);
@@ -183,6 +187,7 @@ impl GaugeBoard {
     pub fn set_wall_component(&self, class: u32, ts: u64) {
         if let Some(d) = self.dims.get() {
             if let Some(c) = d.wall_component.get(class as usize) {
+                // ordering: Relaxed — gauge level, see set_wall.
                 c.store(ts, Ordering::Relaxed);
             }
         }
@@ -193,6 +198,7 @@ impl GaugeBoard {
     pub fn set_segment_wall(&self, segment: u32, ts: u64) {
         if let Some(d) = self.dims.get() {
             if let Some(c) = d.segment_wall.get(segment as usize) {
+                // ordering: Relaxed — gauge level, see set_wall.
                 c.store(ts, Ordering::Relaxed);
             }
         }
@@ -202,6 +208,7 @@ impl GaugeBoard {
     /// total settled-cursor lag.
     #[inline]
     pub fn set_activity(&self, active: u64, intervals: u64, settled_lag: u64) {
+        // ordering: Relaxed — gauge levels, see set_wall.
         self.active_txns.store(active, Ordering::Relaxed);
         self.registry_intervals.store(intervals, Ordering::Relaxed);
         self.registry_settled_lag
@@ -212,6 +219,7 @@ impl GaugeBoard {
     /// chain, and GC backlog (versions above one-per-granule).
     #[inline]
     pub fn set_store(&self, versions: u64, granules: u64, max_chain: u64, backlog: u64) {
+        // ordering: Relaxed — gauge levels, see set_wall.
         self.store_versions.store(versions, Ordering::Relaxed);
         self.store_granules.store(granules, Ordering::Relaxed);
         self.store_max_chain.store(max_chain, Ordering::Relaxed);
@@ -221,6 +229,7 @@ impl GaugeBoard {
     /// Publish the last GC prune watermark.
     #[inline]
     pub fn set_gc_watermark(&self, watermark: u64) {
+        // ordering: Relaxed — gauge level, see set_wall.
         self.gc_watermark.store(watermark, Ordering::Relaxed);
     }
 
@@ -228,6 +237,7 @@ impl GaugeBoard {
     /// offered (works on an unconfigured board, for baselines).
     #[inline]
     pub fn set_driver_progress(&self, claimed: u64, offered: u64) {
+        // ordering: Relaxed — gauge levels, see set_wall.
         self.driver_claimed.store(claimed, Ordering::Relaxed);
         self.driver_offered.store(offered, Ordering::Relaxed);
     }
@@ -235,6 +245,8 @@ impl GaugeBoard {
     /// Copy the whole board. Staleness cells are included only when
     /// non-empty (most (reader, segment) pairs never cross-read).
     pub fn snapshot(&self) -> GaugeSnapshot {
+        // ordering: Relaxed — dashboard sampling; each cell is tear-free
+        // on its own, cross-cell skew is documented and acceptable.
         let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let mut snap = GaugeSnapshot {
             configured: false,
@@ -309,15 +321,19 @@ impl GaugeBoard {
             &self.driver_claimed,
             &self.driver_offered,
         ] {
+            // ordering: Relaxed — gauge reset between phases; racing
+            // setters land on either side, both acceptable.
             c.store(0, Ordering::Relaxed);
         }
         if let Some(d) = self.dims.get() {
             for v in [&d.i_old, &d.active, &d.settled_lag, &d.wall_component] {
                 for c in v {
+                    // ordering: Relaxed — gauge reset, see above.
                     c.store(0, Ordering::Relaxed);
                 }
             }
             for c in &d.segment_wall {
+                // ordering: Relaxed — gauge reset, see above.
                 c.store(0, Ordering::Relaxed);
             }
             for h in &d.staleness {

@@ -12,7 +12,7 @@
 //! lock; [`HistogramSnapshot`] is the plain-integer copy used for
 //! merging, quantiles and export.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use mc::sync::{AtomicU64, Ordering};
 
 /// Sub-bucket bits per octave.
 const SUB_BITS: u32 = 4;
@@ -93,6 +93,9 @@ impl Histogram {
     /// extrema stay exact.
     #[inline]
     pub fn record(&self, v: u64) {
+        // ordering: Relaxed — independent statistical cells; each RMW is
+        // atomic on its own, and readers (snapshot) tolerate skew between
+        // cells by contract. No other memory is published here.
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -102,6 +105,7 @@ impl Histogram {
 
     /// Values recorded so far.
     pub fn count(&self) -> u64 {
+        // ordering: Relaxed — advisory total, exact only at quiescence.
         self.count.load(Ordering::Relaxed)
     }
 
@@ -109,12 +113,16 @@ impl Histogram {
     /// concurrent with recording may miss in-flight values but never
     /// reports a bucket total above what was recorded).
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // ordering: Relaxed — per-cell copies; the snapshot contract
+        // (module docs) already allows missing in-flight values.
         let buckets: Vec<u64> = self
             .buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         HistogramSnapshot {
+            // ordering: Relaxed — same per-cell snapshot contract as the
+            // bucket copies above.
             count: buckets.iter().sum(),
             sum: self.sum.load(Ordering::Relaxed),
             min: self.min.load(Ordering::Relaxed),
@@ -125,6 +133,8 @@ impl Histogram {
 
     /// Reset every cell to empty.
     pub fn reset(&self) {
+        // ordering: Relaxed — reset between phases; racing records land on
+        // either side of it, both acceptable for statistics.
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }

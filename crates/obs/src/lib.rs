@@ -45,7 +45,7 @@ pub use span::{
 };
 pub use trace::{FaultCode, RejectReason, TraceEvent, TraceRing};
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use mc::sync::{AtomicBool, Ordering};
 
 /// The observability sidecar carried by every scheduler's `Metrics`.
 ///
@@ -92,6 +92,8 @@ impl Obs {
     /// True when recording is on.
     #[inline]
     pub fn enabled(&self) -> bool {
+        // ordering: Relaxed — advisory on/off flag; a racing emit may land
+        // on either side of the flip, both outcomes are documented.
         self.enabled.load(Ordering::Relaxed)
     }
 
@@ -99,6 +101,7 @@ impl Obs {
     /// the flip may still record once; the rings and histograms stay
     /// valid either way).
     pub fn set_enabled(&self, on: bool) {
+        // ordering: Relaxed — advisory flag flip, see enabled().
         self.enabled.store(on, Ordering::Relaxed);
     }
 

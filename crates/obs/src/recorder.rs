@@ -8,23 +8,15 @@
 //! cells; [`LatencyRecorder::snapshot`] merges the stripes.
 
 use crate::hist::{Histogram, HistogramSnapshot};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use mc::sync::ThreadStripe;
 
 /// Power-of-two stripe count (worker counts in this workspace are ≤ 16).
 const STRIPES: usize = 8;
 
 /// Allocator of stable per-thread stripe indices (shared by every
-/// recorder; a thread uses the same stripe slot everywhere).
-static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
-
-/// This thread's stripe index.
-#[inline]
-fn stripe_of_thread() -> usize {
-    thread_local! {
-        static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
-    }
-    STRIPE.with(|s| *s)
-}
+/// recorder; a thread uses the same stripe slot everywhere; deterministic
+/// model thread ids under `--cfg mc`).
+static STRIPE_OF_THREAD: ThreadStripe = ThreadStripe::new();
 
 /// A set of thread-affine histogram stripes recording one latency (or
 /// length) dimension.
@@ -50,7 +42,7 @@ impl LatencyRecorder {
     /// Record one value into the calling thread's stripe.
     #[inline]
     pub fn record(&self, v: u64) {
-        self.stripes[stripe_of_thread()].record(v);
+        self.stripes[STRIPE_OF_THREAD.index_for_thread(STRIPES - 1)].record(v);
     }
 
     /// Total values recorded across stripes.

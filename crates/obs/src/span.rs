@@ -32,10 +32,9 @@
 //! [`SpanEvent::BlockCause`] recorded before the wait ended, ready for
 //! [`blame`](crate::blame) analysis or the Perfetto exporter.
 
+use mc::sync::{AtomicU64, Mutex, Ordering, ThreadStripe};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// Class index used for transactions without a class (read-only
@@ -244,17 +243,10 @@ const STRIPES: usize = 8;
 /// freshest few thousand sampled flights.
 pub const DEFAULT_STRIPE_CAPACITY: usize = 8192;
 
-/// Allocator of stable per-thread stripe indices (separate from the
-/// trace ring's so the two rings spread threads independently).
-static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
-
-#[inline]
-fn stripe_of_thread() -> usize {
-    thread_local! {
-        static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
-    }
-    STRIPE.with(|s| *s)
-}
+/// Allocator of stable per-thread stripe indices (a distinct instance
+/// from the trace ring's so the two rings spread threads independently;
+/// deterministic model thread ids under `--cfg mc`).
+static STRIPE_OF_THREAD: ThreadStripe = ThreadStripe::new();
 
 /// The flight recorder: a bounded, ticket-stamped, thread-affine ring
 /// of [`SpanEvent`]s plus the sampling stride and counter-only totals
@@ -306,12 +298,15 @@ impl FlightRecorder {
     /// Set the sampling stride: 0 switches the recorder off, `n` traces
     /// every `n`th transaction id fully and the rest counter-only.
     pub fn set_sample_every(&self, n: u64) {
+        // ordering: Relaxed — advisory configuration; a racing admit sees
+        // the old or new stride, both valid sampling decisions.
         self.sample_every.store(n, Ordering::Relaxed);
     }
 
     /// The current sampling stride (0 = off).
     #[inline]
     pub fn sample_every(&self) -> u64 {
+        // ordering: Relaxed — advisory configuration read, see setter.
         self.sample_every.load(Ordering::Relaxed)
     }
 
@@ -353,6 +348,8 @@ impl FlightRecorder {
         if !self.active() {
             return false;
         }
+        // ordering: Relaxed — statistical counters; totals are read at
+        // quiescence (drain/snapshot), no memory is published here.
         self.admitted.fetch_add(1, Ordering::Relaxed);
         if !self.sampled(txn) {
             return false;
@@ -370,12 +367,13 @@ impl FlightRecorder {
     /// Append an event: draw a global ticket, push into the calling
     /// thread's stripe, evicting that stripe's oldest event when full.
     pub fn push(&self, ev: SpanEvent) {
+        // ordering: Relaxed — ticket uniqueness from fetch_add atomicity;
+        // the event payload is published by the stripe mutex below.
         let ticket = self.seq.fetch_add(1, Ordering::Relaxed);
-        let mut stripe = self.stripes[stripe_of_thread()]
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut stripe = self.stripes[STRIPE_OF_THREAD.index_for_thread(STRIPES - 1)].lock();
         if stripe.len() >= self.capacity {
             stripe.pop_front();
+            // ordering: Relaxed — statistical eviction counter.
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         stripe.push_back((ticket, ev));
@@ -383,21 +381,25 @@ impl FlightRecorder {
 
     /// Events recorded over the recorder's lifetime (evicted included).
     pub fn recorded(&self) -> u64 {
+        // ordering: Relaxed — advisory total, exact only at quiescence.
         self.seq.load(Ordering::Relaxed)
     }
 
     /// Events evicted by ring wrap-around.
     pub fn dropped(&self) -> u64 {
+        // ordering: Relaxed — advisory total, exact only at quiescence.
         self.dropped.load(Ordering::Relaxed)
     }
 
     /// Transactions offered to [`FlightRecorder::admit`] while active.
     pub fn admitted(&self) -> u64 {
+        // ordering: Relaxed — advisory total, exact only at quiescence.
         self.admitted.load(Ordering::Relaxed)
     }
 
     /// Transactions fully traced (the sampled subset of `admitted`).
     pub fn sampled_count(&self) -> u64 {
+        // ordering: Relaxed — advisory total, exact only at quiescence.
         self.sampled.load(Ordering::Relaxed)
     }
 
@@ -406,8 +408,7 @@ impl FlightRecorder {
     pub fn drain(&self) -> Vec<(u64, SpanEvent)> {
         let mut all: Vec<(u64, SpanEvent)> = Vec::new();
         for s in &self.stripes {
-            let mut stripe = s.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            all.extend(stripe.drain(..));
+            all.extend(s.lock().drain(..));
         }
         all.sort_unstable_by_key(|&(t, _)| t);
         all
@@ -418,10 +419,10 @@ impl FlightRecorder {
     /// flag).
     pub fn reset(&self) {
         for s in &self.stripes {
-            s.lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .clear();
+            s.lock().clear();
         }
+        // ordering: Relaxed — counter reset between phases; racing
+        // recorders land on either side, both acceptable.
         self.seq.store(0, Ordering::Relaxed);
         self.dropped.store(0, Ordering::Relaxed);
         self.admitted.store(0, Ordering::Relaxed);

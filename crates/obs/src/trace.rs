@@ -15,10 +15,9 @@
 //! `txn-model` so the `Metrics` struct can embed an [`Obs`](crate::Obs)
 //! sidecar without a dependency cycle.
 
+use mc::sync::{AtomicU64, Mutex, Ordering, ThreadStripe};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Why a protocol rejected an operation (forcing an abort), or — for
 /// [`RejectReason::WallViolation`] — why an unregistered read found a
@@ -332,16 +331,9 @@ const STRIPES: usize = 8;
 /// the 48-byte event size).
 pub const DEFAULT_STRIPE_CAPACITY: usize = 8192;
 
-/// Allocator of stable per-thread stripe indices.
-static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
-
-#[inline]
-fn stripe_of_thread() -> usize {
-    thread_local! {
-        static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
-    }
-    STRIPE.with(|s| *s)
-}
+/// Allocator of stable per-thread stripe indices (deterministic model
+/// thread ids under `--cfg mc`).
+static STRIPE_OF_THREAD: ThreadStripe = ThreadStripe::new();
 
 /// Bounded, ticket-stamped, thread-affine event ring (see module docs).
 #[derive(Debug)]
@@ -373,12 +365,13 @@ impl TraceRing {
     /// thread's stripe (uncontended in the steady state — each worker
     /// owns its stripe), evicting that stripe's oldest event when full.
     pub fn push(&self, ev: TraceEvent) {
+        // ordering: Relaxed — ticket uniqueness from fetch_add atomicity;
+        // the event payload is published by the stripe mutex below.
         let ticket = self.seq.fetch_add(1, Ordering::Relaxed);
-        let mut stripe = self.stripes[stripe_of_thread()]
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut stripe = self.stripes[STRIPE_OF_THREAD.index_for_thread(STRIPES - 1)].lock();
         if stripe.len() >= self.capacity {
             stripe.pop_front();
+            // ordering: Relaxed — statistical eviction counter.
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         stripe.push_back((ticket, ev));
@@ -386,11 +379,13 @@ impl TraceRing {
 
     /// Events recorded over the ring's lifetime (including evicted ones).
     pub fn recorded(&self) -> u64 {
+        // ordering: Relaxed — advisory total, exact only at quiescence.
         self.seq.load(Ordering::Relaxed)
     }
 
     /// Events evicted by ring wrap-around.
     pub fn dropped(&self) -> u64 {
+        // ordering: Relaxed — advisory total, exact only at quiescence.
         self.dropped.load(Ordering::Relaxed)
     }
 
@@ -401,8 +396,7 @@ impl TraceRing {
     pub fn drain(&self) -> Vec<(u64, TraceEvent)> {
         let mut all: Vec<(u64, TraceEvent)> = Vec::new();
         for s in &self.stripes {
-            let mut stripe = s.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            all.extend(stripe.drain(..));
+            all.extend(s.lock().drain(..));
         }
         all.sort_unstable_by_key(|&(t, _)| t);
         all
@@ -411,10 +405,10 @@ impl TraceRing {
     /// Drop every retained event and zero the lifetime counters.
     pub fn reset(&self) {
         for s in &self.stripes {
-            s.lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .clear();
+            s.lock().clear();
         }
+        // ordering: Relaxed — counter reset between phases; racing pushes
+        // land on either side, both acceptable.
         self.seq.store(0, Ordering::Relaxed);
         self.dropped.store(0, Ordering::Relaxed);
     }

@@ -205,6 +205,8 @@ fn main() {
             let (workers, txns, chaos_mode) = driver_opts;
             let mut rng = StdRng::seed_from_u64(0x70D0_0001);
             let mut wave = 0u64;
+            // ordering: Relaxed — advisory stop flag; the generator may
+            // run one extra wave after the store, which is harmless.
             while !stop_ref.load(Ordering::Relaxed) {
                 let programs: Vec<_> = (0..txns).map(|_| w.generate(&mut rng)).collect();
                 if chaos_mode {
@@ -253,6 +255,8 @@ fn main() {
                 break;
             }
         }
+        // ordering: Relaxed — advisory stop flag (see the load above);
+        // scope join provides the final synchronization.
         stop.store(true, Ordering::Relaxed);
     });
 

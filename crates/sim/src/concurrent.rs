@@ -120,6 +120,17 @@ impl Drop for WorkerGuard<'_> {
     }
 }
 
+/// Gate for oversubscribed stress/sweep legs: `Some(requested)` when the
+/// host can meaningfully run `requested` workers (mild oversubscription
+/// is the point of the high legs, so anything up to 8× the available
+/// parallelism passes), `None` when the leg should be skipped — on a
+/// 1–2 core machine a 16/32-worker leg measures scheduler thrash and
+/// can run for minutes without saying anything about the protocol.
+pub fn capped_workers(requested: usize) -> Option<usize> {
+    let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    (requested <= avail.saturating_mul(8)).then_some(requested)
+}
+
 /// Result of a concurrent run: the shared [`RunStats`] plus wall time.
 #[derive(Debug, Clone)]
 pub struct ConcurrentStats {
@@ -186,6 +197,7 @@ pub fn run_concurrent(
         // worker blocked on maintenance-driven state (time-wall release,
         // lock queues) always makes progress eventually.
         scope.spawn(|| {
+            // ordering: Relaxed — advisory stop flag; one extra iteration after the store is harmless.
             while !done.load(Ordering::Relaxed) {
                 scheduler.maintenance();
                 std::thread::sleep(cfg.maintenance_interval);
@@ -211,6 +223,7 @@ pub fn run_concurrent(
                 };
                 loop {
                     // Claim the next program: one uncontended fetch_add.
+                    // ordering: Relaxed — work-claim ticket; uniqueness comes from fetch_add atomicity and the claimed program is immutable.
                     let idx = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(program) = programs.get(idx) else {
                         break;
@@ -253,6 +266,7 @@ pub fn run_concurrent(
                         let mut streak_start_ns: Option<u64> = None;
                         let mut streak_slept_ns = 0u64;
                         while pc < program.steps.len() {
+                            // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                             attempts.fetch_add(1, Ordering::Relaxed);
                             let span_start = traced.then(|| mobs.flight.now_ns());
                             let outcome_block = match &program.steps[pc] {
@@ -280,6 +294,7 @@ pub fn run_concurrent(
                                         scheduler.abort(&handle);
                                         tries += 1;
                                         if past(deadline) {
+                                            // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                             deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                                             flight_end(
                                                 traced,
@@ -293,6 +308,7 @@ pub fn run_concurrent(
                                             flight_end(traced, handle.id.0, Terminal::GaveUp);
                                             break 'retry;
                                         }
+                                        // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                         restarts.fetch_add(1, Ordering::Relaxed);
                                         flight_end(traced, handle.id.0, Terminal::Aborted);
                                         continue 'retry;
@@ -323,6 +339,7 @@ pub fn run_concurrent(
                                             scheduler.abort(&handle);
                                             tries += 1;
                                             if past(deadline) {
+                                                // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                                 deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                                                 flight_end(
                                                     traced,
@@ -336,6 +353,7 @@ pub fn run_concurrent(
                                                 flight_end(traced, handle.id.0, Terminal::GaveUp);
                                                 break 'retry;
                                             }
+                                            // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                             restarts.fetch_add(1, Ordering::Relaxed);
                                             flight_end(traced, handle.id.0, Terminal::Aborted);
                                             continue 'retry;
@@ -346,6 +364,7 @@ pub fn run_concurrent(
                             if outcome_block {
                                 if past(deadline) {
                                     scheduler.abort(&handle);
+                                    // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                     deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                                     flight_end(traced, handle.id.0, Terminal::DeadlineExceeded);
                                     break 'retry;
@@ -382,6 +401,7 @@ pub fn run_concurrent(
                         let mut commit_streak_start_ns: Option<u64> = None;
                         let mut commit_streak_slept_ns = 0u64;
                         loop {
+                            // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                             attempts.fetch_add(1, Ordering::Relaxed);
                             let span_start = traced.then(|| mobs.flight.now_ns());
                             match timed(time_ops, &mobs.op_service, || scheduler.commit(&handle)) {
@@ -418,6 +438,7 @@ pub fn run_concurrent(
                                 CommitOutcome::Block => {
                                     if past(deadline) {
                                         scheduler.abort(&handle);
+                                        // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                         deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                                         flight_end(traced, handle.id.0, Terminal::DeadlineExceeded);
                                         break 'retry;
@@ -439,6 +460,7 @@ pub fn run_concurrent(
                                 CommitOutcome::Aborted => {
                                     tries += 1;
                                     if past(deadline) {
+                                        // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                         deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                                         flight_end(traced, handle.id.0, Terminal::DeadlineExceeded);
                                         break 'retry;
@@ -459,9 +481,11 @@ pub fn run_concurrent(
             });
         }
     });
+    // ordering: Relaxed — advisory stop flag; the scope join below/above is the real synchronization.
     done.store(true, Ordering::Relaxed);
     let elapsed = start.elapsed();
 
+    // ordering: Relaxed — read after the worker scope joined; the join edge orders every counter write before it.
     let committed = committed.load(Ordering::Relaxed);
     let mut stats = RunStats {
         committed,
@@ -666,6 +690,7 @@ mod tests {
         }
         fn begin(&self, profile: &txn_model::TxnProfile) -> txn_model::TxnHandle {
             txn_model::TxnHandle {
+                // ordering: Relaxed — id ticket; uniqueness comes from fetch_add atomicity, nothing is published with it.
                 id: txn_model::TxnId(self.ids.fetch_add(1, Ordering::Relaxed)),
                 start_ts: txn_model::Timestamp(0),
                 class: profile.class,
@@ -686,6 +711,7 @@ mod tests {
             CommitOutcome::Committed(txn_model::Timestamp(1))
         }
         fn abort(&self, _h: &txn_model::TxnHandle) {
+            // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
             self.aborts.fetch_add(1, Ordering::Relaxed);
         }
         fn log(&self) -> &txn_model::ScheduleLog {
@@ -712,6 +738,7 @@ mod tests {
         assert_eq!(out.stats.committed, 0, "every program starts with a read");
         assert_eq!(out.stats.deadline_exceeded, 8);
         assert_eq!(
+            // ordering: Relaxed — read after the worker scope joined; the join edge orders every counter write before it.
             sched.aborts.load(Ordering::Relaxed),
             8,
             "abandoned transactions are aborted, not leaked"

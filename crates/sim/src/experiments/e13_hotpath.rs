@@ -12,7 +12,7 @@
 //! cargo run --release -p sim --bin experiments -- hotpath
 //! ```
 
-use crate::concurrent::{run_concurrent, ConcurrentConfig};
+use crate::concurrent::{capped_workers, run_concurrent, ConcurrentConfig};
 use crate::experiments::e02_inventory::batch;
 use crate::factory::{build_scheduler, SchedulerKind};
 use crate::report::{f2, Table};
@@ -59,6 +59,13 @@ pub fn sweep(quick: bool) -> Vec<HotpathPoint> {
     let mut points = Vec::new();
     for &kind in SCHEDULERS {
         for &workers in worker_counts {
+            if capped_workers(workers).is_none() {
+                eprintln!(
+                    "hotpath: skipping {workers}-worker leg \
+                     (beyond 8x available parallelism on this host)"
+                );
+                continue;
+            }
             let (w, programs) = batch(n_txns, 0x00F1_6011);
             let (sched, _store) = build_scheduler(kind, &w);
             let cfg = ConcurrentConfig {

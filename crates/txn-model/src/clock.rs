@@ -7,7 +7,7 @@
 //! assume (e.g. `I(t1) > I(t2)` is decidable for any two transactions).
 
 use crate::ids::Timestamp;
-use std::sync::atomic::{AtomicU64, Ordering};
+use mc::sync::{AtomicU64, Ordering};
 
 /// A strictly monotonic, shareable logical clock.
 ///
@@ -29,6 +29,9 @@ impl LogicalClock {
     /// Issue a fresh timestamp, strictly greater than all previous ticks.
     #[inline]
     pub fn tick(&self) -> Timestamp {
+        // ordering: Relaxed — uniqueness/monotonicity come from fetch_add
+        // atomicity alone; ticks publish no other memory. Cross-thread
+        // visibility of a tick rides on the lock that stores it.
         Timestamp(self.next.fetch_add(1, Ordering::Relaxed))
     }
 
@@ -36,12 +39,16 @@ impl LogicalClock {
     /// tick has been issued yet).
     #[inline]
     pub fn now(&self) -> Timestamp {
+        // ordering: Relaxed — advisory peek; callers only need *some*
+        // recent tick, and same-thread reads after a local tick() see it.
         Timestamp(self.next.load(Ordering::Relaxed) - 1)
     }
 
     /// Advance the clock so that the next tick is strictly greater than
     /// `ts`. Used when replaying externally scripted schedules.
     pub fn advance_past(&self, ts: Timestamp) {
+        // ordering: Relaxed — CAS loop on a single cell; the loop re-reads
+        // on failure, so no stale read can violate "next > ts" on success.
         let mut cur = self.next.load(Ordering::Relaxed);
         while cur <= ts.0 {
             match self.next.compare_exchange_weak(

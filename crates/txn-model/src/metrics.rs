@@ -11,7 +11,7 @@
 //! * `rejections` — operations refused by a protocol rule (causing abort),
 //! * plus bookkeeping (begins/commits/aborts/reads/writes).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use mc::sync::{AtomicU64, Ordering};
 
 macro_rules! counters {
     ($($(#[doc = $doc:literal])* $name:ident),+ $(,)?) => {
@@ -36,12 +36,16 @@ macro_rules! counters {
             /// Copy all counters.
             pub fn snapshot(&self) -> MetricsSnapshot {
                 MetricsSnapshot {
+                    // ordering: Relaxed — statistical counters; snapshots
+                    // are advisory and tolerate skew between cells.
                     $($name: self.$name.load(Ordering::Relaxed),)+
                 }
             }
 
             /// Reset all counters to zero.
             pub fn reset(&self) {
+                // ordering: Relaxed — counter reset between phases; racing
+                // bumps land on either side, both acceptable.
                 $(self.$name.store(0, Ordering::Relaxed);)+
             }
         }
@@ -134,12 +138,15 @@ impl Metrics {
     #[inline]
     /// Add 1 to a counter (helper so call sites stay short).
     pub fn bump(counter: &AtomicU64) {
+        // ordering: Relaxed — statistical counter; no memory is published
+        // through it, totals are read at quiescence or advisorily.
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     /// Add `n` to a counter.
     pub fn add(counter: &AtomicU64, n: u64) {
+        // ordering: Relaxed — statistical counter, see bump.
         counter.fetch_add(n, Ordering::Relaxed);
     }
 

@@ -27,8 +27,7 @@
 
 use crate::ids::{ClassId, GranuleId, Timestamp, TxnId};
 use crate::value::Value;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use mc::sync::{AtomicBool, AtomicU64, Mutex, Ordering, ThreadStripe};
 use std::sync::Arc;
 
 /// The writer id of versions present at database-population time.
@@ -115,16 +114,9 @@ impl ScheduleEvent {
 /// so distinct threads land on distinct stripes in practice).
 const STRIPES: usize = 16;
 
-/// Allocator of stable per-thread stripe indices.
-static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
-
-/// This thread's stripe index (assigned round-robin on first use).
-fn stripe_of_thread() -> usize {
-    thread_local! {
-        static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
-    }
-    STRIPE.with(|s| *s)
-}
+/// Allocator of stable per-thread stripe indices (round-robin on first
+/// use; deterministic model thread ids under `--cfg mc`).
+static STRIPE_OF_THREAD: ThreadStripe = ThreadStripe::new();
 
 /// Thread-safe, append-only schedule log (striped; see module docs).
 #[derive(Debug)]
@@ -161,19 +153,27 @@ impl ScheduleLog {
     /// Disable recording (for long benchmark runs where post-hoc checking
     /// is not needed and log growth would dominate).
     pub fn set_enabled(&self, on: bool) {
+        // ordering: Relaxed — advisory on/off flag; a racing record() may
+        // observe either state, both of which are correct outcomes.
         self.enabled.store(on, Ordering::Relaxed);
     }
 
     /// Whether recording is on.
     pub fn is_enabled(&self) -> bool {
+        // ordering: Relaxed — advisory flag read, see set_enabled.
         self.enabled.load(Ordering::Relaxed)
     }
 
     /// Append an event (no-op when disabled).
     pub fn record(&self, ev: ScheduleEvent) {
         if self.is_enabled() {
+            // ordering: Relaxed — ticket uniqueness comes from fetch_add
+            // atomicity; the event payload is published by the stripe
+            // mutex below, not by this counter.
             let ticket = self.seq.fetch_add(1, Ordering::Relaxed);
-            self.stripes[stripe_of_thread()].lock().push((ticket, ev));
+            self.stripes[STRIPE_OF_THREAD.index_for_thread(STRIPES - 1)]
+                .lock()
+                .push((ticket, ev));
         }
     }
 

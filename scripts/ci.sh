@@ -24,6 +24,18 @@ cargo test -q --workspace
 echo "== docs =="
 cargo doc --no-deps -q --workspace
 
+echo "== ordering audit =="
+# Every Ordering::Relaxed site in the workspace must carry a
+# `// ordering:` justification (DESIGN.md section 12); unjustified
+# sites fail the build.
+cargo run -q -p certify --bin hdd-ordering-lint -- crates
+
+echo "== mc smoke (instrumented, <60s) =="
+# Model-check the engine self-models and the HDD protocol models under
+# the instrumented facade. Separate target dir: --cfg mc changes every
+# routed crate, so sharing ./target would thrash the main cache.
+RUSTFLAGS="--cfg mc" cargo test -q -p mc --target-dir target/mc
+
 echo "== hot-path smoke (release, quick) =="
 cargo run --release -q -p sim --bin experiments -- hotpath quick
 
