@@ -1,8 +1,10 @@
 //! `hdd-ordering-lint` — the memory-ordering audit gate.
 //!
 //! Every `Ordering::Relaxed` site in the workspace must say *why*
-//! relaxed is enough: a `// ordering:` comment on the same line or
-//! within the preceding few lines. The justification discipline is what
+//! relaxed is enough: a `// ordering:` comment on the same line, on an
+//! earlier line of the same (multi-line) statement, or in the comment
+//! block immediately above that statement — one justification never
+//! covers a later, unrelated site. The justification discipline is what
 //! makes the audit (DESIGN.md §12) checkable — an unannotated site is
 //! either an unreviewed ordering or a silent downgrade, and both fail
 //! CI here.
@@ -36,6 +38,42 @@ struct Site {
     justified: bool,
 }
 
+/// Does the site on `lines[i]` carry a justification?
+///
+/// Accepted: the marker on the same line, on an earlier line of the
+/// *same statement* (multi-line call), or in the comment block
+/// contiguously above that statement. The upward walk stops at the
+/// first line that ends an earlier statement (`;`, `{`, or `}` after
+/// stripping trailing comments) — a justification never leaks past a
+/// statement boundary to cover an unrelated later site.
+fn site_justified(lines: &[&str], i: usize, marker: &str) -> bool {
+    if lines[i].contains(marker) {
+        return true;
+    }
+    for j in (i.saturating_sub(LOOKBACK)..i).rev() {
+        let line = lines[j];
+        let code = line.split("//").next().unwrap_or("").trim();
+        if code.is_empty() {
+            // Pure comment or blank line: part of the governing block.
+            if line.contains(marker) {
+                return true;
+            }
+            continue;
+        }
+        if code.ends_with(';') || code.ends_with('{') || code.ends_with('}') {
+            // An earlier statement ends here; its comments govern it,
+            // not us.
+            return false;
+        }
+        // Continuation line of our own statement (possibly with a
+        // trailing marker comment).
+        if line.contains(marker) {
+            return true;
+        }
+    }
+    false
+}
+
 /// Scan one file's text for Relaxed sites and their justifications.
 fn scan_text(file: &Path, text: &str) -> Vec<Site> {
     // Built by concatenation so this linter never flags its own source
@@ -48,14 +86,10 @@ fn scan_text(file: &Path, text: &str) -> Vec<Site> {
         if !line.contains(&needle) {
             continue;
         }
-        let justified = line.contains(&marker)
-            || lines[i.saturating_sub(LOOKBACK)..i]
-                .iter()
-                .any(|l| l.contains(&marker));
         sites.push(Site {
             file: file.to_path_buf(),
             line: i + 1,
-            justified,
+            justified: site_justified(&lines, i, &marker),
         });
     }
     sites
@@ -118,7 +152,7 @@ fn main() {
         let _ = writeln!(
             out,
             "FAIL {}:{}: Ordering::Relaxed without a `// ordering:` justification \
-             (same line or <= {LOOKBACK} lines above)",
+             (same line, same statement, or the comment block directly above it)",
             s.file.display(),
             s.line
         );
@@ -179,6 +213,29 @@ mod tests {
         let sites = scan_text(Path::new("t.rs"), src);
         assert_eq!(sites.len(), 2);
         assert!(sites.iter().all(|s| s.justified));
+    }
+
+    #[test]
+    fn justification_does_not_leak_past_a_statement_boundary() {
+        let src = "// ordering: Relaxed — counter\n\
+                   a.load(Ordering::Relaxed);\n\
+                   b.store(1, Ordering::Relaxed);\n";
+        let sites = scan_text(Path::new("t.rs"), src);
+        assert_eq!(sites.len(), 2);
+        assert!(sites[0].justified, "comment directly above its statement");
+        assert!(
+            !sites[1].justified,
+            "the first site's justification must not cover the second"
+        );
+    }
+
+    #[test]
+    fn trailing_comment_on_an_earlier_statement_does_not_leak() {
+        let src = "a.store(1, Ordering::SeqCst); // ordering: note on this line\n\
+                   b.load(Ordering::Relaxed);\n";
+        let sites = scan_text(Path::new("t.rs"), src);
+        assert_eq!(sites.len(), 1);
+        assert!(!sites[0].justified);
     }
 
     #[test]

@@ -166,7 +166,7 @@ pub fn run_chaos(
             let mut max_gap = Duration::ZERO;
             // ordering: Relaxed — advisory stop flag; one extra iteration after the store is harmless.
             while !done.load(Ordering::Relaxed) {
-                let cur = walls.load(Ordering::Relaxed);
+                let cur = walls.load(Ordering::Relaxed); // ordering: monitor peek; staleness only widens the gap
                 if cur != last {
                     max_gap = max_gap.max(last_change.elapsed());
                     last_change = Instant::now();
@@ -285,7 +285,7 @@ pub fn run_chaos(
                                     _ => {}
                                 }
                             }
-                            attempts.fetch_add(1, Ordering::Relaxed);
+                            attempts.fetch_add(1, Ordering::Relaxed); // ordering: stat counter; the scope join orders the final read
                             let blocked = match &program.steps[pc] {
                                 Step::Read(g) => match scheduler.read(&handle, *g) {
                                     ReadOutcome::Value(v) => {
@@ -310,7 +310,7 @@ pub fn run_chaos(
                                             break 'retry;
                                         }
                                         if tries > cfg.max_restarts {
-                                            gave_up.fetch_add(1, Ordering::Relaxed);
+                                            gave_up.fetch_add(1, Ordering::Relaxed); // ordering: stat counter; the scope join orders the final read
                                             flight_end(traced, handle.id.0, Terminal::GaveUp);
                                             break 'retry;
                                         }
@@ -344,7 +344,7 @@ pub fn run_chaos(
                                                 break 'retry;
                                             }
                                             if tries > cfg.max_restarts {
-                                                gave_up.fetch_add(1, Ordering::Relaxed);
+                                                gave_up.fetch_add(1, Ordering::Relaxed); // ordering: stat counter; the scope join orders the final read
                                                 flight_end(traced, handle.id.0, Terminal::GaveUp);
                                                 break 'retry;
                                             }
@@ -410,7 +410,7 @@ pub fn run_chaos(
                         }
                         let mut commit_spins = 0u32;
                         loop {
-                            attempts.fetch_add(1, Ordering::Relaxed);
+                            attempts.fetch_add(1, Ordering::Relaxed); // ordering: stat counter; the scope join orders the final read
                             match scheduler.commit(&handle) {
                                 CommitOutcome::Committed(_) => {
                                     // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
@@ -421,7 +421,7 @@ pub fn run_chaos(
                                 CommitOutcome::Block => {
                                     if Instant::now() >= deadline {
                                         scheduler.abort(&handle);
-                                        deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                        deadline_exceeded.fetch_add(1, Ordering::Relaxed); // ordering: stat counter; the scope join orders the final read
                                         flight_end(traced, handle.id.0, Terminal::DeadlineExceeded);
                                         break 'retry;
                                     }
@@ -437,11 +437,11 @@ pub fn run_chaos(
                                         break 'retry;
                                     }
                                     if tries > cfg.max_restarts {
-                                        gave_up.fetch_add(1, Ordering::Relaxed);
+                                        gave_up.fetch_add(1, Ordering::Relaxed); // ordering: stat counter; the scope join orders the final read
                                         flight_end(traced, handle.id.0, Terminal::GaveUp);
                                         break 'retry;
                                     }
-                                    restarts.fetch_add(1, Ordering::Relaxed);
+                                    restarts.fetch_add(1, Ordering::Relaxed); // ordering: stat counter; the scope join orders the final read
                                     flight_end(traced, handle.id.0, Terminal::Aborted);
                                     continue 'retry;
                                 }

@@ -145,6 +145,14 @@ pub mod sync {
     }
 
     /// Instrumented facade over `AtomicUsize` (modeled as `u64`).
+    ///
+    /// Model values live in `u64`; every value crossing the API is
+    /// truncated back to `usize`. Because the only operations exposed
+    /// are load/store/`fetch_add`, truncation commutes with the
+    /// arithmetic (`(a + b) mod 2^64 ≡ (a + b) mod 2^usize_bits` after
+    /// truncation on any `usize` width ≤ 64), so on 32-bit targets this
+    /// wraps at `usize::MAX` exactly like the passthrough build instead
+    /// of panicking.
     #[derive(Debug)]
     pub struct AtomicUsize(AtomicU64);
 
@@ -154,6 +162,7 @@ pub mod sync {
         }
     }
 
+    #[allow(clippy::cast_possible_truncation)]
     impl AtomicUsize {
         /// A new atomic with initial value `v`.
         #[track_caller]
@@ -165,7 +174,7 @@ pub mod sync {
         /// Atomic load with the declared ordering.
         #[track_caller]
         pub fn load(&self, ord: Ordering) -> usize {
-            usize::try_from(self.0.load(ord)).expect("usize value")
+            self.0.load(ord) as usize
         }
 
         /// Atomic store with the declared ordering.
@@ -174,10 +183,11 @@ pub mod sync {
             self.0.store(v as u64, ord);
         }
 
-        /// Atomic add; returns the previous value.
+        /// Atomic add; returns the previous value (wrapping at `usize`
+        /// width, like `std::sync::atomic::AtomicUsize::fetch_add`).
         #[track_caller]
         pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
-            usize::try_from(self.0.fetch_add(v as u64, ord)).expect("usize value")
+            self.0.fetch_add(v as u64, ord) as usize
         }
     }
 

@@ -889,7 +889,21 @@ fn payload_msg(p: &(dyn Any + Send)) -> String {
 }
 
 /// Body run by every model OS thread.
-fn run_thread(shared: &Arc<Shared>, tid: Tid, body: Box<dyn FnOnce() + Send>) {
+///
+/// The thread was registered `Parked` at `Op::Start` before this OS
+/// thread existed, and the coordinator treats that registration as a
+/// promise: nothing runs until `Start` is granted. So the first thing
+/// the body path does is genuinely park at `Start` via [`exec_op`] —
+/// otherwise the closure would race to its first instrumented op while
+/// the coordinator may already have granted the `Start` it saw pending
+/// (recording `step_op = Start` for the real op, which defeats DPOR's
+/// dependence check and skips load value-option enumeration).
+fn run_thread(
+    shared: &Arc<Shared>,
+    tid: Tid,
+    start_loc: &'static Location<'static>,
+    body: Box<dyn FnOnce() + Send>,
+) {
     CTX.with(|c| {
         *c.borrow_mut() = Some(Ctx {
             shared: Arc::clone(shared),
@@ -897,7 +911,10 @@ fn run_thread(shared: &Arc<Shared>, tid: Tid, body: Box<dyn FnOnce() + Send>) {
         });
     });
     IN_MODEL.with(|f| f.set(true));
-    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        exec_op(shared, tid, Op::Start, start_loc);
+        body();
+    }));
     IN_MODEL.with(|f| f.set(false));
     CTX.with(|c| *c.borrow_mut() = None);
     let mut g = lock_inner(shared);
@@ -948,7 +965,7 @@ pub(crate) fn spawn_thread(body: Box<dyn FnOnce() + Send>) -> Tid {
     let sh = Arc::clone(&ctx.shared);
     let handle = std::thread::Builder::new()
         .name(format!("mc-T{child}"))
-        .spawn(move || run_thread(&sh, child, body))
+        .spawn(move || run_thread(&sh, child, loc, body))
         .expect("mc: OS thread spawn failed");
     lock_inner(&ctx.shared).os_handles.push(handle);
     ctx.shared.cv.notify_all();
@@ -1125,6 +1142,13 @@ where
 
 /// Run `f` under sequential consistency and under declared orderings,
 /// reporting both (see [`OrderingVerdict::ordering_sensitive`]).
+///
+/// `config.weak_memory` is ignored: the comparison is only meaningful
+/// between the two fixed semantics, so the first leg always forces
+/// `weak_memory = false` and the second always forces `true` (a config
+/// built via [`Config::sequentially_consistent`] is overridden on the
+/// weak leg). Everything else in `config` (bounds, limits, DPOR)
+/// applies to both legs. Use [`check`] to explore a single semantics.
 pub fn check_ordering<F>(config: Config, f: F) -> OrderingVerdict
 where
     F: Fn() + Send + Sync + 'static,
@@ -1321,13 +1345,14 @@ impl Checker {
             }),
             cv: Condvar::new(),
         });
+        let t0_loc = Location::caller();
         {
             let mut g = lock_inner(&shared);
             let mut t0 = TState::new();
             t0.status = Status::Parked;
             t0.pending = Some(Pending {
                 op: Op::Start,
-                loc: Location::caller(),
+                loc: t0_loc,
             });
             g.threads.push(t0);
         }
@@ -1335,7 +1360,7 @@ impl Checker {
         let sh = Arc::clone(&shared);
         let h = std::thread::Builder::new()
             .name("mc-T0".to_owned())
-            .spawn(move || run_thread(&sh, 0, Box::new(move || f())))
+            .spawn(move || run_thread(&sh, 0, t0_loc, Box::new(move || f())))
             .expect("mc: OS thread spawn failed");
         lock_inner(&shared).os_handles.push(h);
 

@@ -41,11 +41,11 @@ fn fetch_add_is_atomic() {
         let c = Arc::new(AtomicU64::new(0));
         let c2 = Arc::clone(&c);
         let t = mc::thread::spawn(move || {
-            c2.fetch_add(1, Ordering::Relaxed);
+            c2.fetch_add(1, Ordering::Relaxed); // ordering: counter; atomicity is the property under test
         });
-        c.fetch_add(1, Ordering::Relaxed);
+        c.fetch_add(1, Ordering::Relaxed); // ordering: counter; atomicity is the property under test
         t.join().unwrap();
-        assert_eq!(c.load(Ordering::Relaxed), 2);
+        assert_eq!(c.load(Ordering::Relaxed), 2); // ordering: read after join
     });
     report.assert_clean("fetch_add_atomic");
     assert!(report.complete, "search must exhaust");
@@ -65,10 +65,12 @@ fn relaxed_message_passing_is_ordering_sensitive() {
         let flag = Arc::new(AtomicBool::new(false));
         let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
         let t = mc::thread::spawn(move || {
-            d2.store(42, Ordering::Relaxed);
-            f2.store(true, Ordering::Relaxed);
+            d2.store(42, Ordering::Relaxed); // ordering: deliberately broken MP (under test)
+            f2.store(true, Ordering::Relaxed); // ordering: deliberately broken MP (under test)
         });
+        // ordering: deliberately broken MP (under test)
         if flag.load(Ordering::Relaxed) {
+            // ordering: deliberately broken MP (under test)
             assert_eq!(data.load(Ordering::Relaxed), 42, "saw flag but stale data");
         }
         t.join().unwrap();
@@ -99,11 +101,11 @@ fn release_acquire_message_passing_is_clean() {
         let flag = Arc::new(AtomicBool::new(false));
         let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
         let t = mc::thread::spawn(move || {
-            d2.store(42, Ordering::Relaxed);
+            d2.store(42, Ordering::Relaxed); // ordering: data rides the Release/Acquire flag edge
             f2.store(true, Ordering::Release);
         });
         if flag.load(Ordering::Acquire) {
-            assert_eq!(data.load(Ordering::Relaxed), 42);
+            assert_eq!(data.load(Ordering::Relaxed), 42); // ordering: ordered by the Acquire load above
         }
         t.join().unwrap();
     });
@@ -162,7 +164,7 @@ fn once_lock_single_init() {
         let (c2, i2) = (Arc::clone(&cell), Arc::clone(&inits));
         let t = mc::thread::spawn(move || {
             *c2.get_or_init(|| {
-                i2.fetch_add(1, Ordering::Relaxed);
+                i2.fetch_add(1, Ordering::Relaxed); // ordering: init-count probe; OnceLock serializes
                 7
             })
         });
@@ -173,7 +175,7 @@ fn once_lock_single_init() {
         });
         let w = t.join().unwrap();
         assert_eq!((v, w), (7, 7));
-        assert_eq!(inits.load(Ordering::Relaxed), 1, "double init");
+        assert_eq!(inits.load(Ordering::Relaxed), 1, "double init"); // ordering: read after join
     });
     report.assert_clean("once_single_init");
     assert!(report.complete);
@@ -205,9 +207,9 @@ fn preemption_bound_prunes_but_still_finds_shallow_bugs() {
         let c = Arc::new(AtomicU64::new(0));
         let c2 = Arc::clone(&c);
         let t = mc::thread::spawn(move || {
-            c2.fetch_add(1, Ordering::Relaxed);
+            c2.fetch_add(1, Ordering::Relaxed); // ordering: counter; atomicity suffices
         });
-        c.fetch_add(1, Ordering::Relaxed);
+        c.fetch_add(1, Ordering::Relaxed); // ordering: counter; atomicity suffices
         t.join().unwrap();
     });
     assert!(clean.failure.is_none());
@@ -229,11 +231,11 @@ fn dpor_prunes_independent_work() {
         let b = Arc::new(AtomicU64::new(0));
         let a2 = Arc::clone(&a);
         let t = mc::thread::spawn(move || {
-            a2.store(1, Ordering::Relaxed);
-            a2.store(2, Ordering::Relaxed);
+            a2.store(1, Ordering::Relaxed); // ordering: disjoint atomics; nothing asserted across
+            a2.store(2, Ordering::Relaxed); // ordering: disjoint atomics; nothing asserted across
         });
-        b.store(1, Ordering::Relaxed);
-        b.store(2, Ordering::Relaxed);
+        b.store(1, Ordering::Relaxed); // ordering: disjoint atomics; nothing asserted across
+        b.store(2, Ordering::Relaxed); // ordering: disjoint atomics; nothing asserted across
         t.join().unwrap();
     };
     let with_dpor = check(Config::exhaustive(), model);

@@ -164,9 +164,9 @@ impl GaugeBoard {
         // ordering: Relaxed — gauge levels; no cross-cell consistency is
         // promised, a sampler may see the cells mid-update.
         self.wall_anchor.store(anchor, Ordering::Relaxed);
-        self.wall_released_at.store(released_at, Ordering::Relaxed);
-        self.wall_floor.store(floor, Ordering::Relaxed);
-        self.wall_lag.store(lag, Ordering::Relaxed);
+        self.wall_released_at.store(released_at, Ordering::Relaxed); // ordering: gauge level, see fn-top note
+        self.wall_floor.store(floor, Ordering::Relaxed); // ordering: gauge level, see fn-top note
+        self.wall_lag.store(lag, Ordering::Relaxed); // ordering: gauge level, see fn-top note
     }
 
     /// Publish one class's live signals.
@@ -176,8 +176,8 @@ impl GaugeBoard {
             if let Some(i) = usize::try_from(class).ok().filter(|&i| i < d.i_old.len()) {
                 // ordering: Relaxed — per-class gauge levels, see set_wall.
                 d.i_old[i].store(i_old, Ordering::Relaxed);
-                d.active[i].store(active, Ordering::Relaxed);
-                d.settled_lag[i].store(settled_lag, Ordering::Relaxed);
+                d.active[i].store(active, Ordering::Relaxed); // ordering: gauge level, see fn-top note
+                d.settled_lag[i].store(settled_lag, Ordering::Relaxed); // ordering: gauge level, see fn-top note
             }
         }
     }
@@ -210,9 +210,9 @@ impl GaugeBoard {
     pub fn set_activity(&self, active: u64, intervals: u64, settled_lag: u64) {
         // ordering: Relaxed — gauge levels, see set_wall.
         self.active_txns.store(active, Ordering::Relaxed);
-        self.registry_intervals.store(intervals, Ordering::Relaxed);
+        self.registry_intervals.store(intervals, Ordering::Relaxed); // ordering: gauge level, see fn-top note
         self.registry_settled_lag
-            .store(settled_lag, Ordering::Relaxed);
+            .store(settled_lag, Ordering::Relaxed); // ordering: gauge level, see fn-top note
     }
 
     /// Publish MV-store shape: live versions, granules, deepest version
@@ -221,9 +221,9 @@ impl GaugeBoard {
     pub fn set_store(&self, versions: u64, granules: u64, max_chain: u64, backlog: u64) {
         // ordering: Relaxed — gauge levels, see set_wall.
         self.store_versions.store(versions, Ordering::Relaxed);
-        self.store_granules.store(granules, Ordering::Relaxed);
-        self.store_max_chain.store(max_chain, Ordering::Relaxed);
-        self.gc_backlog.store(backlog, Ordering::Relaxed);
+        self.store_granules.store(granules, Ordering::Relaxed); // ordering: gauge level, see fn-top note
+        self.store_max_chain.store(max_chain, Ordering::Relaxed); // ordering: gauge level, see fn-top note
+        self.gc_backlog.store(backlog, Ordering::Relaxed); // ordering: gauge level, see fn-top note
     }
 
     /// Publish the last GC prune watermark.
@@ -239,7 +239,7 @@ impl GaugeBoard {
     pub fn set_driver_progress(&self, claimed: u64, offered: u64) {
         // ordering: Relaxed — gauge levels, see set_wall.
         self.driver_claimed.store(claimed, Ordering::Relaxed);
-        self.driver_offered.store(offered, Ordering::Relaxed);
+        self.driver_offered.store(offered, Ordering::Relaxed); // ordering: gauge level, see fn-top note
     }
 
     /// Copy the whole board. Staleness cells are included only when

@@ -97,10 +97,10 @@ impl Histogram {
         // atomic on its own, and readers (snapshot) tolerate skew between
         // cells by contract. No other memory is published here.
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.min.fetch_min(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed); // ordering: independent stat cell, see fn-top note
+        self.sum.fetch_add(v, Ordering::Relaxed); // ordering: independent stat cell, see fn-top note
+        self.min.fetch_min(v, Ordering::Relaxed); // ordering: independent stat cell, see fn-top note
+        self.max.fetch_max(v, Ordering::Relaxed); // ordering: independent stat cell, see fn-top note
     }
 
     /// Values recorded so far.
@@ -136,12 +136,12 @@ impl Histogram {
         // ordering: Relaxed — reset between phases; racing records land on
         // either side of it, both acceptable for statistics.
         for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
+            b.store(0, Ordering::Relaxed); // ordering: phase reset, see fn-top note
         }
-        self.count.store(0, Ordering::Relaxed);
-        self.sum.store(0, Ordering::Relaxed);
-        self.min.store(u64::MAX, Ordering::Relaxed);
-        self.max.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed); // ordering: phase reset, see fn-top note
+        self.sum.store(0, Ordering::Relaxed); // ordering: phase reset, see fn-top note
+        self.min.store(u64::MAX, Ordering::Relaxed); // ordering: phase reset, see fn-top note
+        self.max.store(0, Ordering::Relaxed); // ordering: phase reset, see fn-top note
     }
 }
 

@@ -354,7 +354,7 @@ impl FlightRecorder {
         if !self.sampled(txn) {
             return false;
         }
-        self.sampled.fetch_add(1, Ordering::Relaxed);
+        self.sampled.fetch_add(1, Ordering::Relaxed); // ordering: statistical counter, see note above
         self.push(SpanEvent::Admit {
             txn,
             class,
@@ -424,9 +424,9 @@ impl FlightRecorder {
         // ordering: Relaxed — counter reset between phases; racing
         // recorders land on either side, both acceptable.
         self.seq.store(0, Ordering::Relaxed);
-        self.dropped.store(0, Ordering::Relaxed);
-        self.admitted.store(0, Ordering::Relaxed);
-        self.sampled.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed); // ordering: phase reset, see note above
+        self.admitted.store(0, Ordering::Relaxed); // ordering: phase reset, see note above
+        self.sampled.store(0, Ordering::Relaxed); // ordering: phase reset, see note above
     }
 }
 

@@ -410,7 +410,7 @@ impl TraceRing {
         // ordering: Relaxed — counter reset between phases; racing pushes
         // land on either side, both acceptable.
         self.seq.store(0, Ordering::Relaxed);
-        self.dropped.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed); // ordering: phase reset, see note above
     }
 }
 

@@ -304,7 +304,7 @@ pub fn run_concurrent(
                                             break 'retry;
                                         }
                                         if tries > cfg.max_restarts {
-                                            gave_up.fetch_add(1, Ordering::Relaxed);
+                                            gave_up.fetch_add(1, Ordering::Relaxed); // ordering: stat counter; the scope join orders the final read
                                             flight_end(traced, handle.id.0, Terminal::GaveUp);
                                             break 'retry;
                                         }
@@ -349,7 +349,7 @@ pub fn run_concurrent(
                                                 break 'retry;
                                             }
                                             if tries > cfg.max_restarts {
-                                                gave_up.fetch_add(1, Ordering::Relaxed);
+                                                gave_up.fetch_add(1, Ordering::Relaxed); // ordering: stat counter; the scope join orders the final read
                                                 flight_end(traced, handle.id.0, Terminal::GaveUp);
                                                 break 'retry;
                                             }
@@ -406,7 +406,7 @@ pub fn run_concurrent(
                             let span_start = traced.then(|| mobs.flight.now_ns());
                             match timed(time_ops, &mobs.op_service, || scheduler.commit(&handle)) {
                                 CommitOutcome::Committed(_) => {
-                                    committed.fetch_add(1, Ordering::Relaxed);
+                                    committed.fetch_add(1, Ordering::Relaxed); // ordering: stat counter; the scope join orders the final read
                                     if let Some(t) = commit_block_since.take() {
                                         let dur_ns = t.elapsed().as_nanos() as u64;
                                         mobs.block_wait.record(dur_ns);
@@ -466,11 +466,11 @@ pub fn run_concurrent(
                                         break 'retry;
                                     }
                                     if tries > cfg.max_restarts {
-                                        gave_up.fetch_add(1, Ordering::Relaxed);
+                                        gave_up.fetch_add(1, Ordering::Relaxed); // ordering: stat counter; the scope join orders the final read
                                         flight_end(traced, handle.id.0, Terminal::GaveUp);
                                         break 'retry;
                                     }
-                                    restarts.fetch_add(1, Ordering::Relaxed);
+                                    restarts.fetch_add(1, Ordering::Relaxed); // ordering: stat counter; the scope join orders the final read
                                     flight_end(traced, handle.id.0, Terminal::Aborted);
                                     continue 'retry;
                                 }
@@ -489,11 +489,11 @@ pub fn run_concurrent(
     let committed = committed.load(Ordering::Relaxed);
     let mut stats = RunStats {
         committed,
-        restarts: restarts.load(Ordering::Relaxed),
-        gave_up: gave_up.load(Ordering::Relaxed),
-        deadline_exceeded: deadline_exceeded.load(Ordering::Relaxed),
+        restarts: restarts.load(Ordering::Relaxed), // ordering: read after the worker scope joined
+        gave_up: gave_up.load(Ordering::Relaxed),   // ordering: read after the worker scope joined
+        deadline_exceeded: deadline_exceeded.load(Ordering::Relaxed), // ordering: read after the worker scope joined
         stalled: 0,
-        steps: attempts.load(Ordering::Relaxed),
+        steps: attempts.load(Ordering::Relaxed), // ordering: read after the worker scope joined
         metrics: scheduler.metrics().snapshot(),
         serializable: None,
         cycle: None,

@@ -51,6 +51,7 @@ impl LogicalClock {
         // on failure, so no stale read can violate "next > ts" on success.
         let mut cur = self.next.load(Ordering::Relaxed);
         while cur <= ts.0 {
+            // ordering: same CAS-loop argument as the load above.
             match self.next.compare_exchange_weak(
                 cur,
                 ts.0 + 1,
