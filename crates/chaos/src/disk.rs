@@ -1,0 +1,169 @@
+//! Seeded disk-fault schedules for the group-commit WAL.
+//!
+//! A [`DiskFaultPlan`] is a [`WalFault`] implementation drawn from a
+//! seed: it picks one victim fsync batch and the way the disk betrays
+//! it — a torn final write, an acked-but-dropped fsync followed by a
+//! later crash (the "lying disk"), or a process kill just before or
+//! just after the batch hits the page cache. Every kind ends with the
+//! WAL in the crashed state, so a harness can hand the plan to
+//! [`GroupCommitWal::with_fault`](txn_model::GroupCommitWal), drive
+//! load until submits start failing, and then exercise real recovery
+//! from whatever bytes actually reached the platter.
+//!
+//! The same seed always produces the same plan — a failing
+//! crash/recover/resume schedule replays exactly.
+
+use crate::plan::SplitMix64;
+use txn_model::{FaultAction, WalFault};
+
+/// How the disk betrays the victim batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// The final write tears: only a prefix of the victim batch reaches
+    /// the file before the crash. `keep_pct` percent of the batch's
+    /// bytes survive (0 tears at the batch boundary).
+    TornWrite {
+        /// Percentage (0..100) of the victim batch's bytes that land.
+        keep_pct: u64,
+    },
+    /// The disk acks fsyncs without persisting from the victim batch
+    /// on, then the process crashes `crash_after` batches later — every
+    /// acked-but-cached batch is lost despite the acks.
+    DropFsync {
+        /// Batches between the first lie and the crash that exposes it.
+        crash_after: u64,
+    },
+    /// Crash before the victim batch reaches the page cache.
+    CrashBeforeWrite,
+    /// Crash after the write but before the fsync: the batch exists
+    /// only in the (volatile) cache and is lost.
+    CrashAfterWrite,
+}
+
+impl DiskFaultKind {
+    /// Short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DiskFaultKind::TornWrite { .. } => "torn-write",
+            DiskFaultKind::DropFsync { .. } => "drop-fsync",
+            DiskFaultKind::CrashBeforeWrite => "crash-before-write",
+            DiskFaultKind::CrashAfterWrite => "crash-after-write",
+        }
+    }
+}
+
+/// A reproducible single-victim disk-fault schedule.
+#[derive(Debug, Clone)]
+pub struct DiskFaultPlan {
+    /// The seed the plan was drawn from.
+    pub seed: u64,
+    /// 1-based batch number the fault fires on.
+    pub victim_batch: u64,
+    /// The kind of betrayal.
+    pub kind: DiskFaultKind,
+}
+
+impl DiskFaultPlan {
+    /// Draw a plan from `seed`: the victim is a batch in
+    /// `1..=max_batch` and the kind is uniform over the four
+    /// betrayals.
+    pub fn generate(seed: u64, max_batch: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let victim_batch = 1 + rng.below(max_batch.max(1));
+        let kind = match rng.below(4) {
+            0 => DiskFaultKind::TornWrite {
+                keep_pct: rng.below(100),
+            },
+            1 => DiskFaultKind::DropFsync {
+                crash_after: 1 + rng.below(3),
+            },
+            2 => DiskFaultKind::CrashBeforeWrite,
+            _ => DiskFaultKind::CrashAfterWrite,
+        };
+        DiskFaultPlan {
+            seed,
+            victim_batch,
+            kind,
+        }
+    }
+
+    /// A fixed plan (deterministic regression cases).
+    pub fn fixed(victim_batch: u64, kind: DiskFaultKind) -> Self {
+        DiskFaultPlan {
+            seed: 0,
+            victim_batch,
+            kind,
+        }
+    }
+}
+
+impl WalFault for DiskFaultPlan {
+    fn on_batch(&self, batch: u64, bytes: usize) -> FaultAction {
+        match self.kind {
+            _ if batch < self.victim_batch => FaultAction::Write,
+            DiskFaultKind::TornWrite { keep_pct } if batch == self.victim_batch => {
+                FaultAction::TornWrite((bytes as u64 * keep_pct / 100) as usize)
+            }
+            DiskFaultKind::DropFsync { .. } if batch == self.victim_batch => FaultAction::DropFsync,
+            DiskFaultKind::DropFsync { crash_after } => {
+                if batch >= self.victim_batch + crash_after {
+                    FaultAction::CrashBeforeWrite
+                } else {
+                    // The fsync keeps lying until the crash — a real
+                    // flush in between would persist the cached victim
+                    // batch and heal the lie.
+                    FaultAction::DropFsync
+                }
+            }
+            DiskFaultKind::CrashBeforeWrite if batch == self.victim_batch => {
+                FaultAction::CrashBeforeWrite
+            }
+            DiskFaultKind::CrashAfterWrite if batch == self.victim_batch => {
+                FaultAction::CrashAfterWrite
+            }
+            // Torn/crash kinds already crashed the WAL on the victim
+            // batch; later batches never reach the fault hook.
+            _ => FaultAction::Write,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = DiskFaultPlan::generate(9, 8);
+        let b = DiskFaultPlan::generate(9, 8);
+        assert_eq!(a.victim_batch, b.victim_batch);
+        assert_eq!(a.kind, b.kind);
+        assert!((1..=8).contains(&a.victim_batch));
+    }
+
+    #[test]
+    fn seeds_cover_every_kind() {
+        let mut labels = std::collections::BTreeSet::new();
+        for seed in 0..64 {
+            labels.insert(DiskFaultPlan::generate(seed, 6).kind.label());
+        }
+        assert_eq!(labels.len(), 4, "{labels:?}");
+    }
+
+    #[test]
+    fn torn_plan_fires_only_on_the_victim() {
+        let plan = DiskFaultPlan::fixed(3, DiskFaultKind::TornWrite { keep_pct: 50 });
+        assert_eq!(plan.on_batch(1, 100), FaultAction::Write);
+        assert_eq!(plan.on_batch(2, 100), FaultAction::Write);
+        assert_eq!(plan.on_batch(3, 100), FaultAction::TornWrite(50));
+    }
+
+    #[test]
+    fn drop_fsync_crashes_later() {
+        let plan = DiskFaultPlan::fixed(2, DiskFaultKind::DropFsync { crash_after: 2 });
+        assert_eq!(plan.on_batch(1, 10), FaultAction::Write);
+        assert_eq!(plan.on_batch(2, 10), FaultAction::DropFsync);
+        assert_eq!(plan.on_batch(3, 10), FaultAction::DropFsync);
+        assert_eq!(plan.on_batch(4, 10), FaultAction::CrashBeforeWrite);
+    }
+}

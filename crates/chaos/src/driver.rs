@@ -13,10 +13,13 @@
 use crate::plan::{FaultKind, FaultPlan};
 use obs::{FaultCode, SpanEvent, Terminal, TraceEvent, NO_CLASS};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use txn_model::program::ReadCtx;
-use txn_model::{CommitOutcome, ReadOutcome, Scheduler, Step, TxnProgram, WriteOutcome};
+use txn_model::{
+    CommitOutcome, GroupCommitWal, ReadOutcome, ScheduleEvent, Scheduler, Step, TxnProgram,
+    WriteOutcome,
+};
 
 /// Chaos run configuration.
 #[derive(Debug, Clone)]
@@ -44,6 +47,12 @@ pub struct ChaosRunConfig {
     /// every terminal — including a crash fault's abandonment and the
     /// watchdog's reap — closes it. `0` leaves the recorder inert.
     pub flight_sample: u64,
+    /// Group-commit WAL to journal update transactions through. When
+    /// set, each worker submits its committed transaction's redo events
+    /// and counts the commit only after the durability ack; a commit
+    /// whose ack fails because the WAL crashed lands in
+    /// [`ChaosReport::wal_lost`] instead.
+    pub wal: Option<Arc<GroupCommitWal>>,
 }
 
 impl Default for ChaosRunConfig {
@@ -57,6 +66,7 @@ impl Default for ChaosRunConfig {
             monitor_interval: Duration::from_micros(200),
             trace: true,
             flight_sample: 0,
+            wal: None,
         }
     }
 }
@@ -78,6 +88,14 @@ pub struct ChaosReport {
     pub stalled: usize,
     /// Commit-delay faults fired.
     pub delayed: usize,
+    /// Commits whose durability ack failed because the WAL crashed
+    /// (the transaction committed in memory but is not on disk; it is
+    /// *not* counted in `committed`). Always 0 without a WAL.
+    pub wal_lost: usize,
+    /// Counted commits that carried redo records through the WAL
+    /// (update transactions; read-only commits have nothing to
+    /// journal). Always 0 without a WAL.
+    pub journaled: usize,
     /// Operation attempts across all workers.
     pub attempts: u64,
     /// Time walls released over the run (including the drain phase).
@@ -132,6 +150,8 @@ pub fn run_chaos(
     let crashed = AtomicUsize::new(0);
     let stalled = AtomicUsize::new(0);
     let delayed = AtomicUsize::new(0);
+    let wal_lost = AtomicUsize::new(0);
+    let journaled = AtomicUsize::new(0);
     let attempts = AtomicU64::new(0);
     let done = AtomicBool::new(false);
     let active_workers = AtomicUsize::new(cfg.workers);
@@ -190,6 +210,8 @@ pub fn run_chaos(
             crashed,
             stalled,
             delayed,
+            wal_lost,
+            journaled,
             attempts,
             active_workers,
         ) = (
@@ -201,9 +223,12 @@ pub fn run_chaos(
             &crashed,
             &stalled,
             &delayed,
+            &wal_lost,
+            &journaled,
             &attempts,
             &active_workers,
         );
+        let wal = cfg.wal.as_deref();
         for wi in 0..cfg.workers {
             scope.spawn(move || {
                 // Close a sampled flight with its terminal; a restart
@@ -245,6 +270,19 @@ pub fn run_chaos(
                                 handle.class.map_or(NO_CLASS, |c| c.0),
                                 wi as u32,
                             );
+                        // Redo events for the durability submit; a
+                        // restart begins a fresh transaction and thus a
+                        // fresh journal. Read-only transactions never
+                        // touch the WAL.
+                        let journal = wal.is_some() && handle.class.is_some();
+                        let mut redo: Vec<ScheduleEvent> = Vec::new();
+                        if journal {
+                            redo.push(ScheduleEvent::Begin {
+                                txn: handle.id,
+                                start_ts: handle.start_ts,
+                                class: handle.class,
+                            });
+                        }
                         let mut ctx = ReadCtx::default();
                         let mut pc = 0usize;
                         let mut ops = 0usize;
@@ -322,8 +360,21 @@ pub fn run_chaos(
                                 },
                                 Step::Write(g, src) => {
                                     let v = src.resolve(&ctx);
+                                    let journaled = if journal {
+                                        Some(Arc::new(v.clone()))
+                                    } else {
+                                        None
+                                    };
                                     match scheduler.write(&handle, *g, v) {
                                         WriteOutcome::Done => {
+                                            if let Some(value) = journaled {
+                                                redo.push(ScheduleEvent::Write {
+                                                    txn: handle.id,
+                                                    granule: *g,
+                                                    version: handle.start_ts,
+                                                    value,
+                                                });
+                                            }
                                             pc += 1;
                                             ops += 1;
                                             spins = 0;
@@ -412,7 +463,38 @@ pub fn run_chaos(
                         loop {
                             attempts.fetch_add(1, Ordering::Relaxed); // ordering: stat counter; the scope join orders the final read
                             match scheduler.commit(&handle) {
-                                CommitOutcome::Committed(_) => {
+                                CommitOutcome::Committed(commit_ts) => {
+                                    // Durability gate: the commit only
+                                    // counts once its batch is on disk.
+                                    if journal {
+                                        redo.push(ScheduleEvent::Commit {
+                                            txn: handle.id,
+                                            commit_ts,
+                                        });
+                                        match wal.expect("journal implies wal").submit(&redo) {
+                                            Ok(Some(ack)) => mobs.gauges.record_wal_batch(
+                                                ack.frames as u64,
+                                                ack.bytes as u64,
+                                                ack.fsync_ns,
+                                            ),
+                                            Ok(None) => {}
+                                            Err(_) => {
+                                                // Committed in memory,
+                                                // lost on disk: the WAL
+                                                // crashed before the ack.
+                                                // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
+                                                wal_lost.fetch_add(1, Ordering::Relaxed);
+                                                flight_end(
+                                                    traced,
+                                                    handle.id.0,
+                                                    Terminal::Committed,
+                                                );
+                                                break 'retry;
+                                            }
+                                        }
+                                        // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
+                                        journaled.fetch_add(1, Ordering::Relaxed);
+                                    }
                                     // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
                                     committed.fetch_add(1, Ordering::Relaxed);
                                     flight_end(traced, handle.id.0, Terminal::Committed);
@@ -466,6 +548,8 @@ pub fn run_chaos(
         crashed: crashed.load(Ordering::Relaxed),
         stalled: stalled.load(Ordering::Relaxed),
         delayed: delayed.load(Ordering::Relaxed),
+        wal_lost: wal_lost.load(Ordering::Relaxed),
+        journaled: journaled.load(Ordering::Relaxed),
         attempts: attempts.load(Ordering::Relaxed),
         wall_releases,
         max_release_gap,
@@ -629,6 +713,73 @@ mod tests {
             .filter(|f| f.terminal == Some(Terminal::Committed))
             .count();
         assert_eq!(committed_flights, report.committed);
+    }
+
+    #[test]
+    fn wal_gate_journals_every_counted_commit() {
+        use crate::disk::{DiskFaultKind, DiskFaultPlan};
+        use txn_model::{decode_wal, GroupCommitConfig};
+
+        let dir = std::env::temp_dir().join(format!("chaos-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chaos.wal");
+
+        // Fault: the disk tears batch 3 mid-write and the WAL crashes.
+        let fault = DiskFaultPlan::fixed(3, DiskFaultKind::TornWrite { keep_pct: 40 });
+        let wal = Arc::new(
+            GroupCommitWal::with_fault(
+                &path,
+                GroupCommitConfig {
+                    max_batch_frames: 4,
+                    ..GroupCommitConfig::default()
+                },
+                Some(Box::new(fault)),
+            )
+            .unwrap(),
+        );
+
+        let sched = setup(Some(Duration::from_millis(20)));
+        let programs = mixed_programs(40);
+        let plan = FaultPlan::clean(programs.len());
+        let cfg = ChaosRunConfig {
+            wal: Some(Arc::clone(&wal)),
+            ..ChaosRunConfig::default()
+        };
+        let report = run_chaos(&sched, programs, &plan, &cfg);
+
+        assert!(wal.crashed(), "the torn write must crash the WAL");
+        assert!(
+            report.wal_lost > 0,
+            "commits after the crash lose their ack"
+        );
+        assert_eq!(
+            report.committed + report.wal_lost,
+            40,
+            "every program either counts as durable or as wal-lost: {report:?}"
+        );
+        assert_eq!(
+            report.journaled, report.committed,
+            "all programs here are updates, so every counted commit journals: {report:?}"
+        );
+
+        // Every *counted* commit is on disk: the acked prefix of the WAL
+        // decodes and contains at least `committed` Commit events... not
+        // exactly `committed` — the torn batch itself may carry acked
+        // frames from earlier batches only, so the decodable prefix holds
+        // every durable commit.
+        let bytes = std::fs::read(&path).unwrap();
+        let (events, wal_report) = decode_wal(&bytes).unwrap();
+        assert!(wal_report.torn(), "the tail tears at the victim batch");
+        let durable_commits = events
+            .iter()
+            .filter(|e| matches!(e, ScheduleEvent::Commit { .. }))
+            .count();
+        assert!(
+            durable_commits >= report.committed,
+            "durable commits {durable_commits} < counted {}",
+            report.committed
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

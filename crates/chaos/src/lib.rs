@@ -32,8 +32,10 @@
 
 #![warn(missing_docs)]
 
+pub mod disk;
 pub mod driver;
 pub mod plan;
 
+pub use disk::{DiskFaultKind, DiskFaultPlan};
 pub use driver::{run_chaos, ChaosReport, ChaosRunConfig};
 pub use plan::{ChaosConfig, FaultKind, FaultPlan};

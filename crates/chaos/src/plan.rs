@@ -133,14 +133,14 @@ impl FaultPlan {
 /// SplitMix64: tiny, seedable, and good enough for fault assignment.
 /// Local copy — the harness must stay deterministic independent of any
 /// driver RNG.
-struct SplitMix64(u64);
+pub(crate) struct SplitMix64(u64);
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         SplitMix64(seed)
     }
 
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -154,7 +154,7 @@ impl SplitMix64 {
     }
 
     /// Uniform in `[0, n)`.
-    fn below(&mut self, n: u64) -> u64 {
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
         self.next_u64() % n.max(1)
     }
 }

@@ -26,7 +26,7 @@
 use crate::activity::{ActivityFuncs, ActivityRegistry};
 use crate::analysis::Hierarchy;
 use crate::timewall::{TimeWall, TimeWallService};
-use mvstore::{MvStore, MvtoReadResult, MvtoWriteResult};
+use mvstore::{MvtoReadResult, MvtoWriteResult, StorageBackend};
 use obs::{RejectReason, SpanEvent, Terminal, TraceEvent, WaitCause, NO_CLASS};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -188,8 +188,9 @@ impl Default for HddConfig {
 /// the metrics and the transaction-id allocator.
 #[derive(Debug, Clone)]
 pub struct SchedulerCore {
-    /// The multi-version store.
-    pub store: Arc<MvStore>,
+    /// The multi-version storage tier (in-memory by default; the
+    /// log-structured file backend for the durable configuration).
+    pub store: Arc<dyn StorageBackend>,
     /// The global logical clock.
     pub clock: Arc<LogicalClock>,
     /// The schedule log (serializability checking spans epochs).
@@ -201,8 +202,9 @@ pub struct SchedulerCore {
 }
 
 impl SchedulerCore {
-    /// A fresh core over a store and clock.
-    pub fn new(store: Arc<MvStore>, clock: Arc<LogicalClock>) -> Self {
+    /// A fresh core over a storage backend and clock (`Arc<MvStore>`
+    /// coerces, so existing call sites read unchanged).
+    pub fn new(store: Arc<dyn StorageBackend>, clock: Arc<LogicalClock>) -> Self {
         SchedulerCore {
             store,
             clock,
@@ -229,7 +231,7 @@ impl HddScheduler {
     /// pre-seeded) store.
     pub fn new(
         hierarchy: Arc<Hierarchy>,
-        store: Arc<MvStore>,
+        store: Arc<dyn StorageBackend>,
         clock: Arc<LogicalClock>,
         config: HddConfig,
     ) -> Self {
@@ -278,9 +280,11 @@ impl HddScheduler {
         &self.walls
     }
 
-    /// The underlying store.
-    pub fn store(&self) -> &MvStore {
-        &self.core.store
+    /// The underlying storage backend. The `'static` bound on the trait
+    /// object keeps the `impl dyn StorageBackend` conveniences
+    /// (`latest_value`, `with_chain`) callable on the return value.
+    pub fn store(&self) -> &(dyn StorageBackend + 'static) {
+        self.core.store.as_ref()
     }
 
     /// Read `g` under a (possibly historical) time wall — Reed's
@@ -1105,6 +1109,7 @@ impl Scheduler for HddScheduler {
 mod tests {
     use super::*;
     use crate::analysis::AccessSpec;
+    use mvstore::MvStore;
     use txn_model::{DependencyGraph, SegmentId};
 
     fn s(i: u32) -> SegmentId {

@@ -26,7 +26,7 @@
 
 use crate::analysis::Hierarchy;
 use crate::protocol::{HddConfig, HddScheduler, SchedulerCore};
-use mvstore::{MvStore, RecoveryReport};
+use mvstore::{RecoveryReport, StorageBackend};
 use obs::TraceEvent;
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
@@ -60,11 +60,11 @@ pub struct ResumeReport {
 /// history.
 pub fn resume(
     hierarchy: Arc<Hierarchy>,
-    store: Arc<MvStore>,
+    store: Arc<dyn StorageBackend>,
     events: &[ScheduleEvent],
     config: HddConfig,
 ) -> (HddScheduler, ResumeReport) {
-    let recovery = mvstore::recover(&store, events);
+    let recovery = mvstore::recover(store.as_ref(), events);
 
     // Clock strictly above every pre-crash timestamp (Protocol B safety),
     // id allocator strictly above every pre-crash transaction id.
@@ -162,6 +162,15 @@ pub fn resume(
     }
 
     let resumes_after = recovery.high_water_mark.succ();
+    // Publish replay progress on the gauge board so a scraper watching
+    // the recovering process sees how far redo got and whether the log
+    // was pristine.
+    sched
+        .core()
+        .metrics
+        .obs
+        .gauges
+        .set_recovery_progress(events.len() as u64, recovery.anomalies.total() as u64);
     // Recovery is a rare, load-bearing event: record it in the trace
     // ring unconditionally (bypassing the enable gate, which no caller
     // has had a chance to set on the freshly built scheduler).
@@ -189,6 +198,7 @@ pub fn resume(
 mod tests {
     use super::*;
     use crate::analysis::AccessSpec;
+    use mvstore::MvStore;
     use txn_model::{
         CommitOutcome, DependencyGraph, GranuleId, ReadOutcome, Scheduler, SegmentId, TxnProfile,
         Value, WriteOutcome,

@@ -11,6 +11,11 @@
 //!   timestamps, so multi-version reads (Protocols A/C, time-slice
 //!   retrieval) behave identically after recovery.
 //!
+//! Replay targets any [`StorageBackend`] — the in-memory store or the
+//! durable file backend — through the batch
+//! [`put_versions`](StorageBackend::put_versions) API, so a persistent
+//! backend can make the whole redo set durable in one append.
+//!
 //! The initial database image is re-seeded by the caller (as at normal
 //! startup) before replaying, mirroring an ARIES-style "load checkpoint,
 //! then redo" sequence without needing undo (writes of uncommitted
@@ -23,9 +28,11 @@
 //! corrupted writer can emit duplicate commits, writes after a commit,
 //! or events for transactions that never began. Replaying those silently
 //! would fabricate database state, so [`recover`] classifies each shape,
-//! **skips** it, and counts it in [`RecoveryReport::anomalies`]; callers
-//! that demand a pristine log check [`RecoveryAnomalies::is_clean`] and
-//! refuse the store otherwise.
+//! **skips** it, counts it in [`RecoveryReport::anomalies`], and retains
+//! the first few offending frames ([`RecoveryAnomalies::samples`]) so an
+//! operator sees *which* transactions misbehaved, not just how many
+//! frames were dropped; callers that demand a pristine log check
+//! [`RecoveryAnomalies::is_clean`] and refuse the store otherwise.
 //!
 //! # High-water mark
 //!
@@ -35,11 +42,47 @@
 //! must advance its logical clock strictly past this mark before serving
 //! new transactions (`hdd::recovery::resume` does exactly that).
 
-use crate::store::MvStore;
+use crate::backend::{StorageBackend, VersionRecord};
 use txn_model::{ScheduleEvent, Timestamp, TxnId};
 
-/// Counts of malformed-log shapes found (and skipped) during recovery.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// How many offending frames [`RecoveryAnomalies`] retains verbatim.
+pub const MAX_ANOMALY_SAMPLES: usize = 8;
+
+/// Which malformed-log shape a skipped frame exhibited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipKind {
+    /// Second or later `Commit` for an already-committed transaction.
+    DuplicateCommit,
+    /// `Write` appearing after its transaction's `Commit`.
+    WriteAfterCommit,
+    /// Event whose transaction has no `Begin` in the log prefix.
+    UnknownTxnEvent,
+}
+
+impl std::fmt::Display for SkipKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SkipKind::DuplicateCommit => write!(f, "duplicate commit"),
+            SkipKind::WriteAfterCommit => write!(f, "write after commit"),
+            SkipKind::UnknownTxnEvent => write!(f, "event for unknown txn"),
+        }
+    }
+}
+
+/// One frame recovery refused to replay: who, when, and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkippedFrame {
+    /// Transaction the frame claimed to belong to.
+    pub txn: TxnId,
+    /// The frame's own timestamp (version, commit, or abort time).
+    pub ts: Timestamp,
+    /// Which malformed shape it exhibited.
+    pub kind: SkipKind,
+}
+
+/// Malformed-log shapes found (and skipped) during recovery: per-shape
+/// counts plus the first [`MAX_ANOMALY_SAMPLES`] offending frames.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RecoveryAnomalies {
     /// Second and later `Commit` events for an already-committed txn.
     pub duplicate_commits: usize,
@@ -47,12 +90,32 @@ pub struct RecoveryAnomalies {
     pub writes_after_commit: usize,
     /// Events whose transaction has no `Begin` in the log prefix.
     pub unknown_txn_events: usize,
+    /// The first offending frames, capped at [`MAX_ANOMALY_SAMPLES`]
+    /// (counts keep counting past the cap).
+    pub samples: Vec<SkippedFrame>,
 }
 
 impl RecoveryAnomalies {
     /// True when the log contained none of the malformed shapes.
     pub fn is_clean(&self) -> bool {
-        self == &RecoveryAnomalies::default()
+        self.duplicate_commits == 0 && self.writes_after_commit == 0 && self.unknown_txn_events == 0
+    }
+
+    /// Total frames skipped (across all shapes; may exceed
+    /// `samples.len()`).
+    pub fn total(&self) -> usize {
+        self.duplicate_commits + self.writes_after_commit + self.unknown_txn_events
+    }
+
+    fn note(&mut self, txn: TxnId, ts: Timestamp, kind: SkipKind) {
+        match kind {
+            SkipKind::DuplicateCommit => self.duplicate_commits += 1,
+            SkipKind::WriteAfterCommit => self.writes_after_commit += 1,
+            SkipKind::UnknownTxnEvent => self.unknown_txn_events += 1,
+        }
+        if self.samples.len() < MAX_ANOMALY_SAMPLES {
+            self.samples.push(SkippedFrame { txn, ts, kind });
+        }
     }
 }
 
@@ -79,8 +142,10 @@ pub struct RecoveryReport {
 /// `events` is the surviving log prefix; the store should already hold
 /// the initial database image (seeded as at first boot). Malformed
 /// events (see [`RecoveryAnomalies`]) are skipped and counted, never
-/// replayed.
-pub fn recover(store: &MvStore, events: &[ScheduleEvent]) -> RecoveryReport {
+/// replayed. The redo set is installed through one
+/// [`put_versions`](StorageBackend::put_versions) batch so persistent
+/// backends pay a single durability round trip.
+pub fn recover(store: &dyn StorageBackend, events: &[ScheduleEvent]) -> RecoveryReport {
     use std::collections::HashSet;
 
     // Forward classification pass: which events are well-formed, which
@@ -99,17 +164,17 @@ pub fn recover(store: &MvStore, events: &[ScheduleEvent]) -> RecoveryReport {
                 hwm = hwm.max(*start_ts);
                 begun.insert(*txn);
             }
-            ScheduleEvent::Read { txn, .. } => {
+            ScheduleEvent::Read { txn, version, .. } => {
                 if !begun.contains(txn) {
-                    anomalies.unknown_txn_events += 1;
+                    anomalies.note(*txn, *version, SkipKind::UnknownTxnEvent);
                 }
             }
             ScheduleEvent::Write { txn, version, .. } => {
                 hwm = hwm.max(*version);
                 if !begun.contains(txn) {
-                    anomalies.unknown_txn_events += 1;
+                    anomalies.note(*txn, *version, SkipKind::UnknownTxnEvent);
                 } else if committed.contains(txn) {
-                    anomalies.writes_after_commit += 1;
+                    anomalies.note(*txn, *version, SkipKind::WriteAfterCommit);
                 } else {
                     valid_writes.push(i);
                     valid_writers.insert(*txn);
@@ -118,22 +183,25 @@ pub fn recover(store: &MvStore, events: &[ScheduleEvent]) -> RecoveryReport {
             ScheduleEvent::Commit { txn, commit_ts } => {
                 hwm = hwm.max(*commit_ts);
                 if !begun.contains(txn) {
-                    anomalies.unknown_txn_events += 1;
+                    anomalies.note(*txn, *commit_ts, SkipKind::UnknownTxnEvent);
                 } else if !committed.insert(*txn) {
-                    anomalies.duplicate_commits += 1;
+                    anomalies.note(*txn, *commit_ts, SkipKind::DuplicateCommit);
                 }
             }
             ScheduleEvent::Abort { txn, abort_ts } => {
                 hwm = hwm.max(*abort_ts);
                 if !begun.contains(txn) {
-                    anomalies.unknown_txn_events += 1;
+                    anomalies.note(*txn, *abort_ts, SkipKind::UnknownTxnEvent);
                 }
             }
         }
     }
 
-    // Redo pass over the well-formed writes of committed transactions.
-    let mut versions_installed = 0usize;
+    // Redo pass over the well-formed writes of committed transactions,
+    // batched into one put_versions call. Later log entries for the same
+    // (granule, version) replace earlier ones inside the batch, matching
+    // the old per-event remove-then-install behavior.
+    let mut batch: Vec<VersionRecord> = Vec::with_capacity(valid_writes.len());
     for &i in &valid_writes {
         if let ScheduleEvent::Write {
             txn,
@@ -143,17 +211,17 @@ pub fn recover(store: &MvStore, events: &[ScheduleEvent]) -> RecoveryReport {
         } = &events[i]
         {
             if committed.contains(txn) {
-                store.with_chain(*granule, |c| {
-                    // A transaction may have overwritten its own version;
-                    // later log entries win.
-                    c.remove_version_at(*version);
-                    let ok = c.install(*version, value.clone(), *txn, true);
-                    debug_assert!(ok);
+                batch.push(VersionRecord {
+                    granule: *granule,
+                    ts: *version,
+                    value: value.clone(),
+                    writer: *txn,
                 });
-                versions_installed += 1;
             }
         }
     }
+    let versions_installed = batch.len();
+    store.put_versions(&batch);
 
     let redone = valid_writers
         .iter()
@@ -172,6 +240,7 @@ pub fn recover(store: &MvStore, events: &[ScheduleEvent]) -> RecoveryReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::MvStore;
     use txn_model::{GranuleId, SegmentId, Timestamp, Value};
 
     fn g(key: u64) -> GranuleId {
@@ -292,6 +361,15 @@ mod tests {
         assert_eq!(report.redone, 1);
         assert_eq!(report.versions_installed, 1);
         assert_eq!(store.latest_value(g(1)), Value::Int(10));
+        // The payload satellite: the dropped frame itself is retained.
+        assert_eq!(
+            report.anomalies.samples,
+            vec![SkippedFrame {
+                txn: TxnId(1),
+                ts: Timestamp(6),
+                kind: SkipKind::DuplicateCommit,
+            }]
+        );
     }
 
     #[test]
@@ -311,6 +389,14 @@ mod tests {
         // The skipped write's timestamp still raises the high-water mark:
         // a new clock must clear even fabricated timestamps.
         assert_eq!(report.high_water_mark, Timestamp(7));
+        assert_eq!(
+            report.anomalies.samples,
+            vec![SkippedFrame {
+                txn: TxnId(1),
+                ts: Timestamp(7),
+                kind: SkipKind::WriteAfterCommit,
+            }]
+        );
     }
 
     #[test]
@@ -330,7 +416,28 @@ mod tests {
         assert_eq!(report.redone, 0);
         assert_eq!(report.versions_installed, 0);
         assert!(!report.anomalies.is_clean());
+        assert_eq!(report.anomalies.total(), 3);
         assert_eq!(store.latest_value(g(1)), Value::Int(0));
+        // All three offenders retained, in log order, with their ids.
+        let txns: Vec<u64> = report.anomalies.samples.iter().map(|s| s.txn.0).collect();
+        assert_eq!(txns, vec![9, 9, 8]);
+        assert!(report
+            .anomalies
+            .samples
+            .iter()
+            .all(|s| s.kind == SkipKind::UnknownTxnEvent));
+    }
+
+    #[test]
+    fn anomaly_samples_cap_but_counts_keep_counting() {
+        let store = MvStore::new();
+        let events: Vec<ScheduleEvent> = (0..MAX_ANOMALY_SAMPLES as u64 + 4)
+            .map(|i| commit(100 + i, i)) // all unknown txns
+            .collect();
+        let report = recover(&store, &events);
+        assert_eq!(report.anomalies.unknown_txn_events, MAX_ANOMALY_SAMPLES + 4);
+        assert_eq!(report.anomalies.samples.len(), MAX_ANOMALY_SAMPLES);
+        assert_eq!(report.anomalies.samples[0].txn, TxnId(100));
     }
 
     #[test]
@@ -349,5 +456,29 @@ mod tests {
         ];
         let report = recover(&store, &events);
         assert_eq!(report.high_water_mark, Timestamp(15));
+    }
+
+    #[test]
+    fn recovery_replays_into_the_file_backend() {
+        use crate::filestore::{FileBackend, FileBackendConfig};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        // ordering: Relaxed — test-dir name uniqueness only needs RMW
+        // atomicity of the counter, no cross-thread publication.
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("hdd-recover-file-{}-{n}", std::process::id()));
+        let events = vec![begin(1, 5), write(1, 1, 5, 10), commit(1, 6)];
+        {
+            let store = FileBackend::open(&dir, FileBackendConfig::default()).unwrap();
+            StorageBackend::seed(&store, g(1), Value::Int(0));
+            let report = recover(&store, &events);
+            assert_eq!(report.redone, 1);
+        }
+        // Replay re-journaled the redo set: a *second* crash recovers
+        // from segments alone, without the WAL.
+        let store = FileBackend::open(&dir, FileBackendConfig::default()).unwrap();
+        let dynstore: &dyn StorageBackend = &store;
+        assert_eq!(dynstore.latest_value(g(1)), Value::Int(10));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

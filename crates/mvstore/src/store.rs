@@ -123,6 +123,17 @@ impl MvStore {
             .unwrap_or(0)
     }
 
+    /// Visit every chain with its granule id (the scan API of the
+    /// storage trait). Holds one shard lock at a time; intended for
+    /// quiescent moments (gauges refresh, checkpointing, tests).
+    pub fn for_each_chain(&self, f: &mut dyn FnMut(GranuleId, &VersionChain)) {
+        for shard in &self.shards {
+            for (g, chain) in shard.lock().iter() {
+                f(*g, chain);
+            }
+        }
+    }
+
     /// The latest committed value of `g` (for result inspection in tests
     /// and examples), or `Value::Absent`.
     pub fn latest_value(&self, g: GranuleId) -> Value {

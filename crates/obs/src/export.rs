@@ -168,6 +168,25 @@ pub fn prometheus_text(
             );
         }
     }
+    // Durability families last (stable suffix: the golden test pins it).
+    let _ = writeln!(out, "# TYPE hdd_wal_fsync_batches_total counter");
+    let _ = writeln!(out, "hdd_wal_fsync_batches_total {}", gauges.wal_batches);
+    let _ = writeln!(out, "# TYPE hdd_recovery_anomalies_total counter");
+    let _ = writeln!(
+        out,
+        "hdd_recovery_anomalies_total {}",
+        gauges.recovery_anomalies
+    );
+    for (name, v) in [
+        ("hdd_wal_frames", gauges.wal_frames),
+        ("hdd_wal_bytes", gauges.wal_bytes),
+        ("hdd_recovery_replayed", gauges.recovery_replayed),
+    ] {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    let _ = writeln!(out, "# TYPE hdd_wal_fsync_ns summary");
+    push_summary(&mut out, "hdd_wal_fsync_ns", "", &gauges.fsync_ns);
     out
 }
 
@@ -745,9 +764,29 @@ mod tests {
             text.starts_with(expected_head),
             "golden head drifted:\n{text}"
         );
-        assert!(text.ends_with("# TYPE hdd_driver_offered gauge\nhdd_driver_offered 0\n"));
+        assert!(text.contains("# TYPE hdd_driver_offered gauge\nhdd_driver_offered 0\n"));
+        let expected_tail = "# TYPE hdd_wal_fsync_batches_total counter\n\
+                             hdd_wal_fsync_batches_total 0\n\
+                             # TYPE hdd_recovery_anomalies_total counter\n\
+                             hdd_recovery_anomalies_total 0\n\
+                             # TYPE hdd_wal_frames gauge\n\
+                             hdd_wal_frames 0\n\
+                             # TYPE hdd_wal_bytes gauge\n\
+                             hdd_wal_bytes 0\n\
+                             # TYPE hdd_recovery_replayed gauge\n\
+                             hdd_recovery_replayed 0\n\
+                             # TYPE hdd_wal_fsync_ns summary\n\
+                             hdd_wal_fsync_ns{quantile=\"0.5\"} 0\n\
+                             hdd_wal_fsync_ns{quantile=\"0.95\"} 0\n\
+                             hdd_wal_fsync_ns{quantile=\"0.99\"} 0\n\
+                             hdd_wal_fsync_ns_sum 0\n\
+                             hdd_wal_fsync_ns_count 0\n";
+        assert!(
+            text.ends_with(expected_tail),
+            "golden tail drifted:\n{text}"
+        );
         let stats = validate_prometheus(&text).expect("self-validates");
-        assert_eq!(stats.families, 1 + 2 + 5 + 15);
+        assert_eq!(stats.families, 1 + 2 + 5 + 15 + 6);
     }
 
     #[test]
@@ -920,8 +959,8 @@ mod tests {
         );
         let stats = validate_prometheus(&text).expect("self-validates");
         // 5 plain counters + the labelled family + 2 trace + 5 summaries
-        // + 15 scalar gauges.
-        assert_eq!(stats.families, 5 + 1 + 2 + 5 + 15);
+        // + 15 scalar gauges + 6 durability families.
+        assert_eq!(stats.families, 5 + 1 + 2 + 5 + 15 + 6);
         // Without rej_* counters the family must not appear (golden
         // minimal output is unchanged).
         let bare = prometheus_text(&[("committed", 7)], &obs, &gauges);

@@ -100,6 +100,13 @@ pub struct GaugeBoard {
     gc_backlog: AtomicU64,
     driver_claimed: AtomicU64,
     driver_offered: AtomicU64,
+    // --- durability cells (always available, like driver progress) ---
+    wal_batches: AtomicU64,
+    wal_frames: AtomicU64,
+    wal_bytes: AtomicU64,
+    recovery_replayed: AtomicU64,
+    recovery_anomalies: AtomicU64,
+    fsync_ns: Histogram,
     // --- dimensioned cells ---
     dims: OnceLock<Dims>,
 }
@@ -242,6 +249,29 @@ impl GaugeBoard {
         self.driver_offered.store(offered, Ordering::Relaxed); // ordering: gauge level, see fn-top note
     }
 
+    /// Record one durable group-commit batch: its frame count and byte
+    /// size accumulate (occupancy gauges), and the write+fsync latency
+    /// lands in the fsync histogram. Called once per batch by the
+    /// submitter that led it.
+    #[inline]
+    pub fn record_wal_batch(&self, frames: u64, bytes: u64, fsync_ns: u64) {
+        // ordering: Relaxed — monotone counters sampled by a dashboard;
+        // no cross-cell consistency is promised (see struct docs).
+        self.wal_batches.fetch_add(1, Ordering::Relaxed);
+        self.wal_frames.fetch_add(frames, Ordering::Relaxed); // ordering: gauge counter, see fn-top note
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed); // ordering: gauge counter, see fn-top note
+        self.fsync_ns.record(fsync_ns);
+    }
+
+    /// Publish recovery replay progress: log frames replayed and
+    /// malformed frames skipped (from `mvstore::RecoveryAnomalies`).
+    #[inline]
+    pub fn set_recovery_progress(&self, replayed: u64, anomalies: u64) {
+        // ordering: Relaxed — gauge levels, see set_wall.
+        self.recovery_replayed.store(replayed, Ordering::Relaxed);
+        self.recovery_anomalies.store(anomalies, Ordering::Relaxed); // ordering: gauge level, see fn-top note
+    }
+
     /// Copy the whole board. Staleness cells are included only when
     /// non-empty (most (reader, segment) pairs never cross-read).
     pub fn snapshot(&self) -> GaugeSnapshot {
@@ -267,6 +297,12 @@ impl GaugeBoard {
             gc_backlog: g(&self.gc_backlog),
             driver_claimed: g(&self.driver_claimed),
             driver_offered: g(&self.driver_offered),
+            wal_batches: g(&self.wal_batches),
+            wal_frames: g(&self.wal_frames),
+            wal_bytes: g(&self.wal_bytes),
+            recovery_replayed: g(&self.recovery_replayed),
+            recovery_anomalies: g(&self.recovery_anomalies),
+            fsync_ns: self.fsync_ns.snapshot(),
             classes: Vec::new(),
             segment_walls: Vec::new(),
             staleness: Vec::new(),
@@ -320,11 +356,17 @@ impl GaugeBoard {
             &self.gc_backlog,
             &self.driver_claimed,
             &self.driver_offered,
+            &self.wal_batches,
+            &self.wal_frames,
+            &self.wal_bytes,
+            &self.recovery_replayed,
+            &self.recovery_anomalies,
         ] {
             // ordering: Relaxed — gauge reset between phases; racing
             // setters land on either side, both acceptable.
             c.store(0, Ordering::Relaxed);
         }
+        self.fsync_ns.reset();
         if let Some(d) = self.dims.get() {
             for v in [&d.i_old, &d.active, &d.settled_lag, &d.wall_component] {
                 for c in v {
@@ -420,6 +462,18 @@ pub struct GaugeSnapshot {
     pub driver_claimed: u64,
     /// Programs offered to the driver.
     pub driver_offered: u64,
+    /// Durable group-commit batches written.
+    pub wal_batches: u64,
+    /// Frames carried by those batches (occupancy = frames / batches).
+    pub wal_frames: u64,
+    /// Bytes carried by those batches.
+    pub wal_bytes: u64,
+    /// Log frames replayed by the last recovery pass.
+    pub recovery_replayed: u64,
+    /// Malformed frames the last recovery pass skipped.
+    pub recovery_anomalies: u64,
+    /// Distribution of per-batch write+fsync latency (nanoseconds).
+    pub fsync_ns: HistogramSnapshot,
     /// Per-class rows (empty when unconfigured).
     pub classes: Vec<ClassGauges>,
     /// Latest wall timestamp per segment (empty when unconfigured).
@@ -497,6 +551,16 @@ impl GaugeSnapshot {
             self.gc_backlog,
             self.driver_claimed,
             self.driver_offered,
+        ));
+        s.push_str(&format!(
+            ", \"wal_batches\": {}, \"wal_frames\": {}, \"wal_bytes\": {}, \
+             \"recovery_replayed\": {}, \"recovery_anomalies\": {}, \"fsync_ns\": {}",
+            self.wal_batches,
+            self.wal_frames,
+            self.wal_bytes,
+            self.recovery_replayed,
+            self.recovery_anomalies,
+            self.fsync_ns.to_json(),
         ));
         s.push_str(", \"classes\": [");
         for (i, c) in self.classes.iter().enumerate() {
@@ -631,6 +695,29 @@ mod tests {
         let cell = d.staleness_for(0, 0).expect("delta cell");
         assert_eq!(cell.hist.count, 1, "only the new sample");
         assert!(d.staleness_for(0, 1).is_none(), "unchanged cell dropped");
+    }
+
+    #[test]
+    fn wal_and_recovery_cells_accumulate_and_reset() {
+        let g = GaugeBoard::new();
+        g.record_wal_batch(4, 512, 1_000);
+        g.record_wal_batch(8, 1024, 3_000);
+        g.set_recovery_progress(120, 2);
+        let s = g.snapshot();
+        assert_eq!(s.wal_batches, 2);
+        assert_eq!(s.wal_frames, 12);
+        assert_eq!(s.wal_bytes, 1536);
+        assert_eq!(s.recovery_replayed, 120);
+        assert_eq!(s.recovery_anomalies, 2);
+        assert_eq!(s.fsync_ns.count, 2);
+        assert!(s.fsync_ns.max >= 3_000);
+        let json = s.to_json();
+        assert!(json.contains("\"wal_batches\": 2"));
+        assert!(json.contains("\"fsync_ns\": {"));
+        g.reset();
+        let s = g.snapshot();
+        assert_eq!(s.wal_batches, 0);
+        assert_eq!(s.fsync_ns.count, 0);
     }
 
     #[test]

@@ -12,6 +12,12 @@
 /// matching line — callers downgrade their floor to report-only.
 pub fn recorded_commits_per_sec(path: &str, scheduler: &str, workers: usize) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
+    recorded_commits_per_sec_str(&text, scheduler, workers)
+}
+
+/// Same scan over an in-memory JSON artifact (tests, freshly-generated
+/// sweeps not yet on disk).
+pub fn recorded_commits_per_sec_str(text: &str, scheduler: &str, workers: usize) -> Option<f64> {
     let sched_key = format!("\"scheduler\": \"{scheduler}\"");
     let workers_key = format!("\"workers\": {workers},");
     for line in text.lines() {

@@ -37,6 +37,15 @@
 //!     # spans, produce a valid Perfetto trace, and sampled-mode
 //!     # tracing (stride 32) must hold ≥85% of the BENCH_hotpath.json
 //!     # disabled baseline; exits 1 on any violation
+//! cargo run --release -p sim --bin experiments -- e19      # E19 only,
+//!                                                          # emits BENCH_e19.json
+//! cargo run --release -p sim --bin experiments -- durability-smoke
+//!     # durable-tier gate: a 12-seed disk-fault soak (torn writes,
+//!     # lying fsyncs, kill-mid-batch) must recover from on-disk bytes
+//!     # alone, certify every stitched log, never violate the
+//!     # group-commit ack rule, and the StorageBackend trait refactor
+//!     # must hold ≥95% of the BENCH_hotpath.json hdd 8-worker
+//!     # baseline; exits 1 on any violation
 //! ```
 
 use certify::certifier::{attach_trace, certify_log};
@@ -513,6 +522,98 @@ fn blame_smoke() -> i32 {
     }
 }
 
+/// CI gate for the durable tier: the disk-fault soak at CI sizes plus
+/// a trait-refactor throughput floor. The soak's claims — recovery
+/// from on-disk bytes alone, stitched certification, no timestamp
+/// reuse, no acked-commit missing from disk (outside lying-fsync
+/// seeds) — are enforced; the floor guards the `StorageBackend`
+/// virtual-dispatch refactor at ≥95% of the recorded hdd 8-worker
+/// baseline. Returns the exit code.
+fn durability_smoke() -> i32 {
+    let mut failed = false;
+
+    // 1. Disk-fault soak: 12 seeds of journaled chaos, process death,
+    //    recovery from the torn WAL + file-backend segments.
+    let tally = sim::experiments::e19_durability::soak(12, 30);
+    println!(
+        "durability-smoke: soak — {} seeds, {} durable commits, {} disk crashes, \
+         {} torn tails, {} lied losses, {} wal-lost",
+        tally.seeds,
+        tally.committed,
+        tally.disk_crashes,
+        tally.torn_tails,
+        tally.lied_losses,
+        tally.wal_lost
+    );
+    if tally.recovered_certified != tally.seeds {
+        eprintln!(
+            "durability-smoke: FAIL — {}/{} stitched post-recovery logs certified",
+            tally.recovered_certified, tally.seeds
+        );
+        failed = true;
+    }
+    if tally.ts_collisions != 0 {
+        eprintln!("durability-smoke: FAIL — recovery reused a pre-crash timestamp");
+        failed = true;
+    }
+    if tally.ack_violations != 0 {
+        eprintln!(
+            "durability-smoke: FAIL — {} acked commits missing from disk (ack rule)",
+            tally.ack_violations
+        );
+        failed = true;
+    }
+    if tally.disk_crashes == 0 || tally.committed == 0 {
+        eprintln!("durability-smoke: FAIL — the fault schedules injected nothing");
+        failed = true;
+    }
+
+    // 2. Trait-refactor floor: best-of-3 obs-disabled hdd 8-worker run
+    //    through the `Arc<dyn StorageBackend>` path must hold ≥95% of
+    //    the recorded baseline.
+    let n_txns = 20_000;
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let (w, programs) = batch(n_txns, 0x00F1_9011);
+        let (sched, _store) = build_scheduler(SchedulerKind::Hdd, &w);
+        let cfg = ConcurrentConfig {
+            workers: 8,
+            verify: false,
+            capture_log: false,
+            ..ConcurrentConfig::default()
+        };
+        let out = run_concurrent(sched.as_ref(), programs, &cfg);
+        best = best.max(out.throughput);
+    }
+    match recorded_hdd_8w_baseline("BENCH_hotpath.json") {
+        Some(baseline) => {
+            let floor = baseline * 0.95;
+            println!(
+                "durability-smoke: hdd 8-worker best-of-3 = {best:.1} commits/sec \
+                 (baseline {baseline:.1}, floor {floor:.1})"
+            );
+            if best < floor {
+                eprintln!("durability-smoke: FAIL — the storage-trait refactor costs >5%");
+                failed = true;
+            }
+        }
+        None => {
+            println!(
+                "durability-smoke: no BENCH_hotpath.json baseline found; \
+                 measured {best:.1} commits/sec (not enforced)"
+            );
+        }
+    }
+
+    if failed {
+        eprintln!("durability-smoke: FAIL");
+        1
+    } else {
+        println!("durability-smoke: OK");
+        0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
@@ -545,6 +646,13 @@ fn main() {
     }
     if args.iter().any(|a| a == "blame-smoke") {
         std::process::exit(blame_smoke());
+    }
+    if args.iter().any(|a| a == "durability-smoke") {
+        std::process::exit(durability_smoke());
+    }
+    if args.iter().any(|a| a == "e19") {
+        println!("{}", sim::experiments::e19_durability::run(quick));
+        return;
     }
     if args.iter().any(|a| a == "e18") {
         println!("{}", sim::experiments::e18_blame::run(quick));

@@ -11,10 +11,12 @@
 use crate::driver::RunStats;
 use obs::{SpanEvent, SpanKind, Terminal, NO_CLASS};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use txn_model::program::ReadCtx;
 use txn_model::{
-    CommitOutcome, DependencyGraph, ReadOutcome, Scheduler, Step, TxnProgram, WriteOutcome,
+    CommitOutcome, DependencyGraph, GroupCommitWal, ReadOutcome, ScheduleEvent, Scheduler, Step,
+    TxnProgram, WriteOutcome,
 };
 
 /// Concurrent driver configuration.
@@ -52,6 +54,14 @@ pub struct ConcurrentConfig {
     /// the same stride. 0 (the default) leaves the recorder untouched:
     /// plain obs mode, exactly as before the flight recorder existed.
     pub flight_sample: u64,
+    /// Group-commit WAL: when set, each worker journals its update
+    /// transaction's redo events (`Begin`, accepted `Write`s, `Commit`)
+    /// through the WAL after the in-memory commit and counts the commit
+    /// only once its batch is durable — the *group-commit ack rule*.
+    /// Read-only transactions skip the WAL. A submit that fails because
+    /// the WAL crashed lands in [`ConcurrentStats::wal_lost`] instead of
+    /// `committed`.
+    pub wal: Option<Arc<GroupCommitWal>>,
 }
 
 impl Default for ConcurrentConfig {
@@ -65,6 +75,7 @@ impl Default for ConcurrentConfig {
             obs: false,
             txn_deadline: None,
             flight_sample: 0,
+            wal: None,
         }
     }
 }
@@ -138,8 +149,13 @@ pub struct ConcurrentStats {
     pub stats: RunStats,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
-    /// Committed transactions per second.
+    /// Committed transactions per second (durable commits only when a
+    /// WAL is configured).
     pub throughput: f64,
+    /// Commits whose durability ack failed because the WAL crashed
+    /// (committed in memory, not on disk; excluded from `committed`).
+    /// Always 0 without a WAL.
+    pub wal_lost: usize,
 }
 
 /// Run `programs` across threads.
@@ -175,21 +191,34 @@ pub fn run_concurrent(
     let restarts = AtomicUsize::new(0);
     let gave_up = AtomicUsize::new(0);
     let deadline_exceeded = AtomicUsize::new(0);
+    let wal_lost = AtomicUsize::new(0);
     let attempts = AtomicU64::new(0);
     let done = AtomicBool::new(false);
     let active_workers = AtomicUsize::new(cfg.workers);
     // Reference bindings so the worker closures can be `move` (they
     // need their worker index by value) while sharing the counters.
-    let (cursor, committed, restarts, gave_up, deadline_exceeded, attempts, done, active_workers) = (
+    let (
+        cursor,
+        committed,
+        restarts,
+        gave_up,
+        deadline_exceeded,
+        wal_lost,
+        attempts,
+        done,
+        active_workers,
+    ) = (
         &cursor,
         &committed,
         &restarts,
         &gave_up,
         &deadline_exceeded,
+        &wal_lost,
         &attempts,
         &done,
         &active_workers,
     );
+    let wal = cfg.wal.as_deref();
 
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -256,6 +285,19 @@ pub fn run_concurrent(
                         // In sampled mode, unsampled transactions skip
                         // op timing too (counter-only hot path).
                         let time_ops = obs_on && (!flight_on || traced);
+                        // Redo events for the durability submit. A
+                        // restart begins a fresh transaction and thus a
+                        // fresh journal; read-only transactions skip
+                        // the WAL.
+                        let journal = wal.is_some() && handle.class.is_some();
+                        let mut redo: Vec<ScheduleEvent> = Vec::new();
+                        if journal {
+                            redo.push(ScheduleEvent::Begin {
+                                txn: handle.id,
+                                start_ts: handle.start_ts,
+                                class: handle.class,
+                            });
+                        }
                         let mut ctx = ReadCtx::default();
                         let mut pc = 0usize;
                         let mut spins = 0u32;
@@ -316,10 +358,23 @@ pub fn run_concurrent(
                                 },
                                 Step::Write(g, src) => {
                                     let v = src.resolve(&ctx);
+                                    let journaled = if journal {
+                                        Some(Arc::new(v.clone()))
+                                    } else {
+                                        None
+                                    };
                                     match timed(time_ops, &mobs.op_service, || {
                                         scheduler.write(&handle, *g, v)
                                     }) {
                                         WriteOutcome::Done => {
+                                            if let Some(value) = journaled {
+                                                redo.push(ScheduleEvent::Write {
+                                                    txn: handle.id,
+                                                    granule: *g,
+                                                    version: handle.start_ts,
+                                                    value,
+                                                });
+                                            }
                                             if let Some(s) = span_start {
                                                 mobs.flight.push(SpanEvent::Op {
                                                     txn: handle.id.0,
@@ -405,7 +460,34 @@ pub fn run_concurrent(
                             attempts.fetch_add(1, Ordering::Relaxed);
                             let span_start = traced.then(|| mobs.flight.now_ns());
                             match timed(time_ops, &mobs.op_service, || scheduler.commit(&handle)) {
-                                CommitOutcome::Committed(_) => {
+                                CommitOutcome::Committed(commit_ts) => {
+                                    // Group-commit ack rule: the commit
+                                    // counts only once its batch is on
+                                    // disk.
+                                    if journal {
+                                        redo.push(ScheduleEvent::Commit {
+                                            txn: handle.id,
+                                            commit_ts,
+                                        });
+                                        match wal.expect("journal implies wal").submit(&redo) {
+                                            Ok(Some(ack)) => mobs.gauges.record_wal_batch(
+                                                ack.frames as u64,
+                                                ack.bytes as u64,
+                                                ack.fsync_ns,
+                                            ),
+                                            Ok(None) => {}
+                                            Err(_) => {
+                                                // ordering: Relaxed — statistical counter; totals are read after the worker scope joins (the join edge orders them).
+                                                wal_lost.fetch_add(1, Ordering::Relaxed);
+                                                flight_end(
+                                                    traced,
+                                                    handle.id.0,
+                                                    Terminal::Committed,
+                                                );
+                                                break 'retry;
+                                            }
+                                        }
+                                    }
                                     committed.fetch_add(1, Ordering::Relaxed); // ordering: stat counter; the scope join orders the final read
                                     if let Some(t) = commit_block_since.take() {
                                         let dur_ns = t.elapsed().as_nanos() as u64;
@@ -507,6 +589,8 @@ pub fn run_concurrent(
         throughput: committed as f64 / elapsed.as_secs_f64().max(1e-9),
         stats,
         elapsed,
+        // ordering: Relaxed — read after the worker scope joined; the join edge orders every counter write before it.
+        wal_lost: wal_lost.load(Ordering::Relaxed),
     }
 }
 
@@ -553,6 +637,66 @@ mod tests {
             );
             assert!(out.stats.committed > 0);
         }
+    }
+
+    #[test]
+    fn wal_mode_journals_every_commit_durably() {
+        use txn_model::{decode_wal, GroupCommitConfig};
+
+        let dir = std::env::temp_dir().join(format!("sim-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.wal");
+        let wal = Arc::new(
+            GroupCommitWal::create(
+                &path,
+                GroupCommitConfig {
+                    max_batch_frames: 8,
+                    ..GroupCommitConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+
+        let mut w = Banking::new(16);
+        let mut rng = StdRng::seed_from_u64(41);
+        let programs: Vec<_> = (0..120).map(|_| w.generate(&mut rng)).collect();
+        let (sched, store) = build_scheduler(SchedulerKind::Hdd, &w);
+        let cfg = ConcurrentConfig {
+            obs: true,
+            wal: Some(Arc::clone(&wal)),
+            ..ConcurrentConfig::default()
+        };
+        let out = run_concurrent(sched.as_ref(), programs, &cfg);
+        assert_eq!(out.stats.committed, 120);
+        assert_eq!(out.wal_lost, 0);
+        assert_eq!(out.stats.serializable, Some(true));
+
+        // The on-disk WAL carries exactly one Commit per counted commit
+        // and replays to the same balances the store holds.
+        let bytes = std::fs::read(&path).unwrap();
+        let (events, report) = decode_wal(&bytes).unwrap();
+        assert!(!report.torn());
+        let commits = events
+            .iter()
+            .filter(|e| matches!(e, ScheduleEvent::Commit { .. }))
+            .count();
+        assert_eq!(commits, 120);
+        let replayed = mvstore::MvStore::new();
+        w.seed(&replayed);
+        mvstore::recover(&replayed, &events);
+        assert_eq!(
+            w.total_balance(&replayed),
+            w.total_balance(store.as_ref()),
+            "WAL replay reconstructs the committed state"
+        );
+
+        // Group commit amortized fsyncs: fewer batches than frames.
+        let stats = wal.stats();
+        assert!(stats.frames > stats.batches, "{stats:?}");
+        let gauges = sched.metrics().obs.gauges.snapshot();
+        assert_eq!(gauges.wal_batches, stats.batches);
+        assert!(gauges.fsync_ns.count > 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -279,7 +279,7 @@ mod tests {
         // which labels committed; with equal ±50 the check is done in
         // experiment E1 instead. Here: committed == all.
         assert_eq!(stats.committed, 60);
-        let total = w.total_balance(&store);
+        let total = w.total_balance(store.as_ref());
         assert_eq!(total % 50, 0);
     }
 
@@ -311,7 +311,7 @@ mod tests {
         let stats = run_interleaved(sched.as_ref(), programs, &DriverConfig::default());
         assert_eq!(stats.committed, 30);
         let expected = INITIAL_BALANCE + 30 * 50;
-        let actual = w.total_balance(&store);
+        let actual = w.total_balance(store.as_ref());
         assert!(
             actual < expected,
             "interleaved no-control deposits must lose money ({actual} vs {expected})"
@@ -351,7 +351,7 @@ mod tests {
         let stats = run_interleaved(sched.as_ref(), programs, &cfg);
         assert_eq!(stats.committed, 25);
         assert_eq!(
-            w.total_balance(&store),
+            w.total_balance(store.as_ref()),
             INITIAL_BALANCE + 25 * 50,
             "serial no-control must not lose updates"
         );

@@ -51,7 +51,7 @@ pub fn run(quick: bool) -> Table {
         let stats = run_interleaved(sched.as_ref(), programs, &DriverConfig::default());
 
         let expected = INITIAL_BALANCE + DEPOSIT * stats.committed as i64;
-        let actual = w.total_balance(&store);
+        let actual = w.total_balance(store.as_ref());
         table.row(&[
             kind.name().to_string(),
             stats.committed.to_string(),

@@ -176,7 +176,7 @@ fn soak_one(seed: u64, n: usize, tally: &mut Tally) {
         tally.torn += 1;
     }
     let store = Arc::new(MvStore::new());
-    w.seed(&store);
+    w.seed(store.as_ref());
     let (resumed, resume_report) = hdd::resume(Arc::clone(&hierarchy), store, &survivors, config);
     let phase2 = programs(&mut w, &mut rng, n / 2);
     let plan2 = FaultPlan::clean(phase2.len());

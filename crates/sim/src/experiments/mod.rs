@@ -22,14 +22,16 @@ pub mod e15_certify;
 pub mod e16_chaos;
 pub mod e17_gauges;
 pub mod e18_blame;
+pub mod e19_durability;
 
 use crate::report::Table;
 
 /// Run every experiment (E1–E10 per figure, plus the E11 sweep, the
 /// E12 message analysis, the E13 hot-path throughput trajectory, the
 /// E14 observability profile, the E15 certification sweep, the E16
-/// chaos soak, the E17 staleness-gauge observatory and the E18
-/// flight-recorder blame profile) and return the tables in order.
+/// chaos soak, the E17 staleness-gauge observatory, the E18
+/// flight-recorder blame profile and the E19 durability suite) and
+/// return the tables in order.
 pub fn run_all(quick: bool) -> Vec<Table> {
     vec![
         e01_lost_update::run(quick),
@@ -50,5 +52,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e16_chaos::run(quick),
         e17_gauges::run(quick),
         e18_blame::run(quick),
+        e19_durability::run(quick),
     ]
 }

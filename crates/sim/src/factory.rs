@@ -6,7 +6,7 @@ use baselines::two_pl::TwoPlConfig;
 use baselines::{BasicTso, Mv2pl, Mvto, NoControl, TwoPhaseLocking};
 use hdd::protocol::{HddConfig, HddScheduler};
 use hdd::Hierarchy;
-use mvstore::MvStore;
+use mvstore::{MvStore, StorageBackend};
 use std::sync::Arc;
 use txn_model::{LogicalClock, Scheduler};
 use workloads::Workload;
@@ -70,14 +70,15 @@ pub fn build_scheduler(
     workload: &dyn Workload,
 ) -> (Box<dyn Scheduler>, Arc<MvStore>) {
     let store = Arc::new(MvStore::new());
-    workload.seed(&store);
+    workload.seed(store.as_ref());
     let clock = Arc::new(LogicalClock::new());
     let sched: Box<dyn Scheduler> = match kind {
         SchedulerKind::Hdd => {
             let hierarchy = Arc::new(workload.hierarchy());
+            let backend: Arc<dyn StorageBackend> = store.clone();
             Box::new(HddScheduler::new(
                 hierarchy,
-                Arc::clone(&store),
+                backend,
                 clock,
                 HddConfig::default(),
             ))
@@ -130,15 +131,35 @@ pub fn build_hdd_with_config(
     config: HddConfig,
 ) -> (Arc<HddScheduler>, Arc<MvStore>, Arc<Hierarchy>) {
     let store = Arc::new(MvStore::new());
-    workload.seed(&store);
+    workload.seed(store.as_ref());
     let hierarchy = Arc::new(workload.hierarchy());
+    let backend: Arc<dyn StorageBackend> = store.clone();
     let sched = Arc::new(HddScheduler::new(
         Arc::clone(&hierarchy),
-        Arc::clone(&store),
+        backend,
         Arc::new(LogicalClock::new()),
         config,
     ));
     (sched, store, hierarchy)
+}
+
+/// Build an HDD scheduler over a caller-supplied storage backend (the
+/// durable-tier experiments hand in a `FileBackend`), seeding it with
+/// the workload's initial image first.
+pub fn build_hdd_on(
+    backend: Arc<dyn StorageBackend>,
+    workload: &dyn Workload,
+    config: HddConfig,
+) -> (Arc<HddScheduler>, Arc<Hierarchy>) {
+    workload.seed(backend.as_ref());
+    let hierarchy = Arc::new(workload.hierarchy());
+    let sched = Arc::new(HddScheduler::new(
+        Arc::clone(&hierarchy),
+        backend,
+        Arc::new(LogicalClock::new()),
+        config,
+    ));
+    (sched, hierarchy)
 }
 
 #[cfg(test)]
@@ -162,7 +183,7 @@ mod tests {
         ] {
             let (sched, store) = build_scheduler(kind, &w);
             assert_eq!(sched.name(), kind.name());
-            assert_eq!(w.total_balance(&store), 4 * 100);
+            assert_eq!(w.total_balance(store.as_ref()), 4 * 100);
         }
     }
 }

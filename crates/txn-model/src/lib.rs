@@ -22,6 +22,7 @@
 
 pub mod clock;
 pub mod depgraph;
+pub mod group_commit;
 pub mod ids;
 pub mod metrics;
 pub mod program;
@@ -32,10 +33,14 @@ pub mod wal;
 
 pub use clock::LogicalClock;
 pub use depgraph::{ArcKinds, DependencyGraph};
+pub use group_commit::{
+    BatchAck, FaultAction, GroupCommitConfig, GroupCommitStats, GroupCommitWal, WalCrashed,
+    WalFault,
+};
 pub use ids::{ClassId, GranuleId, SegmentId, Timestamp, TxnId};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use program::{Step, TxnProgram, WriteSource};
 pub use schedule::{ScheduleEvent, ScheduleLog};
 pub use scheduler::{CommitOutcome, ReadOutcome, Scheduler, TxnHandle, TxnProfile, WriteOutcome};
 pub use value::Value;
-pub use wal::{decode_events, encode_events, WalReport};
+pub use wal::{decode_events, decode_wal, encode_events, encode_wal, WalFileError, WalReport};

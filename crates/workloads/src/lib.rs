@@ -50,8 +50,9 @@ pub trait Workload {
             .with_segment_names(self.segment_names())
     }
 
-    /// Seed initial data into a store.
-    fn seed(&self, store: &mvstore::MvStore);
+    /// Seed initial data into a storage backend (any
+    /// [`mvstore::StorageBackend`]; `&MvStore` coerces).
+    fn seed(&self, store: &dyn mvstore::StorageBackend);
 
     /// Generate the next transaction program.
     fn generate(&mut self, rng: &mut StdRng) -> TxnProgram;

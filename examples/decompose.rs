@@ -69,7 +69,7 @@ fn main() {
     for seg in 0..4u32 {
         store.seed(GranuleId::new(s(seg), 1), Value::Int(0));
     }
-    let core = SchedulerCore::new(Arc::clone(&store), Arc::new(LogicalClock::new()));
+    let core = SchedulerCore::new(store.clone(), Arc::new(LogicalClock::new()));
     let adaptive = AdaptiveScheduler::new(4, specs, core, HddConfig::default()).unwrap();
 
     // Normal traffic.

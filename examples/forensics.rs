@@ -43,11 +43,11 @@ fn main() {
     let s = SegmentId;
     let store = Arc::new(MvStore::new());
     let w2 = AnomalyWorkload;
-    w2.seed(&store);
+    w2.seed(store.as_ref());
     let hierarchy = Arc::new(w2.hierarchy());
     let sched = HddScheduler::new(
         hierarchy,
-        Arc::clone(&store),
+        store.clone(),
         Arc::new(LogicalClock::new()),
         HddConfig::default(),
     );

@@ -45,7 +45,7 @@ fn main() {
     store.seed(summary, Value::Int(0));
     let sched = HddScheduler::new(
         hierarchy,
-        Arc::clone(&store),
+        store.clone(),
         Arc::new(LogicalClock::new()),
         HddConfig::default(),
     );

@@ -41,7 +41,7 @@ fn main() {
 
     let sched = HddScheduler::new(
         hierarchy,
-        Arc::clone(&store),
+        store.clone(),
         Arc::new(LogicalClock::new()),
         HddConfig::default(),
     );

@@ -80,4 +80,13 @@ echo "== blame smoke (release) =="
 # disabled baseline.
 cargo run --release -q -p sim --bin experiments -- blame-smoke
 
+echo "== durability smoke (release) =="
+# Durable-tier gate: a 12-seed disk-fault soak (torn writes, lying
+# fsyncs, kill-mid-batch) must recover from on-disk bytes alone,
+# certify every stitched log, never reuse a timestamp, and never leave
+# an acked commit off the disk (outside lying-fsync seeds); the
+# StorageBackend trait refactor must hold >=95% of the
+# BENCH_hotpath.json hdd 8-worker baseline.
+cargo run --release -q -p sim --bin experiments -- durability-smoke
+
 echo "CI OK"

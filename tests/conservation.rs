@@ -27,7 +27,7 @@ fn all_sound_schedulers_conserve_money_interleaved() {
         assert_eq!(stats.serializable, Some(true), "{}", kind.name());
         assert_eq!(stats.stalled, 0, "{}", kind.name());
         assert_eq!(
-            w.total_balance(&store),
+            w.total_balance(store.as_ref()),
             6 * INITIAL_BALANCE,
             "{} lost or created money",
             kind.name()
@@ -57,7 +57,7 @@ fn hdd_and_locking_conserve_money_concurrently() {
             kind.name()
         );
         assert_eq!(
-            w.total_balance(&store),
+            w.total_balance(store.as_ref()),
             6 * INITIAL_BALANCE,
             "{} lost or created money under threads",
             kind.name()
@@ -74,7 +74,7 @@ fn nocontrol_violates_conservation() {
     let stats = run_interleaved(sched.as_ref(), programs, &DriverConfig::default());
     assert_eq!(stats.committed, 120);
     assert_ne!(
-        w.total_balance(&store),
+        w.total_balance(store.as_ref()),
         2 * INITIAL_BALANCE,
         "no-control should break conservation on hot accounts"
     );

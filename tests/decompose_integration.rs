@@ -33,7 +33,7 @@ fn decomposed_partition_drives_a_real_scheduler() {
     }
     let sched = HddScheduler::new(
         hierarchy,
-        Arc::clone(&store),
+        store.clone(),
         Arc::new(LogicalClock::new()),
         HddConfig::default(),
     );
@@ -112,7 +112,7 @@ fn adaptive_restructure_under_concurrent_traffic() {
             store.seed(GranuleId::new(s(seg), key), Value::Int(0));
         }
     }
-    let core = SchedulerCore::new(Arc::clone(&store), Arc::new(LogicalClock::new()));
+    let core = SchedulerCore::new(store.clone(), Arc::new(LogicalClock::new()));
     let a = AdaptiveScheduler::new(4, specs, core, HddConfig::default()).unwrap();
 
     let mut rng = StdRng::seed_from_u64(7);

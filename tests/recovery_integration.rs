@@ -140,7 +140,7 @@ fn concurrent_crash_recover_resume_certifies() {
     // registry state rebuilt, in-flight transactions closed with
     // synthetic aborts, clock advanced past the high-water mark.
     let store = Arc::new(MvStore::new());
-    w.seed(&store);
+    w.seed(store.as_ref());
     let (resumed, resume_report) = hdd::resume(Arc::clone(&hierarchy), store, &survivors, config);
     let hwm = resume_report.recovery.high_water_mark;
     assert!(resume_report.resumes_after.0 > hwm.0);
