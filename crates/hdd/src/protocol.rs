@@ -170,6 +170,12 @@ pub struct HddConfig {
     /// pin `I_old(m)` (and with it the time wall and GC) forever. `None`
     /// (the default) disables the watchdog.
     pub txn_lease: Option<Duration>,
+    /// Fold the workload-drift sketch (`obs::drift`) every this many
+    /// maintenance calls (0 disables the automatic fold; dashboards and
+    /// experiments can still force one via
+    /// [`HddScheduler::refresh_drift_now`]). Only active while both the
+    /// obs sidecar and its drift board are enabled.
+    pub drift_interval: u64,
 }
 
 impl Default for HddConfig {
@@ -179,6 +185,7 @@ impl Default for HddConfig {
             wall_interval: 8,
             gc_interval: 64,
             txn_lease: None,
+            drift_interval: 16,
         }
     }
 }
@@ -247,6 +254,10 @@ impl HddScheduler {
         core.metrics
             .obs
             .gauges
+            .configure(n as u32, hierarchy.segment_count() as u32);
+        core.metrics
+            .obs
+            .drift
             .configure(n as u32, hierarchy.segment_count() as u32);
         HddScheduler {
             hierarchy,
@@ -380,12 +391,23 @@ impl HddScheduler {
                 floor.raw(),
                 now.raw().saturating_sub(floor.raw()),
             );
+            let mut dragger: Option<u32> = None;
             for c in 0..self.hierarchy.class_count() {
                 let class = ClassId(c as u32);
                 gauges.set_wall_component(c as u32, w.component(class).raw());
+                if dragger.is_none() && w.component(class) == floor {
+                    // The wall floor is min over components; the first
+                    // class sitting at it is the "dragger" whose
+                    // `I_old` holds every Protocol C reader back.
+                    dragger = Some(c as u32);
+                }
                 for seg in self.hierarchy.segments_of(class) {
                     gauges.set_segment_wall(seg.0, w.component(class).raw());
                 }
+            }
+            let drift = &self.core.metrics.obs.drift;
+            if drift.enabled() {
+                drift.note_wall_floor(dragger, now.raw());
             }
         }
         let mut active_total = 0u64;
@@ -423,6 +445,24 @@ impl HddScheduler {
     /// the throttled store scan — is current).
     pub fn refresh_gauges_now(&self) {
         self.refresh_gauges(16); // 16 ≡ 0 mod 4 and mod 16: full refresh
+    }
+
+    /// Fold the drift sketch: score the interval since the previous
+    /// fold against the EWMA baselines and, on a fresh threshold
+    /// crossing, emit a `drift-trip` trace instant. Runs from the
+    /// maintenance tick at [`HddConfig::drift_interval`] cadence; E20
+    /// and the advisor binary call it directly for deterministic fold
+    /// boundaries.
+    pub fn refresh_drift_now(&self) {
+        let obs = &self.core.metrics.obs;
+        if let Some(trip) = obs.drift.fold() {
+            obs.emit(TraceEvent::DriftTrip {
+                fold: trip.fold,
+                score_milli: trip.score_milli,
+                threshold_milli: trip.threshold_milli,
+                dragger_class: trip.dragger.unwrap_or(u32::MAX),
+            });
+        }
     }
 
     /// The GC watermark: nothing at or above it may be reclaimed.
@@ -606,6 +646,20 @@ impl HddScheduler {
                     version,
                     writer,
                 });
+                // Drift sketch: every cross-class read counts (no
+                // flight-recorder sampling, which would skew the share
+                // vector), one O(1) relaxed bump when the board is on.
+                if self.core.metrics.obs.enabled() && self.core.metrics.obs.drift.enabled() {
+                    let reader_row = match prov {
+                        ReadProv::A { reader_class, .. } => reader_class.0,
+                        ReadProv::Wall { .. } => obs::gauges::WALL_READER,
+                    };
+                    self.core
+                        .metrics
+                        .obs
+                        .drift
+                        .record_access(reader_row, g.segment.0);
+                }
                 // Sampled mode (flight recorder active): only sampled
                 // transactions pay for per-op decision traces; the rest
                 // stay counter-only. With the recorder inactive,
@@ -787,12 +841,40 @@ impl Scheduler for HddScheduler {
         let id = TxnId(self.core.txn_ids.fetch_add(1, Ordering::Relaxed));
         Metrics::bump(&self.core.metrics.begins);
 
+        // Drift sketch: count the arrival and fold the declared profile
+        // into the observed co-access edge matrix (the DHG
+        // arc-generation rule: writer segment → every accessed
+        // segment, diagonal for the write itself). O(|W|·|R∪W|) on the
+        // declared sets — single digits for every bundled workload —
+        // and only while the board is on.
+        {
+            let drift = &self.core.metrics.obs.drift;
+            if self.core.metrics.obs.enabled() && drift.enabled() {
+                drift.note_begin(profile.class.map_or(u32::MAX, |c| c.0));
+                for w in &profile.write_segments {
+                    drift.record_edge(w.0, w.0);
+                    for a in profile.read_segments.iter().chain(&profile.write_segments) {
+                        if a != w {
+                            drift.record_edge(w.0, a.0);
+                        }
+                    }
+                }
+            }
+        }
+
         let ro_mode = if profile.is_read_only() {
             if self
                 .hierarchy
                 .read_only_on_one_critical_path(&profile.read_segments)
             {
-                let idx: Vec<usize> = profile.read_segments.iter().map(|s| s.index()).collect();
+                // Path tables are class-level: map segments through the
+                // grouping (segment index ≠ class index once classes
+                // hold several segments).
+                let idx: Vec<usize> = profile
+                    .read_segments
+                    .iter()
+                    .map(|s| self.hierarchy.class_of(*s).index())
+                    .collect();
                 let base = self
                     .hierarchy
                     .paths()
@@ -1056,6 +1138,12 @@ impl Scheduler for HddScheduler {
             commit_ts,
         });
         Metrics::bump(&self.core.metrics.commits);
+        {
+            let drift = &self.core.metrics.obs.drift;
+            if self.core.metrics.obs.enabled() && drift.enabled() {
+                drift.note_commit(st.class.map_or(u32::MAX, |c| c.0));
+            }
+        }
         CommitOutcome::Committed(commit_ts)
     }
 
@@ -1093,6 +1181,12 @@ impl Scheduler for HddScheduler {
         }
         if self.core.metrics.obs.enabled() {
             self.refresh_gauges(n);
+            if self.config.drift_interval > 0
+                && n.is_multiple_of(self.config.drift_interval)
+                && self.core.metrics.obs.drift.enabled()
+            {
+                self.refresh_drift_now();
+            }
         }
     }
 
@@ -1253,6 +1347,65 @@ mod tests {
             snap.staleness_for(obs::gauges::WALL_READER, 0).is_none(),
             "no wall read touched the root segment"
         );
+    }
+
+    #[test]
+    fn drift_sketch_counts_arrivals_edges_and_trips_on_a_mix_shift() {
+        let sched = setup(ProtocolBMode::Mvto);
+        let obs = &sched.metrics().obs;
+        assert!(obs.drift.snapshot().configured, "with_core dimensions it");
+        obs.set_enabled(true);
+
+        // Drift board still off: hot paths must stay silent.
+        let t = sched.begin(&profile_t1());
+        sched.write(&t, g(0, 1), Value::Int(1));
+        assert!(matches!(sched.commit(&t), CommitOutcome::Committed(_)));
+        assert!(obs.drift.snapshot().edges.is_empty());
+
+        obs.drift.set_enabled(true);
+        // Seed phase: 16 class-0 writers — edge mass all on the (0,0)
+        // diagonal; the first fold seeds the baseline and scores calm.
+        for _ in 0..16 {
+            let t = sched.begin(&profile_t1());
+            sched.write(&t, g(0, 1), Value::Int(2));
+            assert!(matches!(sched.commit(&t), CommitOutcome::Committed(_)));
+        }
+        sched.refresh_drift_now();
+        let s = obs.drift.snapshot();
+        assert_eq!(s.folds, 1);
+        assert_eq!(s.score_milli, 0, "first fold seeds, never alarms");
+        assert_eq!(s.classes[0].begun, 16);
+        assert_eq!(s.classes[0].committed, 16);
+        assert!(s.edges.iter().any(|e| e.from == 0 && e.to == 0));
+
+        // Shift: 16 class-1 writers that cross-read D0 — edge mass
+        // moves to (1,1)/(1,0), cross-reads land in the (c1, D0) cell,
+        // and the next fold must trip and trace the event.
+        for _ in 0..16 {
+            let t = sched.begin(&profile_t2());
+            assert!(matches!(sched.read(&t, g(0, 1)), ReadOutcome::Value(_)));
+            sched.write(&t, g(1, 1), Value::Int(3));
+            assert!(matches!(sched.commit(&t), CommitOutcome::Committed(_)));
+        }
+        sched.refresh_drift_now();
+        let s = obs.drift.snapshot();
+        assert!(s.tripped, "mix shift must trip: {s:?}");
+        assert_eq!(s.trips, 1);
+        assert!(s.cells.iter().any(|c| c.reader == 1 && c.segment == 0));
+        assert!(s.edges.iter().any(|e| e.from == 1 && e.to == 0));
+        let kinds: Vec<&str> = obs.trace.drain().iter().map(|(_, e)| e.kind()).collect();
+        assert!(kinds.contains(&"drift-trip"), "{kinds:?}");
+
+        // Maintenance attributes the wall floor to a dragger class and
+        // keeps folding at drift_interval cadence.
+        for _ in 0..32 {
+            sched.maintenance();
+        }
+        let s = obs.drift.snapshot();
+        assert!(s.drag_class.is_some(), "a released wall names a dragger");
+        let blamed: u64 = s.classes.iter().map(|c| c.drag_blame).sum();
+        assert!(blamed >= 1);
+        assert!(s.folds >= 4, "maintenance folds every drift_interval");
     }
 
     #[test]

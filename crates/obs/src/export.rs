@@ -24,7 +24,8 @@
 use std::collections::HashSet;
 use std::fmt::Write as _;
 
-use crate::gauges::GaugeSnapshot;
+use crate::drift::DriftSnapshot;
+use crate::gauges::{GaugeSnapshot, WALL_READER};
 use crate::hist::HistogramSnapshot;
 use crate::span::{FlightLog, Terminal, WaitCause, NO_CLASS};
 use crate::trace::TraceEvent;
@@ -70,6 +71,20 @@ pub fn prometheus_text(
     counters: &[(&str, u64)],
     obs: &ObsSnapshot,
     gauges: &GaugeSnapshot,
+) -> String {
+    prometheus_text_full(counters, obs, gauges, None)
+}
+
+/// [`prometheus_text`] plus the drift-observatory families
+/// (`hdd_drift_*`, `hdd_wall_drag_*`) when a configured
+/// [`DriftSnapshot`] is supplied; with `None` (or an unconfigured
+/// sketch) the output is byte-identical to [`prometheus_text`], so the
+/// golden contract on the drift-free exposition is unchanged.
+pub fn prometheus_text_full(
+    counters: &[(&str, u64)],
+    obs: &ObsSnapshot,
+    gauges: &GaugeSnapshot,
+    drift: Option<&DriftSnapshot>,
 ) -> String {
     let mut out = String::new();
     for (name, v) in counters {
@@ -187,6 +202,52 @@ pub fn prometheus_text(
     }
     let _ = writeln!(out, "# TYPE hdd_wal_fsync_ns summary");
     push_summary(&mut out, "hdd_wal_fsync_ns", "", &gauges.fsync_ns);
+    // Drift-observatory families, appended only when the sketch is
+    // configured so the drift-free exposition keeps its golden tail.
+    if let Some(d) = drift.filter(|d| d.configured) {
+        for (name, v) in [
+            ("hdd_drift_score", d.score_milli),
+            ("hdd_drift_access_score", d.access_score_milli),
+            ("hdd_drift_edge_score", d.edge_score_milli),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {:.3}", v as f64 / 1000.0);
+        }
+        let _ = writeln!(out, "# TYPE hdd_drift_tripped gauge");
+        let _ = writeln!(out, "hdd_drift_tripped {}", u64::from(d.tripped));
+        let _ = writeln!(out, "# TYPE hdd_drift_folds_total counter");
+        let _ = writeln!(out, "hdd_drift_folds_total {}", d.folds);
+        let _ = writeln!(out, "# TYPE hdd_drift_trips_total counter");
+        let _ = writeln!(out, "hdd_drift_trips_total {}", d.trips);
+        let _ = writeln!(out, "# TYPE hdd_class_begun_total counter");
+        for c in &d.classes {
+            let _ = writeln!(
+                out,
+                "hdd_class_begun_total{{class=\"{}\"}} {}",
+                DriftSnapshot::reader_label(c.class),
+                c.begun
+            );
+        }
+        let _ = writeln!(out, "# TYPE hdd_class_committed_total counter");
+        for c in &d.classes {
+            let _ = writeln!(
+                out,
+                "hdd_class_committed_total{{class=\"{}\"}} {}",
+                DriftSnapshot::reader_label(c.class),
+                c.committed
+            );
+        }
+        let _ = writeln!(out, "# TYPE hdd_wall_drag_blame_total counter");
+        for c in d.classes.iter().filter(|c| c.class != WALL_READER) {
+            let _ = writeln!(
+                out,
+                "hdd_wall_drag_blame_total{{class=\"{}\"}} {}",
+                c.class, c.drag_blame
+            );
+        }
+        let _ = writeln!(out, "# TYPE hdd_wall_drag_ticks summary");
+        push_summary(&mut out, "hdd_wall_drag_ticks", "", &d.drag_hist);
+    }
     out
 }
 
@@ -434,6 +495,15 @@ fn event_args(ev: &TraceEvent) -> String {
         } => format!(
             "{{\"events\":{events},\"redone\":{redone},\"rolled_back\":{rolled_back},\
              \"in_flight_aborted\":{in_flight_aborted},\"high_water_mark\":{high_water_mark}}}"
+        ),
+        TraceEvent::DriftTrip {
+            fold,
+            score_milli,
+            threshold_milli,
+            dragger_class,
+        } => format!(
+            "{{\"fold\":{fold},\"score_milli\":{score_milli},\
+             \"threshold_milli\":{threshold_milli},\"dragger_class\":{dragger_class}}}"
         ),
     }
 }
@@ -812,7 +882,20 @@ mod tests {
         let stats = validate_prometheus(&text).expect("validates");
         assert!(stats.families >= 30, "{stats:?}");
         assert!(text.contains("hdd_class_i_old{class=\"0\"} 3"));
-        assert!(text.contains("hdd_segment_wall{segment=\"2\"} 88"));
+        // The wall's per-class components and per-segment projection
+        // must reach the text format byte-exactly (they were long in
+        // the JSON snapshot; this pins the exposition side too).
+        assert!(text.contains(
+            "# TYPE hdd_class_wall_component gauge\n\
+             hdd_class_wall_component{class=\"0\"} 0\n\
+             hdd_class_wall_component{class=\"1\"} 0\n"
+        ));
+        assert!(text.contains(
+            "# TYPE hdd_segment_wall gauge\n\
+             hdd_segment_wall{segment=\"0\"} 0\n\
+             hdd_segment_wall{segment=\"1\"} 0\n\
+             hdd_segment_wall{segment=\"2\"} 88\n"
+        ));
         assert!(text
             .contains("hdd_read_staleness_ticks{reader=\"c1\",segment=\"0\",quantile=\"0.5\"} 17"));
         assert!(text
@@ -1042,6 +1125,64 @@ mod tests {
         assert!(text.contains("\"ph\":\"s\",\"id\":2,\"ts\":6.800,\"pid\":1,\"tid\":0"));
         assert!(flight_chrome_trace(&FlightLog::default()).contains("maintenance"));
         assert!(validate_chrome_trace(&flight_chrome_trace(&FlightLog::default())).is_ok());
+    }
+
+    #[test]
+    fn prometheus_drift_families_render_only_when_configured() {
+        use crate::drift::DriftBoard;
+        let obs = ObsSnapshot::default();
+        let gauges = GaugeSnapshot::default();
+        // Unconfigured sketch: byte-identical to the drift-free text.
+        let bare = DriftBoard::new();
+        assert_eq!(
+            prometheus_text_full(&[("committed", 7)], &obs, &gauges, Some(&bare.snapshot())),
+            prometheus_text(&[("committed", 7)], &obs, &gauges)
+        );
+        // Configured sketch: drift + wall-drag families appear and the
+        // whole exposition still self-validates.
+        let board = DriftBoard::new();
+        board.configure(2, 3);
+        board.set_enabled(true);
+        for _ in 0..20 {
+            board.record_access(0, 1);
+            board.record_edge(1, 0);
+        }
+        board.note_begin(0);
+        board.note_commit(0);
+        board.note_wall_floor(Some(1), 10);
+        board.note_wall_floor(Some(0), 25);
+        board.fold();
+        let d = board.snapshot();
+        let text = prometheus_text_full(&[("committed", 7)], &obs, &gauges, Some(&d));
+        let stats = validate_prometheus(&text).expect("self-validates");
+        // Drift-free families + 4 drift gauges + 2 drift counters + 2
+        // per-class counters + blame counter + drag summary.
+        assert_eq!(stats.families, 1 + 2 + 5 + 15 + 6 + 4 + 2 + 2 + 1 + 1);
+        assert!(text.contains("# TYPE hdd_drift_score gauge\nhdd_drift_score 0.000\n"));
+        assert!(text.contains("hdd_drift_folds_total 1"));
+        assert!(text.contains("hdd_class_begun_total{class=\"c0\"} 1"));
+        assert!(text.contains("hdd_class_committed_total{class=\"wall\"} 0"));
+        assert!(text.contains("hdd_wall_drag_blame_total{class=\"1\"} 1"));
+        assert!(text.contains("hdd_wall_drag_ticks_count 1"));
+        assert!(text.contains("hdd_drift_tripped 0"));
+    }
+
+    #[test]
+    fn chrome_trace_renders_drift_trip_instants() {
+        let events = vec![(
+            9u64,
+            TraceEvent::DriftTrip {
+                fold: 4,
+                score_milli: 500,
+                threshold_milli: 250,
+                dragger_class: 2,
+            },
+        )];
+        let text = chrome_trace(&events);
+        assert_eq!(validate_chrome_trace(&text).unwrap(), 2);
+        assert!(text.contains("\"name\":\"drift-trip\""));
+        assert!(text.contains("\"ph\":\"i\",\"ts\":9"));
+        assert!(text.contains("\"score_milli\":500"));
     }
 
     #[test]

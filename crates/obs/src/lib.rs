@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod blame;
+pub mod drift;
 pub mod export;
 pub mod gauges;
 pub mod hist;
@@ -33,8 +34,13 @@ pub mod span;
 pub mod trace;
 
 pub use blame::{critical_chain, BlameReport, CauseBucket, ChainHop, PhaseBreakdown};
+pub use drift::{
+    ClassDrift, DriftBoard, DriftCell, DriftEdge, DriftSnapshot, DriftTrip,
+    DEFAULT_DRIFT_THRESHOLD_MILLI,
+};
 pub use export::{
-    chrome_trace, flight_chrome_trace, prometheus_text, validate_chrome_trace, validate_prometheus,
+    chrome_trace, flight_chrome_trace, prometheus_text, prometheus_text_full,
+    validate_chrome_trace, validate_prometheus,
 };
 pub use gauges::{ClassGauges, GaugeBoard, GaugeSnapshot, StalenessCell, WALL_READER};
 pub use hist::{Histogram, HistogramSnapshot};
@@ -81,6 +87,11 @@ pub struct Obs {
     /// edges, sampled every Nth transaction (see [`span`]). Inert until
     /// both [`Obs::enabled`] and a sampling stride are set.
     pub flight: FlightRecorder,
+    /// Workload-drift sketch: access-frequency/co-access counters with
+    /// EWMA baselines, drift scores and wall-drag blame (see [`drift`]).
+    /// Inert until both [`Obs::enabled`] and its own enable flag are
+    /// set, so drift overhead is measurable against an obs-on baseline.
+    pub drift: DriftBoard,
 }
 
 impl Obs {
@@ -126,9 +137,9 @@ impl Obs {
         }
     }
 
-    /// Clear every histogram, the trace ring, the gauge board and the
-    /// flight recorder (the enable flag, the board's configuration and
-    /// the sampling stride are left as-is).
+    /// Clear every histogram, the trace ring, the gauge board, the
+    /// flight recorder and the drift sketch (the enable flags, board
+    /// configurations and the sampling stride are left as-is).
     pub fn reset(&self) {
         self.commit_latency.reset();
         self.op_service.reset();
@@ -138,6 +149,7 @@ impl Obs {
         self.trace.reset();
         self.gauges.reset();
         self.flight.reset();
+        self.drift.reset();
     }
 }
 

@@ -6,22 +6,17 @@
 //! lookup is a scan for the line carrying the right `scheduler` and
 //! `workers` pair — the same contract the CI gates have relied on since
 //! the first bench gate, now shared instead of re-implemented per gate.
+//! `BENCH_e17.json` (per-workload gauge sweeps) and `BENCH_e19.json`
+//! (WAL batch-size sweeps) follow the same line discipline with
+//! different keys, so all three artifact families share one scanner.
 
-/// Recorded commits/sec for `scheduler` at `workers` in the JSON
-/// artifact at `path`. `None` when the file is missing or carries no
-/// matching line — callers downgrade their floor to report-only.
-pub fn recorded_commits_per_sec(path: &str, scheduler: &str, workers: usize) -> Option<f64> {
-    let text = std::fs::read_to_string(path).ok()?;
-    recorded_commits_per_sec_str(&text, scheduler, workers)
-}
-
-/// Same scan over an in-memory JSON artifact (tests, freshly-generated
-/// sweeps not yet on disk).
-pub fn recorded_commits_per_sec_str(text: &str, scheduler: &str, workers: usize) -> Option<f64> {
-    let sched_key = format!("\"scheduler\": \"{scheduler}\"");
-    let workers_key = format!("\"workers\": {workers},");
+/// Scan `text` for the first line carrying every key in `keys`, and
+/// parse its `commits_per_sec` field. The keys are literal JSON
+/// fragments (`"workers": 8,`), so a number key must include the
+/// trailing delimiter to avoid prefix matches (8 vs 80).
+fn scan_commits_per_sec(text: &str, keys: &[String]) -> Option<f64> {
     for line in text.lines() {
-        if line.contains(&sched_key) && line.contains(&workers_key) {
+        if keys.iter().all(|k| line.contains(k.as_str())) {
             let key = "\"commits_per_sec\": ";
             let at = line.find(key)? + key.len();
             let rest = &line[at..];
@@ -32,9 +27,75 @@ pub fn recorded_commits_per_sec_str(text: &str, scheduler: &str, workers: usize)
     None
 }
 
+/// Recorded commits/sec for `scheduler` at `workers` in the JSON
+/// artifact at `path` (`BENCH_hotpath.json` / `BENCH_obs.json` shape).
+/// `None` when the file is missing or carries no matching line —
+/// callers downgrade their floor to report-only.
+pub fn recorded_commits_per_sec(path: &str, scheduler: &str, workers: usize) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    recorded_commits_per_sec_str(&text, scheduler, workers)
+}
+
+/// Same scan over an in-memory JSON artifact (tests, freshly-generated
+/// sweeps not yet on disk).
+pub fn recorded_commits_per_sec_str(text: &str, scheduler: &str, workers: usize) -> Option<f64> {
+    scan_commits_per_sec(
+        text,
+        &[
+            format!("\"scheduler\": \"{scheduler}\""),
+            format!("\"workers\": {workers},"),
+        ],
+    )
+}
+
+/// Recorded commits/sec for `workload` at `workers` in a
+/// `BENCH_e17.json`-shaped artifact (the obs-enabled gauge sweep:
+/// lines keyed on `"workload"` instead of `"scheduler"`).
+pub fn recorded_workload_commits_per_sec(
+    path: &str,
+    workload: &str,
+    workers: usize,
+) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    scan_commits_per_sec(
+        &text,
+        &[
+            format!("\"workload\": \"{workload}\""),
+            format!("\"workers\": {workers},"),
+        ],
+    )
+}
+
+/// Recorded commits/sec for the WAL group-commit sweep in a
+/// `BENCH_e19.json`-shaped artifact, keyed on the frames-per-fsync
+/// batch size and worker count (the scheduler key there is the derived
+/// `hdd-wal-b{batch}` tag, so `batch_frames` is the stable handle).
+pub fn recorded_wal_commits_per_sec(
+    path: &str,
+    batch_frames: usize,
+    workers: usize,
+) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    scan_commits_per_sec(
+        &text,
+        &[
+            format!("\"batch_frames\": {batch_frames},"),
+            format!("\"workers\": {workers},"),
+        ],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn fixture(name: &str, json: &str) -> String {
+        let dir = std::env::temp_dir().join("hdd-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, json).unwrap();
+        path.to_str().unwrap().to_string()
+    }
 
     #[test]
     fn scans_the_matching_scheduler_and_worker_line() {
@@ -42,19 +103,52 @@ mod tests {
                     {\"scheduler\": \"hdd\", \"workers\": 1, \"commits_per_sec\": 100.5, \"x\": 1}\n    \
                     {\"scheduler\": \"hdd\", \"workers\": 16, \"commits_per_sec\": 88.0, \"x\": 1}\n    \
                     {\"scheduler\": \"mvto\", \"workers\": 1, \"commits_per_sec\": 50.0, \"x\": 1}\n  ]\n}\n";
-        let dir = std::env::temp_dir().join("hdd-baseline-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("bench.json");
-        std::fs::write(&path, json).unwrap();
-        let p = path.to_str().unwrap();
-        assert_eq!(recorded_commits_per_sec(p, "hdd", 1), Some(100.5));
-        assert_eq!(recorded_commits_per_sec(p, "hdd", 16), Some(88.0));
-        assert_eq!(recorded_commits_per_sec(p, "mvto", 1), Some(50.0));
+        let p = fixture("bench.json", json);
+        assert_eq!(recorded_commits_per_sec(&p, "hdd", 1), Some(100.5));
+        assert_eq!(recorded_commits_per_sec(&p, "hdd", 16), Some(88.0));
+        assert_eq!(recorded_commits_per_sec(&p, "mvto", 1), Some(50.0));
         // `workers: 1` must not match the `workers: 16` line.
-        assert_eq!(recorded_commits_per_sec(p, "twopl", 1), None);
+        assert_eq!(recorded_commits_per_sec(&p, "twopl", 1), None);
         assert_eq!(
             recorded_commits_per_sec("/no/such/file.json", "hdd", 1),
             None
         );
+    }
+
+    #[test]
+    fn scans_the_e17_per_workload_shape() {
+        // Two lines in the exact shape `e17_gauges::to_json` emits.
+        let json = "{\n  \"experiment\": \"gauges\",\n  \"results\": [\n    \
+                    {\"workload\": \"banking\", \"workers\": 4, \"committed\": 900, \
+                     \"commits_per_sec\": 1234.5, \"cross_class_reads\": 3, \"wall_reads\": 0},\n    \
+                    {\"workload\": \"synthetic\", \"workers\": 4, \"committed\": 800, \
+                     \"commits_per_sec\": 987.0, \"cross_class_reads\": 9, \"wall_reads\": 2}\n  ]\n}\n";
+        let p = fixture("bench_e17.json", json);
+        assert_eq!(
+            recorded_workload_commits_per_sec(&p, "banking", 4),
+            Some(1234.5)
+        );
+        assert_eq!(
+            recorded_workload_commits_per_sec(&p, "synthetic", 4),
+            Some(987.0)
+        );
+        assert_eq!(recorded_workload_commits_per_sec(&p, "banking", 8), None);
+        assert_eq!(recorded_workload_commits_per_sec(&p, "inventory", 4), None);
+    }
+
+    #[test]
+    fn scans_the_e19_wal_batch_shape() {
+        // Lines in the exact shape `e19_durability::to_json` emits.
+        let json = "{\n  \"experiment\": \"durability\",\n  \"workload\": \"inventory\",\n  \"results\": [\n    \
+                    {\"scheduler\": \"hdd-wal-b1\", \"workers\": 8, \"batch_frames\": 1, \
+                     \"committed\": 500, \"elapsed_s\": 0.5, \"commits_per_sec\": 1000.0, \"fsync_batches\": 500},\n    \
+                    {\"scheduler\": \"hdd-wal-b16\", \"workers\": 8, \"batch_frames\": 16, \
+                     \"committed\": 500, \"elapsed_s\": 0.1, \"commits_per_sec\": 5000.0, \"fsync_batches\": 32}\n  ]\n}\n";
+        let p = fixture("bench_e19.json", json);
+        assert_eq!(recorded_wal_commits_per_sec(&p, 1, 8), Some(1000.0));
+        assert_eq!(recorded_wal_commits_per_sec(&p, 16, 8), Some(5000.0));
+        // `batch_frames: 1` must not match the `batch_frames: 16` line.
+        assert_eq!(recorded_wal_commits_per_sec(&p, 6, 8), None);
+        assert_eq!(recorded_wal_commits_per_sec(&p, 1, 4), None);
     }
 }

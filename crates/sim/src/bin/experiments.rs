@@ -46,6 +46,16 @@
 //!     # group-commit ack rule, and the StorageBackend trait refactor
 //!     # must hold ≥95% of the BENCH_hotpath.json hdd 8-worker
 //!     # baseline; exits 1 on any violation
+//! cargo run --release -p sim --bin experiments -- e20      # E20 only,
+//!                                                          # emits BENCH_e20.json
+//! cargo run --release -p sim --bin experiments -- e20 --e20-json out.json
+//! cargo run --release -p sim --bin experiments -- drift-smoke
+//!     # workload-drift gate: the E20 phased run must keep the steady
+//!     # (negative-control) phase silent, trip the drift board within
+//!     # 3 folds of the mix shift, match the offline hdd-lint repair
+//!     # with its online advice, carry a drift-trip Perfetto instant,
+//!     # and hold drift-enabled hot-path throughput at ≥90% of the
+//!     # obs-only baseline; exits 1 on any violation
 //! ```
 
 use certify::certifier::{attach_trace, certify_log};
@@ -614,6 +624,80 @@ fn durability_smoke() -> i32 {
     }
 }
 
+/// CI gate for the drift observatory: the E20 phased run at CI sizes.
+/// The negative control (steady mix) must never trip the board, the
+/// mid-run shift to the cycle-closing mix must trip it within 3 folds,
+/// the online advisor's repartition must equal the offline
+/// `hdd-lint`/`repartition_to_tst` repair for the post-shift spec set
+/// (and report the running grouping optimal), the trip must surface as
+/// a Perfetto instant, and drift-enabled steady-state throughput must
+/// hold ≥90% of the obs-only baseline. Returns the exit code.
+fn drift_smoke() -> i32 {
+    let o = sim::experiments::e20_drift::measure(true);
+    print!("{}", sim::experiments::e20_drift::table(&o));
+    let mut failed = false;
+    if o.steady_tripped || o.steady_max_score_milli >= o.threshold_milli {
+        eprintln!(
+            "drift-smoke: FAIL — the steady negative control tripped \
+             (max score {}‰, threshold {}‰)",
+            o.steady_max_score_milli, o.threshold_milli
+        );
+        failed = true;
+    }
+    match o.detection_folds {
+        Some(folds) if folds <= 3 => {
+            println!("drift-smoke: shift detected after {folds} fold(s)");
+        }
+        Some(folds) => {
+            eprintln!("drift-smoke: FAIL — detection took {folds} folds (budget 3)");
+            failed = true;
+        }
+        None => {
+            eprintln!("drift-smoke: FAIL — the mix shift was never detected");
+            failed = true;
+        }
+    }
+    if !o.online_matches_offline || !o.post_optimal {
+        eprintln!(
+            "drift-smoke: FAIL — online advice diverged from the offline lint \
+             (matches={}, optimal={})",
+            o.online_matches_offline, o.post_optimal
+        );
+        failed = true;
+    }
+    if !o.offline_merge_help.contains("merge segments D0+D1") {
+        eprintln!(
+            "drift-smoke: FAIL — offline lint lost the D0+D1 repair: {:?}",
+            o.offline_merge_help
+        );
+        failed = true;
+    }
+    if !o.trace_has_trip_instant {
+        eprintln!("drift-smoke: FAIL — no drift-trip instant in the trace ring");
+        failed = true;
+    }
+    if o.overhead_ratio < 0.9 {
+        eprintln!(
+            "drift-smoke: FAIL — drift-enabled throughput is {:.1}% of the \
+             obs-only baseline (floor 90%)",
+            o.overhead_ratio * 100.0
+        );
+        failed = true;
+    } else {
+        println!(
+            "drift-smoke: overhead OK — {:.1} vs {:.1} commits/sec (ratio {:.3})",
+            o.obs_drift_cps, o.obs_only_cps, o.overhead_ratio
+        );
+    }
+    if failed {
+        eprintln!("drift-smoke: FAIL");
+        1
+    } else {
+        println!("drift-smoke: OK");
+        0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
@@ -649,6 +733,22 @@ fn main() {
     }
     if args.iter().any(|a| a == "durability-smoke") {
         std::process::exit(durability_smoke());
+    }
+    if args.iter().any(|a| a == "drift-smoke") {
+        std::process::exit(drift_smoke());
+    }
+    if args.iter().any(|a| a == "e20") {
+        let e20_json = args
+            .iter()
+            .position(|a| a == "--e20-json")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_e20.json".to_string());
+        println!(
+            "{}",
+            sim::experiments::e20_drift::run_with_path(quick, &e20_json)
+        );
+        return;
     }
     if args.iter().any(|a| a == "e19") {
         println!("{}", sim::experiments::e19_durability::run(quick));

@@ -1,0 +1,211 @@
+//! `hdd-advisor` — the online decomposition advisor, as a CLI.
+//!
+//! Drives a bundled workload through a live HDD scheduler with the
+//! drift sketch enabled, folds the sketch, and runs the observed
+//! co-access graph through [`certify::advise`]: is the hierarchy the
+//! scheduler is running still the best-known TST for the workload it
+//! is actually seeing? One-shot by default (drive `--waves` waves,
+//! print one report); `--watch` re-advises after every wave until the
+//! duration budget runs out; `--json` swaps the human rendering for
+//! one JSON object per report (JSON-lines under `--watch`).
+//!
+//! ```text
+//! cargo run --release -p sim --bin hdd-advisor -- --workload banking --waves 3
+//! cargo run --release -p sim --bin hdd-advisor -- --watch --duration-s 10
+//! cargo run --release -p sim --bin hdd-advisor -- --json
+//! ```
+
+use certify::{advise, DEFAULT_MIN_EDGE};
+use hdd::protocol::HddConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim::concurrent::{run_concurrent, ConcurrentConfig};
+use sim::factory::build_hdd_with_config;
+use std::time::{Duration, Instant};
+use txn_model::Scheduler;
+use workloads::banking::Banking;
+use workloads::inventory::{Inventory, InventoryConfig};
+use workloads::synthetic::{Synthetic, SyntheticConfig};
+use workloads::Workload;
+
+const USAGE: &str = "\
+hdd-advisor — online decomposition advisor over a live HDD scheduler
+
+USAGE:
+  hdd-advisor [--workload inventory|banking|synthetic] [--workers N]
+              [--txns N] [--waves N] [--watch] [--duration-s F]
+              [--min-edge N] [--threshold-milli N] [--json]
+
+OPTIONS:
+  --workload NAME      bundled workload to drive (default: banking)
+  --workers N          driver worker threads (default: 4)
+  --txns N             programs per driver wave (default: 2000)
+  --waves N            one-shot: waves to drive before advising (default: 3)
+  --watch              re-advise after every wave until --duration-s
+  --duration-s F       watch-mode budget in seconds (default: 10)
+  --min-edge N         observed-arc noise floor (default: 4)
+  --threshold-milli N  drift trip threshold, milli-units (default: 250)
+  --json               machine-readable report(s) instead of text
+";
+
+struct Opts {
+    workload: String,
+    workers: usize,
+    txns: usize,
+    waves: u64,
+    watch: bool,
+    duration_s: f64,
+    min_edge: u64,
+    threshold_milli: Option<u64>,
+    json: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut o = Opts {
+        workload: "banking".to_string(),
+        workers: 4,
+        txns: 2000,
+        waves: 3,
+        watch: false,
+        duration_s: 10.0,
+        min_edge: DEFAULT_MIN_EDGE,
+        threshold_milli: None,
+        json: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                o.workload = value(&args, i, "--workload")?;
+                i += 1;
+            }
+            "--workers" => {
+                o.workers = value(&args, i, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                i += 1;
+            }
+            "--txns" => {
+                o.txns = value(&args, i, "--txns")?
+                    .parse()
+                    .map_err(|e| format!("--txns: {e}"))?;
+                i += 1;
+            }
+            "--waves" => {
+                o.waves = value(&args, i, "--waves")?
+                    .parse()
+                    .map_err(|e| format!("--waves: {e}"))?;
+                i += 1;
+            }
+            "--watch" => o.watch = true,
+            "--duration-s" => {
+                o.duration_s = value(&args, i, "--duration-s")?
+                    .parse()
+                    .map_err(|e| format!("--duration-s: {e}"))?;
+                i += 1;
+            }
+            "--min-edge" => {
+                o.min_edge = value(&args, i, "--min-edge")?
+                    .parse()
+                    .map_err(|e| format!("--min-edge: {e}"))?;
+                i += 1;
+            }
+            "--threshold-milli" => {
+                o.threshold_milli = Some(
+                    value(&args, i, "--threshold-milli")?
+                        .parse()
+                        .map_err(|e| format!("--threshold-milli: {e}"))?,
+                );
+                i += 1;
+            }
+            "--json" => o.json = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if o.waves == 0 {
+        return Err("--waves must be at least 1".to_string());
+    }
+    Ok(o)
+}
+
+fn build_workload(name: &str) -> Result<Box<dyn Workload + Send>, String> {
+    match name {
+        "inventory" => Ok(Box::new(Inventory::new(InventoryConfig {
+            items: 32,
+            ..InventoryConfig::default()
+        }))),
+        "banking" => Ok(Box::new(Banking::new(16))),
+        "synthetic" => Ok(Box::new(Synthetic::new(SyntheticConfig::default()))),
+        other => Err(format!(
+            "unknown workload {other} (inventory|banking|synthetic)"
+        )),
+    }
+}
+
+fn main() {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("hdd-advisor: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mut w = match build_workload(&opts.workload) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("hdd-advisor: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (sched, _store, hierarchy) = build_hdd_with_config(w.as_ref(), HddConfig::default());
+    let obs = &sched.metrics().obs;
+    obs.set_enabled(true);
+    obs.drift.set_enabled(true);
+    if let Some(t) = opts.threshold_milli {
+        obs.drift.set_threshold_milli(t);
+    }
+
+    let cfg = ConcurrentConfig {
+        workers: opts.workers,
+        obs: true,
+        verify: false,
+        capture_log: false,
+        ..ConcurrentConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(0xAD71_50F1);
+    let deadline = Instant::now() + Duration::from_secs_f64(opts.duration_s);
+    let mut wave = 0u64;
+    loop {
+        let programs: Vec<_> = (0..opts.txns).map(|_| w.generate(&mut rng)).collect();
+        run_concurrent(sched.as_ref(), programs, &cfg);
+        // Explicit refresh: the report must reflect this wave, not the
+        // maintenance cadence's last multiple.
+        sched.refresh_gauges_now();
+        sched.refresh_drift_now();
+        wave += 1;
+        let one_shot_done = !opts.watch && wave >= opts.waves;
+        if opts.watch || one_shot_done {
+            let mut report = advise(&hierarchy, &obs.drift.snapshot(), opts.min_edge);
+            report.target = format!("workload {} (wave {wave})", opts.workload);
+            if opts.json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render());
+            }
+        }
+        if one_shot_done || (opts.watch && Instant::now() >= deadline) {
+            break;
+        }
+    }
+}

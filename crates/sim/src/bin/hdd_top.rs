@@ -19,7 +19,7 @@
 use chaos::driver::{run_chaos, ChaosRunConfig};
 use chaos::plan::{ChaosConfig, FaultPlan};
 use hdd::protocol::HddConfig;
-use obs::{chrome_trace, prometheus_text, validate_chrome_trace, validate_prometheus};
+use obs::{chrome_trace, prometheus_text_full, validate_chrome_trace, validate_prometheus};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sim::concurrent::{run_concurrent, ConcurrentConfig};
@@ -27,6 +27,7 @@ use sim::dashboard::{Dashboard, ANSI_CLEAR};
 use sim::factory::build_hdd_with_config;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use txn_model::Scheduler;
 use workloads::banking::Banking;
@@ -39,7 +40,7 @@ hdd-top — live gauge dashboard over a running HDD scheduler
 
 USAGE:
   hdd-top [--workload inventory|banking|synthetic] [--workers N]
-          [--txns N] [--duration-s F] [--hz F] [--frames N]
+          [--txns N] [--duration-s F] [--hz F] [--frames N] [--once]
           [--chaos] [--no-clear] [--prom PATH] [--chrome-trace PATH]
 
 OPTIONS:
@@ -49,6 +50,8 @@ OPTIONS:
   --duration-s F     stop after F seconds (default: 10)
   --hz F             frames per second (default: 4)
   --frames N         stop after N frames (default: duration-bound)
+  --once             drive one bounded wave, render a single frame to
+                     stderr and print a snapshot JSON object on stdout
   --chaos            use the fault-injecting chaos driver
   --no-clear         append frames instead of clearing the screen
   --prom PATH        on exit, write Prometheus text exposition to PATH
@@ -62,6 +65,7 @@ struct Opts {
     duration_s: f64,
     hz: f64,
     frames: Option<u64>,
+    once: bool,
     chaos: bool,
     no_clear: bool,
     prom: Option<String>,
@@ -76,6 +80,7 @@ fn parse_opts() -> Result<Opts, String> {
         duration_s: 10.0,
         hz: 4.0,
         frames: None,
+        once: false,
         chaos: false,
         no_clear: false,
         prom: None,
@@ -126,6 +131,7 @@ fn parse_opts() -> Result<Opts, String> {
                 );
                 i += 1;
             }
+            "--once" => o.once = true,
             "--chaos" => o.chaos = true,
             "--no-clear" => o.no_clear = true,
             "--prom" => {
@@ -180,16 +186,62 @@ fn main() {
         }
     };
     let segment_names = w.segment_names();
-    let (sched, _store, _hierarchy) = build_hdd_with_config(w.as_ref(), HddConfig::default());
+    let (sched, _store, hierarchy) = build_hdd_with_config(w.as_ref(), HddConfig::default());
     // The drivers also set this per wave, but turning it on up front
-    // means the very first frame already sees live gauges.
+    // means the very first frame already sees live gauges. The drift
+    // sketch has its own switch and only hdd-top turns it on.
     sched.metrics().obs.set_enabled(true);
+    sched.metrics().obs.drift.set_enabled(true);
 
     let mode = if opts.chaos { "chaos" } else { "concurrent" };
     let title = format!(
         "{} ({} driver, {} workers)",
         opts.workload, mode, opts.workers
     );
+
+    if opts.once {
+        // One bounded wave, one frame (stderr), one JSON object
+        // (stdout) — the machine-readable path for scripts and CI.
+        let mut rng = StdRng::seed_from_u64(0x70D0_0001);
+        let programs: Vec<_> = (0..opts.txns).map(|_| w.generate(&mut rng)).collect();
+        if opts.chaos {
+            let plan = FaultPlan::generate(0x70D0_1000, opts.txns, &ChaosConfig::default());
+            let cfg = ChaosRunConfig {
+                workers: opts.workers,
+                trace: true,
+                ..ChaosRunConfig::default()
+            };
+            run_chaos(sched.as_ref(), programs, &plan, &cfg);
+        } else {
+            let cfg = ConcurrentConfig {
+                workers: opts.workers,
+                obs: true,
+                verify: false,
+                capture_log: false,
+                ..ConcurrentConfig::default()
+            };
+            run_concurrent(sched.as_ref(), programs, &cfg);
+        }
+        sched.refresh_gauges_now();
+        sched.refresh_drift_now();
+        let mut dash =
+            Dashboard::new(&title, segment_names.clone()).with_hierarchy(Arc::clone(&hierarchy));
+        eprint!("{}", dash.frame(sched.metrics()));
+        let m = sched.metrics().snapshot();
+        println!(
+            "{{\"workload\": \"{}\", \"commits\": {}, \"aborts\": {}, \"rejections\": {}, \
+             \"gauges\": {}, \"drift\": {}, \"obs\": {}}}",
+            opts.workload,
+            m.commits,
+            m.aborts,
+            m.rejections,
+            sched.metrics().obs.gauges.snapshot().to_json(),
+            sched.metrics().obs.drift.snapshot().to_json(),
+            sched.metrics().obs.snapshot().to_json(),
+        );
+        return;
+    }
+
     let stop = AtomicBool::new(false);
     let mut frames_rendered = 0u64;
 
@@ -234,7 +286,8 @@ fn main() {
 
         // Sampler: redraw the board at --hz until the duration or frame
         // budget runs out.
-        let mut dash = Dashboard::new(&title, segment_names.clone());
+        let mut dash =
+            Dashboard::new(&title, segment_names.clone()).with_hierarchy(Arc::clone(&hierarchy));
         let interval = Duration::from_secs_f64(1.0 / opts.hz);
         let deadline = Instant::now() + Duration::from_secs_f64(opts.duration_s);
         loop {
@@ -265,10 +318,11 @@ fn main() {
     sched.refresh_gauges_now();
     if let Some(path) = &opts.prom {
         let counters = sched.metrics().snapshot().counter_pairs();
-        let text = prometheus_text(
+        let text = prometheus_text_full(
             &counters,
             &sched.metrics().obs.snapshot(),
             &sched.metrics().obs.gauges.snapshot(),
+            Some(&sched.metrics().obs.drift.snapshot()),
         );
         match validate_prometheus(&text) {
             Ok(stats) => {

@@ -11,8 +11,11 @@
 //! wrapped `u64`.
 
 use crate::report::f2;
-use obs::GaugeSnapshot;
+use certify::{advise, DEFAULT_MIN_EDGE};
+use hdd::analysis::Hierarchy;
+use obs::{DriftSnapshot, GaugeSnapshot, WALL_READER};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 use txn_model::{Metrics, MetricsSnapshot};
 
@@ -35,6 +38,11 @@ pub struct Frame<'a> {
     pub delta: &'a MetricsSnapshot,
     /// The live gauge board.
     pub gauges: &'a GaugeSnapshot,
+    /// The workload-drift sketch (section hidden until configured).
+    pub drift: &'a DriftSnapshot,
+    /// Precomputed one-line advisor summary, if a hierarchy was
+    /// attached and the sketch has folded at least once.
+    pub advice: Option<&'a str>,
     /// Segment display names; segments beyond the slice fall back to
     /// `s<idx>`.
     pub segment_names: &'a [String],
@@ -118,6 +126,39 @@ pub fn render(f: &Frame) -> String {
         }
         let _ = writeln!(s);
     }
+    let d = f.drift;
+    if d.configured {
+        let _ = writeln!(
+            s,
+            " drift     score={}‰ (access={}‰ edge={}‰) thr={}‰ tripped={} folds={} trips={}",
+            d.score_milli,
+            d.access_score_milli,
+            d.edge_score_milli,
+            d.threshold_milli,
+            if d.tripped { "yes" } else { "no" },
+            d.folds,
+            d.trips
+        );
+        let dragger = match d.drag_class {
+            Some(c) if c == WALL_READER => "adhoc".to_string(),
+            Some(c) => format!("c{c}"),
+            None => "-".to_string(),
+        };
+        let _ = write!(
+            s,
+            " wall drag {dragger} held={} ticks  blame:",
+            d.drag_held_ticks
+        );
+        for c in &d.classes {
+            if c.drag_blame > 0 && c.class != WALL_READER {
+                let _ = write!(s, " c{}={}", c.class, c.drag_blame);
+            }
+        }
+        let _ = writeln!(s);
+        if let Some(advice) = f.advice {
+            let _ = writeln!(s, " advice    {advice}");
+        }
+    }
     let _ = writeln!(s, " staleness (reader → source segment, ticks, cumulative)");
     let _ = writeln!(
         s,
@@ -149,6 +190,7 @@ pub fn render(f: &Frame) -> String {
 pub struct Dashboard {
     title: String,
     segment_names: Vec<String>,
+    hierarchy: Option<Arc<Hierarchy>>,
     started: Instant,
     prev: Option<(Instant, MetricsSnapshot)>,
 }
@@ -159,17 +201,50 @@ impl Dashboard {
         Dashboard {
             title: title.into(),
             segment_names,
+            hierarchy: None,
             started: Instant::now(),
             prev: None,
         }
     }
 
-    /// Sample `metrics` (counters + gauge board) and render one frame.
-    /// The first frame's "interval" is everything since attach.
+    /// Attach the running hierarchy so each frame can fold the drift
+    /// sketch through the decomposition advisor (the `advice` line).
+    pub fn with_hierarchy(mut self, hierarchy: Arc<Hierarchy>) -> Self {
+        self.hierarchy = Some(hierarchy);
+        self
+    }
+
+    /// One-line advisor summary for a drift snapshot, or `None` when no
+    /// hierarchy is attached or the sketch has not folded yet.
+    fn advice_line(&self, drift: &DriftSnapshot) -> Option<String> {
+        let h = self.hierarchy.as_ref()?;
+        if !drift.configured || drift.folds == 0 {
+            return None;
+        }
+        let report = advise(h, drift, DEFAULT_MIN_EDGE);
+        if report.hierarchy_is_optimal() {
+            Some(format!(
+                "quality {}/1000: hierarchy matches the observed workload's best TST",
+                report.quality_milli
+            ))
+        } else {
+            Some(format!(
+                "quality {}/1000: {}",
+                report.quality_milli,
+                report.advice_text(&report.suggestions[0])
+            ))
+        }
+    }
+
+    /// Sample `metrics` (counters + gauge board + drift sketch) and
+    /// render one frame. The first frame's "interval" is everything
+    /// since attach.
     pub fn frame(&mut self, metrics: &Metrics) -> String {
         let now = Instant::now();
         let totals = metrics.snapshot();
         let gauges = metrics.obs.gauges.snapshot();
+        let drift = metrics.obs.drift.snapshot();
+        let advice = self.advice_line(&drift);
         let (since, baseline) = match self.prev {
             Some((t, s)) => (now.duration_since(t), s),
             None => (now.duration_since(self.started), MetricsSnapshot::default()),
@@ -183,6 +258,8 @@ impl Dashboard {
             totals: &totals,
             delta: &delta,
             gauges: &gauges,
+            drift: &drift,
+            advice: advice.as_deref(),
             segment_names: &self.segment_names,
         })
     }
@@ -234,6 +311,8 @@ mod tests {
             totals: &totals,
             delta: &delta,
             gauges: &gauges,
+            drift: &DriftSnapshot::default(),
+            advice: None,
             segment_names: &names,
         })
     }
@@ -268,6 +347,8 @@ mod tests {
             totals: &zero,
             delta: &zero,
             gauges: &gauges,
+            drift: &DriftSnapshot::default(),
+            advice: None,
             segment_names: &[],
         });
         assert!(text.contains("s0"), "fallback label:\n{text}");
@@ -284,12 +365,80 @@ mod tests {
             totals: &zero,
             delta: &zero,
             gauges: &gauges,
+            drift: &DriftSnapshot::default(),
+            advice: None,
             segment_names: &[],
         });
         assert!(text.contains("no cross-class or wall reads yet"));
         assert!(
             !text.contains("classes"),
             "unconfigured board: no class rows"
+        );
+        assert!(
+            !text.contains("drift"),
+            "unconfigured sketch: no drift panel"
+        );
+    }
+
+    #[test]
+    fn drift_panel_shows_scores_drag_blame_and_advice() {
+        let board = obs::DriftBoard::new();
+        board.configure(2, 3);
+        board.set_enabled(true);
+        for _ in 0..20 {
+            board.record_edge(1, 0);
+            board.record_access(0, 1);
+        }
+        board.note_wall_floor(Some(1), 10);
+        board.note_wall_floor(Some(1), 14);
+        let _ = board.fold();
+        let drift = board.snapshot();
+        let zero = MetricsSnapshot::default();
+        let text = render(&Frame {
+            title: "drifty",
+            elapsed_secs: 1.0,
+            interval_secs: 1.0,
+            totals: &zero,
+            delta: &zero,
+            gauges: &GaugeSnapshot::default(),
+            drift: &drift,
+            advice: Some("quality 666/1000: merge segments D0+D1"),
+            segment_names: &[],
+        });
+        assert!(text.contains("drift     score=0‰"), "seed fold:\n{text}");
+        assert!(text.contains("folds=1"), "{text}");
+        assert!(text.contains("wall drag c1"), "{text}");
+        assert!(text.contains("c1=2"), "blame counts:\n{text}");
+        assert!(text.contains("advice    quality 666/1000"), "{text}");
+    }
+
+    #[test]
+    fn dashboard_advice_line_folds_through_the_advisor() {
+        use hdd::analysis::AccessSpec;
+        use txn_model::SegmentId;
+        let specs = vec![
+            AccessSpec::new("t1", vec![SegmentId(0)], vec![]),
+            AccessSpec::new("t2", vec![SegmentId(1)], vec![SegmentId(0)]),
+        ];
+        let h = Arc::new(Hierarchy::build(2, &specs).unwrap());
+        let m = Metrics::default();
+        m.obs.drift.configure(2, 2);
+        m.obs.drift.set_enabled(true);
+        let mut d = Dashboard::new("live", vec![]).with_hierarchy(h);
+        // No folds yet: panel renders, advice line does not.
+        let text = d.frame(&m);
+        assert!(text.contains("drift     score"));
+        assert!(!text.contains("advice    "), "{text}");
+        // A cycle-closing mix, folded: the advisor suggests the merge.
+        for _ in 0..20 {
+            m.obs.drift.record_edge(0, 1);
+            m.obs.drift.record_edge(1, 0);
+        }
+        let _ = m.obs.drift.fold();
+        let text = d.frame(&m);
+        assert!(
+            text.contains("advice    quality 0/1000: merge segments D0+D1"),
+            "{text}"
         );
     }
 

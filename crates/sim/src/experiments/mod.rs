@@ -23,6 +23,7 @@ pub mod e16_chaos;
 pub mod e17_gauges;
 pub mod e18_blame;
 pub mod e19_durability;
+pub mod e20_drift;
 
 use crate::report::Table;
 
@@ -30,8 +31,8 @@ use crate::report::Table;
 /// E12 message analysis, the E13 hot-path throughput trajectory, the
 /// E14 observability profile, the E15 certification sweep, the E16
 /// chaos soak, the E17 staleness-gauge observatory, the E18
-/// flight-recorder blame profile and the E19 durability suite) and
-/// return the tables in order.
+/// flight-recorder blame profile, the E19 durability suite and the E20
+/// workload-drift observatory) and return the tables in order.
 pub fn run_all(quick: bool) -> Vec<Table> {
     vec![
         e01_lost_update::run(quick),
@@ -53,5 +54,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e17_gauges::run(quick),
         e18_blame::run(quick),
         e19_durability::run(quick),
+        e20_drift::run(quick),
     ]
 }

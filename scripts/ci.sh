@@ -89,4 +89,21 @@ echo "== durability smoke (release) =="
 # BENCH_hotpath.json hdd 8-worker baseline.
 cargo run --release -q -p sim --bin experiments -- durability-smoke
 
+echo "== drift smoke (release) =="
+# Workload-drift gate (quick E20): the steady negative-control phase
+# must never trip the drift board, the mid-run shift to the
+# cycle-closing mix must trip it within 3 folds, the online advisor
+# must match the offline hdd-lint repair (and report the running
+# grouping optimal), the trip must surface as a Perfetto instant, and
+# drift-enabled throughput must hold >=90% of the obs-only baseline.
+cargo run --release -q -p sim --bin experiments -- drift-smoke
+# The advisor CLI's JSON report must keep its machine-readable shape.
+advisor_json="$(cargo run --release -q -p sim --bin hdd-advisor -- --json --txns 500 --waves 1)"
+for key in quality_milli optimal advised_labels drift_score_milli suggestions; do
+  if ! grep -q "\"$key\"" <<< "$advisor_json"; then
+    echo "hdd-advisor --json lost the \"$key\" field"
+    exit 1
+  fi
+done
+
 echo "CI OK"
